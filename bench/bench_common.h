@@ -1,0 +1,45 @@
+// Shared setup for the experiment bench binaries.
+//
+// Every bench runs with scaled-down defaults so `for b in build/bench/*; do
+// $b; done` completes in minutes on one core; pass --paper-scale for the
+// paper's 2250 nodes and full trace sizes, or override individual knobs
+// (--nodes, --files, --refs, --seed, --csv).
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+
+#include "src/harness/cli.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table_printer.h"
+
+namespace past {
+
+inline ExperimentConfig BenchConfig(const CommandLine& cli) {
+  ExperimentConfig config;
+  if (cli.Has("--paper-scale")) {
+    config.num_nodes = 2250;
+    config.catalog_size = 1863055;
+  } else {
+    // catalog 0 = auto: num_nodes * 800 files, preserving the paper's
+    // files-per-node ratio that governs packing at saturation.
+    config.num_nodes = static_cast<size_t>(cli.GetInt("--nodes", 300));
+    config.catalog_size = static_cast<uint32_t>(cli.GetInt("--files", 0));
+  }
+  config.seed = static_cast<uint64_t>(cli.GetInt("--seed", 42));
+  config.t_pri = cli.GetDouble("--tpri", 0.1);
+  config.t_div = cli.GetDouble("--tdiv", 0.05);
+  config.demand_factor = cli.GetDouble("--demand", 1.53);
+  return config;
+}
+
+inline void PrintHeader(const char* what, const ExperimentConfig& config) {
+  std::printf("# %s\n", what);
+  std::printf("# nodes=%zu files=%u k=%u b=%d l=%d seed=%llu\n", config.num_nodes,
+              config.catalog_size, config.k, config.b, config.leaf_set_size,
+              static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace past
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,27 @@
+// Reproduces Figure 2: cumulative insert-failure ratio versus storage
+// utilization for t_pri in {0.05, 0.1, 0.2, 0.5} (t_div = 0.05).
+//
+// Paper shape: smaller t_pri shows failures earlier (large files rejected at
+// low utilization) but stays flat; larger t_pri defers failures until very
+// high utilization, then climbs steeply.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace past;
+  CommandLine cli(argc, argv);
+  ExperimentConfig base = BenchConfig(cli);
+  PrintHeader("Figure 2: cumulative failure ratio vs utilization, per t_pri", base);
+
+  std::printf("t_pri,utilization,cumulative_failure_ratio\n");
+  for (double t_pri : {0.05, 0.1, 0.2, 0.5}) {
+    ExperimentConfig config = base;
+    config.t_pri = t_pri;
+    config.t_div = 0.05;
+    ExperimentResult r = RunExperiment(config);
+    for (const CurveSample& s : r.curve) {
+      std::printf("%.2f,%.4f,%.6f\n", t_pri, s.utilization, s.cumulative_failure_ratio);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Figure 3: cumulative insert-failure ratio versus storage
+// utilization for t_div in {0.005, 0.01, 0.05, 0.1} (t_pri = 0.1).
+//
+// Paper shape: same trade-off as Figure 2 — permissive t_div reaches higher
+// utilization before failures climb; restrictive t_div fails earlier but
+// keeps the failure curve flat longer at low utilization.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace past;
+  CommandLine cli(argc, argv);
+  ExperimentConfig base = BenchConfig(cli);
+  PrintHeader("Figure 3: cumulative failure ratio vs utilization, per t_div", base);
+
+  std::printf("t_div,utilization,cumulative_failure_ratio\n");
+  for (double t_div : {0.005, 0.01, 0.05, 0.1}) {
+    ExperimentConfig config = base;
+    config.t_pri = 0.1;
+    config.t_div = t_div;
+    ExperimentResult r = RunExperiment(config);
+    for (const CurveSample& s : r.curve) {
+      std::printf("%.3f,%.4f,%.6f\n", t_div, s.utilization, s.cumulative_failure_ratio);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

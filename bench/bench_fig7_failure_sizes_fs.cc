@@ -1,0 +1,37 @@
+// Reproduces Figure 7: failed insertions by file size versus utilization for
+// the filesystem workload (heavier-tailed sizes; the paper scales node
+// capacities up 10x for this trace — our harness auto-scales capacity to the
+// same demand factor).
+//
+// Paper shape: same qualitative pattern as Figure 6 with the size axis
+// stretched (mean 88 KB): failures biased to very large files, tiny overall
+// failure ratio until very high utilization.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace past;
+  CommandLine cli(argc, argv);
+  ExperimentConfig config = BenchConfig(cli);
+  config.workload = WorkloadKind::kFilesystem;
+  if (cli.Has("--paper-scale")) {
+    config.catalog_size = 2027908;  // the paper's filesystem scan size
+  }
+  PrintHeader("Figure 7: failed insertions by size vs utilization (filesystem workload)",
+              config);
+
+  ExperimentResult r = RunExperiment(config);
+
+  std::printf("## scatter: utilization,failed_file_size\n");
+  for (const FailureRecord& f : r.failures) {
+    std::printf("%.4f,%llu\n", f.utilization, static_cast<unsigned long long>(f.size));
+  }
+  std::printf("## curve: utilization,failure_ratio\n");
+  for (const CurveSample& s : r.curve) {
+    std::printf("%.4f,%.6f\n", s.utilization, s.cumulative_failure_ratio);
+  }
+  std::printf("\n# mean file size: %.0f bytes; final failure ratio %.4f at util %.4f\n",
+              r.mean_file_size, r.failure_ratio, r.final_utilization);
+  std::printf("# paper: failure ratio stays below 0.01 for most of the run despite the\n"
+              "# much heavier file-size tail.\n");
+  return 0;
+}

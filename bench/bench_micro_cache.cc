@@ -1,0 +1,61 @@
+// Microbenchmarks for cache policies: GD-S vs LRU operation cost and hit
+// rates on a Zipf stream.
+#include <benchmark/benchmark.h>
+
+#include "src/cache/file_cache.h"
+#include "src/cache/gds_policy.h"
+#include "src/cache/lru_policy.h"
+#include "src/common/distributions.h"
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+FileId MakeFileId(uint32_t tag) {
+  std::array<uint8_t, 20> bytes{};
+  bytes[0] = static_cast<uint8_t>(tag >> 24);
+  bytes[1] = static_cast<uint8_t>(tag >> 16);
+  bytes[2] = static_cast<uint8_t>(tag >> 8);
+  bytes[3] = static_cast<uint8_t>(tag);
+  return FileId(bytes);
+}
+
+template <typename Policy>
+void RunCacheStream(benchmark::State& state) {
+  FileCache cache(std::make_unique<Policy>(), 1.0);
+  Rng rng(50);
+  Zipf zipf(10000, 0.8);
+  FileSizeDistribution sizes(1312, 10517, 0.0, 1.1, 500000);
+  std::vector<uint64_t> catalog(10000);
+  for (auto& s : catalog) {
+    s = std::max<uint64_t>(1, sizes.Sample(rng));
+  }
+  const uint64_t budget = 2'000'000;
+  for (auto _ : state) {
+    uint32_t f = static_cast<uint32_t>(zipf.Sample(rng));
+    if (!cache.Lookup(MakeFileId(f))) {
+      cache.Insert(MakeFileId(f), catalog[f], budget);
+    }
+  }
+  state.counters["hit_rate"] = benchmark::Counter(
+      static_cast<double>(cache.hits()) / static_cast<double>(cache.hits() + cache.misses()));
+}
+
+void BM_GdsCacheStream(benchmark::State& state) { RunCacheStream<GdsPolicy>(state); }
+BENCHMARK(BM_GdsCacheStream);
+
+void BM_LruCacheStream(benchmark::State& state) { RunCacheStream<LruPolicy>(state); }
+BENCHMARK(BM_LruCacheStream);
+
+void BM_GdsEvictionChurn(benchmark::State& state) {
+  FileCache cache(std::make_unique<GdsPolicy>(), 1.0);
+  uint32_t next = 0;
+  for (auto _ : state) {
+    // Every insert evicts (budget holds ~10 files).
+    cache.Insert(MakeFileId(next++), 1000, 10000);
+  }
+}
+BENCHMARK(BM_GdsEvictionChurn);
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,60 @@
+// Microbenchmarks for the crypto substrate: SHA-1 throughput, fileId
+// computation, signing and verification.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/certificates.h"
+#include "src/crypto/keys.h"
+#include "src/crypto/sha1.h"
+
+namespace past {
+namespace {
+
+void BM_Sha1(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_ComputeFileId(benchmark::State& state) {
+  Rng rng(1);
+  KeyPair keys = KeyPair::Generate(rng);
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeFileId("some/file/name.txt", keys.public_key(), ++salt));
+  }
+}
+BENCHMARK(BM_ComputeFileId);
+
+void BM_KeyGenerate(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KeyPair::Generate(rng));
+  }
+}
+BENCHMARK(BM_KeyGenerate);
+
+void BM_Sign(benchmark::State& state) {
+  Rng rng(3);
+  KeyPair keys = KeyPair::Generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.Sign("a certificate payload of typical length ..."));
+  }
+}
+BENCHMARK(BM_Sign);
+
+void BM_Verify(benchmark::State& state) {
+  Rng rng(4);
+  KeyPair keys = KeyPair::Generate(rng);
+  Signature sig = keys.Sign("payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KeyPair::Verify(keys.public_key(), "payload", sig));
+  }
+}
+BENCHMARK(BM_Verify);
+
+}  // namespace
+}  // namespace past

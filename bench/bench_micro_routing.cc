@@ -1,0 +1,62 @@
+// Microbenchmarks for the Pastry substrate: route latency and hop counts at
+// several network sizes (the paper's claim: < ceil(log_16 N) hops).
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/pastry/network.h"
+
+namespace past {
+namespace {
+
+void BM_PastryRoute(benchmark::State& state) {
+  PastryConfig config;
+  PastryNetwork network(config, 42);
+  network.BuildInitialNetwork(static_cast<size_t>(state.range(0)));
+  std::vector<NodeId> nodes = network.live_nodes();
+  Rng rng(43);
+  uint64_t total_hops = 0;
+  uint64_t routes = 0;
+  for (auto _ : state) {
+    NodeId key(rng.NextU64(), rng.NextU64());
+    NodeId origin = nodes[rng.NextBelow(nodes.size())];
+    RouteResult route = network.Route(origin, key);
+    benchmark::DoNotOptimize(route.destination());
+    total_hops += static_cast<uint64_t>(route.hops());
+    ++routes;
+  }
+  state.counters["avg_hops"] =
+      benchmark::Counter(static_cast<double>(total_hops) / static_cast<double>(routes));
+}
+BENCHMARK(BM_PastryRoute)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_PastryJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PastryConfig config;
+    PastryNetwork network(config, 44);
+    network.BuildInitialNetwork(200);
+    state.ResumeTiming();
+    for (int i = 0; i < 10; ++i) {
+      benchmark::DoNotOptimize(network.CreateNode());
+    }
+  }
+}
+BENCHMARK(BM_PastryJoin)->Unit(benchmark::kMillisecond);
+
+void BM_NextHopDecision(benchmark::State& state) {
+  PastryConfig config;
+  PastryNetwork network(config, 45);
+  network.BuildInitialNetwork(500);
+  std::vector<NodeId> nodes = network.live_nodes();
+  PastryNode* node = network.node(nodes[0]);
+  Rng rng(46);
+  auto alive = [&network](const NodeId& id) { return network.IsAlive(id); };
+  for (auto _ : state) {
+    NodeId key(rng.NextU64(), rng.NextU64());
+    benchmark::DoNotOptimize(node->NextHop(key, alive));
+  }
+}
+BENCHMARK(BM_NextHopDecision);
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,88 @@
+#include "src/cache/file_cache.h"
+
+namespace past {
+
+FileCache::FileCache(std::unique_ptr<EvictionPolicy> policy, double c_fraction)
+    : policy_(std::move(policy)), c_fraction_(c_fraction) {}
+
+void FileCache::EvictEntry(const FileId& id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    used_ -= it->second.size;
+    entries_.erase(it);
+    ++evictions_;
+  }
+}
+
+bool FileCache::Insert(const FileId& id, uint64_t size, uint64_t budget, ContentRef content) {
+  if (entries_.count(id) > 0) {
+    return false;  // already cached
+  }
+  // Admission rule: size must be less than c * current cache size, where the
+  // cache size is the portion of the disk not used by replicas.
+  if (size == 0 || static_cast<double>(size) >= c_fraction_ * static_cast<double>(budget)) {
+    return false;
+  }
+  // Make room.
+  while (used_ + size > budget) {
+    auto victim = policy_->EvictVictim();
+    if (!victim) {
+      return false;
+    }
+    EvictEntry(*victim);
+  }
+  entries_[id] = Entry{size, std::move(content)};
+  used_ += size;
+  policy_->OnInsert(id, size);
+  ++insertions_;
+  return true;
+}
+
+bool FileCache::Lookup(const FileId& id, bool touch) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  if (touch) {
+    policy_->OnHit(id, it->second.size);
+  }
+  ++hits_;
+  return true;
+}
+
+bool FileCache::Remove(const FileId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return false;
+  }
+  used_ -= it->second.size;
+  entries_.erase(it);
+  policy_->OnRemove(id);
+  return true;
+}
+
+std::optional<uint64_t> FileCache::SizeOf(const FileId& id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second.size;
+}
+
+FileCache::ContentRef FileCache::ContentOf(const FileId& id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.content;
+}
+
+void FileCache::ShrinkToBudget(uint64_t budget) {
+  while (used_ > budget) {
+    auto victim = policy_->EvictVictim();
+    if (!victim) {
+      return;
+    }
+    EvictEntry(*victim);
+  }
+}
+
+}  // namespace past

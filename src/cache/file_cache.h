@@ -1,0 +1,81 @@
+// The per-node file cache (paper section 4).
+//
+// The cache lives in the "unused" portion of the node's advertised disk: its
+// budget is capacity - replica bytes, so it shrinks automatically as primary
+// and diverted replicas accumulate, degrading gracefully with utilization. A
+// file routed through a node during insert or lookup is admitted if its size
+// is below a fraction `c` of the node's current cache budget.
+#ifndef SRC_CACHE_FILE_CACHE_H_
+#define SRC_CACHE_FILE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/cache/eviction_policy.h"
+#include "src/common/file_id.h"
+
+namespace past {
+
+class FileCache {
+ public:
+  using ContentRef = std::shared_ptr<const std::string>;
+
+  // `c_fraction` is the admission fraction c (1 in the paper's experiment).
+  FileCache(std::unique_ptr<EvictionPolicy> policy, double c_fraction);
+
+  // Tries to admit a file given the current budget (capacity - replica
+  // bytes). Evicts victims as needed. Returns true if cached. `content` is
+  // optional (trace experiments track sizes only).
+  bool Insert(const FileId& id, uint64_t size, uint64_t budget, ContentRef content = nullptr);
+
+  // Whether the file is currently cached; records a hit (and policy touch)
+  // when `touch` is true.
+  bool Lookup(const FileId& id, bool touch = true);
+
+  // Removes a specific file (it was reclaimed, or became a replica here).
+  bool Remove(const FileId& id);
+
+  // Size of a cached file, if present (no hit recorded).
+  std::optional<uint64_t> SizeOf(const FileId& id) const;
+
+  // Cached bytes of the file, if the cache holds them (no hit recorded).
+  ContentRef ContentOf(const FileId& id) const;
+
+  // Evicts until used() fits within `budget` (called after a replica store
+  // shrinks the cache's share of the disk).
+  void ShrinkToBudget(uint64_t budget);
+
+  uint64_t used() const { return used_; }
+  size_t count() const { return entries_.size(); }
+  const EvictionPolicy& policy() const { return *policy_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t insertions() const { return insertions_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    uint64_t size = 0;
+    ContentRef content;
+  };
+
+  // Drops `id` from the byte accounting (policy already updated).
+  void EvictEntry(const FileId& id);
+
+  std::unique_ptr<EvictionPolicy> policy_;
+  double c_fraction_;
+  std::unordered_map<FileId, Entry, FileIdHash> entries_;
+  uint64_t used_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace past
+
+#endif  // SRC_CACHE_FILE_CACHE_H_

@@ -1,0 +1,44 @@
+// GreedyDual-Size eviction (paper section 4; Cao & Irani, USITS'97).
+//
+// Each cached file d carries a weight H_d = L + c(d)/s(d), where c(d) is the
+// retrieval cost (1 in PAST, maximizing hit rate), s(d) the file size, and L
+// an inflation value. The victim is the file with minimal H; on eviction L
+// rises to the victim's H. This "inflation" formulation is arithmetically
+// identical to the paper's description (subtracting H_victim from all
+// remaining weights) but runs in O(log n) per operation.
+#ifndef SRC_CACHE_GDS_POLICY_H_
+#define SRC_CACHE_GDS_POLICY_H_
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/cache/eviction_policy.h"
+
+namespace past {
+
+class GdsPolicy : public EvictionPolicy {
+ public:
+  // `cost` is c(d), identical for all files (PAST sets it to 1).
+  explicit GdsPolicy(double cost = 1.0) : cost_(cost) {}
+
+  void OnInsert(const FileId& id, uint64_t size) override;
+  void OnHit(const FileId& id, uint64_t size) override;
+  void OnRemove(const FileId& id) override;
+  std::optional<FileId> EvictVictim() override;
+  std::string name() const override { return "GD-S"; }
+
+  double inflation() const { return inflation_; }
+
+ private:
+  void Enqueue(const FileId& id, uint64_t size);
+
+  double cost_;
+  double inflation_ = 0.0;  // L
+  std::unordered_map<FileId, double, FileIdHash> weight_;
+  std::set<std::pair<double, FileId>> queue_;  // ordered by (H, id)
+};
+
+}  // namespace past
+
+#endif  // SRC_CACHE_GDS_POLICY_H_

@@ -1,0 +1,43 @@
+#include "src/cache/lru_policy.h"
+
+namespace past {
+
+void LruPolicy::Touch(const FileId& id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    order_.erase(it->second);
+  }
+  order_.push_front(id);
+  index_[id] = order_.begin();
+}
+
+void LruPolicy::OnInsert(const FileId& id, uint64_t size) {
+  (void)size;
+  Touch(id);
+}
+
+void LruPolicy::OnHit(const FileId& id, uint64_t size) {
+  (void)size;
+  Touch(id);
+}
+
+void LruPolicy::OnRemove(const FileId& id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return;
+  }
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<FileId> LruPolicy::EvictVictim() {
+  if (order_.empty()) {
+    return std::nullopt;
+  }
+  FileId victim = order_.back();
+  order_.pop_back();
+  index_.erase(victim);
+  return victim;
+}
+
+}  // namespace past

@@ -1,0 +1,29 @@
+// Least-Recently-Used eviction, the comparison baseline in Figure 8.
+#ifndef SRC_CACHE_LRU_POLICY_H_
+#define SRC_CACHE_LRU_POLICY_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "src/cache/eviction_policy.h"
+
+namespace past {
+
+class LruPolicy : public EvictionPolicy {
+ public:
+  void OnInsert(const FileId& id, uint64_t size) override;
+  void OnHit(const FileId& id, uint64_t size) override;
+  void OnRemove(const FileId& id) override;
+  std::optional<FileId> EvictVictim() override;
+  std::string name() const override { return "LRU"; }
+
+ private:
+  void Touch(const FileId& id);
+
+  std::list<FileId> order_;  // most recent at front
+  std::unordered_map<FileId, std::list<FileId>::iterator, FileIdHash> index_;
+};
+
+}  // namespace past
+
+#endif  // SRC_CACHE_LRU_POLICY_H_

@@ -1,0 +1,76 @@
+#include "src/chord/chord_node.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace past {
+
+ChordNode::ChordNode(const NodeId& id, int successor_list_length)
+    : id_(id), successor_list_length_(static_cast<size_t>(successor_list_length)) {}
+
+void ChordNode::SetSuccessors(std::vector<NodeId> successors) {
+  successors_ = std::move(successors);
+  if (successors_.size() > successor_list_length_) {
+    successors_.resize(successor_list_length_);
+  }
+}
+
+bool ChordNode::RemoveSuccessor(const NodeId& id) {
+  auto it = std::find(successors_.begin(), successors_.end(), id);
+  if (it == successors_.end()) {
+    return false;
+  }
+  successors_.erase(it);
+  return true;
+}
+
+NodeId ChordNode::FingerStart(int i) const {
+  uint128 step = static_cast<uint128>(1) << i;
+  return NodeId(id_.value() + step);  // mod 2^128 wraps naturally
+}
+
+void ChordNode::RemoveFinger(const NodeId& id) {
+  for (auto& finger : fingers_) {
+    if (finger && *finger == id) {
+      finger.reset();
+    }
+  }
+}
+
+bool ChordNode::InInterval(const NodeId& key, const NodeId& from, const NodeId& to) {
+  // Half-open ring interval (from, to]: measured clockwise from `from`.
+  if (from == to) {
+    return true;  // full circle
+  }
+  uint128 span = from.ClockwiseDistance(to);
+  uint128 offset = from.ClockwiseDistance(key);
+  return offset > 0 && offset <= span;
+}
+
+std::optional<NodeId> ChordNode::ClosestPreceding(
+    const NodeId& key, const std::function<bool(const NodeId&)>& alive) const {
+  // Scan fingers from farthest to nearest for a live node in (this, key).
+  std::optional<NodeId> best;
+  auto consider = [&](const NodeId& candidate) {
+    if (candidate == id_ || !alive(candidate)) {
+      return;
+    }
+    // Strictly between us and the key: (id_, key) exclusive of key itself.
+    if (InInterval(candidate, id_, key) && candidate != key) {
+      if (!best || InInterval(candidate, *best, key)) {
+        best = candidate;
+      }
+    }
+  };
+  for (int i = kFingerBits - 1; i >= 0; --i) {
+    if (fingers_[static_cast<size_t>(i)]) {
+      consider(*fingers_[static_cast<size_t>(i)]);
+    }
+  }
+  for (const NodeId& s : successors_) {
+    consider(s);
+  }
+  return best;
+}
+
+}  // namespace past

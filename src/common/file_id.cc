@@ -1,0 +1,55 @@
+#include "src/common/file_id.h"
+
+namespace past {
+
+NodeId FileId::ToRoutingKey() const {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | bytes_[static_cast<size_t>(i)];
+  }
+  for (int i = 8; i < 16; ++i) {
+    lo = (lo << 8) | bytes_[static_cast<size_t>(i)];
+  }
+  return NodeId(hi, lo);
+}
+
+std::string FileId::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(kBytes * 2);
+  for (uint8_t byte : bytes_) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+bool FileId::FromHex(const std::string& hex, FileId* out) {
+  if (hex.size() != kBytes * 2) {
+    return false;
+  }
+  std::array<uint8_t, kBytes> bytes{};
+  for (size_t i = 0; i < static_cast<size_t>(kBytes); ++i) {
+    unsigned v = 0;
+    for (size_t j = 0; j < 2; ++j) {
+      char c = hex[i * 2 + j];
+      unsigned d;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      v = (v << 4) | d;
+    }
+    bytes[i] = static_cast<uint8_t>(v);
+  }
+  *out = FileId(bytes);
+  return true;
+}
+
+}  // namespace past

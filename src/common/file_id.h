@@ -1,0 +1,60 @@
+// FileId: the 160-bit identifier of a file stored in PAST.
+//
+// The fileId is the SHA-1 hash of the file's textual name, the owner's public
+// key, and a random salt (paper section 2.2). Pastry routes on the 128 most
+// significant bits, so FileId exposes the truncation to a NodeId.
+#ifndef SRC_COMMON_FILE_ID_H_
+#define SRC_COMMON_FILE_ID_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/common/node_id.h"
+
+namespace past {
+
+class FileId {
+ public:
+  static constexpr int kBytes = 20;  // 160 bits, one SHA-1 digest.
+
+  constexpr FileId() : bytes_{} {}
+  explicit FileId(const std::array<uint8_t, kBytes>& bytes) : bytes_(bytes) {}
+
+  const std::array<uint8_t, kBytes>& bytes() const { return bytes_; }
+
+  // The 128 most significant bits, used as the Pastry routing key.
+  NodeId ToRoutingKey() const;
+
+  std::string ToHex() const;
+  static bool FromHex(const std::string& hex, FileId* out);
+
+  friend bool operator==(const FileId& a, const FileId& b) { return a.bytes_ == b.bytes_; }
+  friend auto operator<=>(const FileId& a, const FileId& b) { return a.bytes_ <=> b.bytes_; }
+
+ private:
+  std::array<uint8_t, kBytes> bytes_;
+};
+
+struct FileIdHash {
+  size_t operator()(const FileId& id) const {
+    uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x = (x << 8) | id.bytes()[static_cast<size_t>(i)];
+    }
+    uint64_t y = 0;
+    for (int i = 8; i < 16; ++i) {
+      y = (y << 8) | id.bytes()[static_cast<size_t>(i)];
+    }
+    x ^= y + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_FILE_ID_H_

@@ -1,0 +1,43 @@
+// Minimal leveled logging for the simulator.
+//
+// Experiments run millions of operations, so logging must be zero-cost when
+// disabled: the macro short-circuits before evaluating the stream expression.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace past {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+}  // namespace past
+
+#define PAST_LOG(level)                                       \
+  if (::past::LogLevel::level < ::past::GetLogLevel()) {      \
+  } else                                                      \
+    ::past::log_internal::LogMessage(::past::LogLevel::level, \
+                                     __FILE__, __LINE__)      \
+        .stream()
+
+#endif  // SRC_COMMON_LOGGING_H_

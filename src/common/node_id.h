@@ -1,0 +1,86 @@
+// NodeId: a position in Pastry's circular 128-bit identifier namespace.
+//
+// NodeIds are quasi-random (SHA-1 of a node public key in the paper), so the
+// live ids are uniformly distributed over [0, 2^128). For routing they are
+// interpreted as a sequence of base-2^b digits, most significant digit first.
+#ifndef SRC_COMMON_NODE_ID_H_
+#define SRC_COMMON_NODE_ID_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/uint128.h"
+
+namespace past {
+
+class NodeId {
+ public:
+  static constexpr int kBits = 128;
+
+  constexpr NodeId() : value_(0) {}
+  constexpr explicit NodeId(uint128 value) : value_(value) {}
+  constexpr NodeId(uint64_t hi, uint64_t lo) : value_(MakeUint128(hi, lo)) {}
+
+  constexpr uint128 value() const { return value_; }
+
+  // The i-th base-2^b digit, counting from the most significant digit
+  // (digit 0). `b` must divide 128 evenly in practice (b=4 in the paper);
+  // for other values the final partial digit is zero-padded at the bottom.
+  int Digit(int i, int b) const;
+
+  // Number of digits an id has under base 2^b (ceil(128/b)).
+  static int NumDigits(int b);
+
+  // Length (in base-2^b digits) of the common prefix with `other`.
+  int SharedPrefixLength(const NodeId& other, int b) const;
+
+  // Circular distance on the 2^128 ring: min(a-b, b-a) mod 2^128.
+  // This is the "numerically closest" metric used for replica placement.
+  uint128 RingDistance(const NodeId& other) const;
+
+  // Directed clockwise distance from this id to `other` (other - this mod 2^128).
+  uint128 ClockwiseDistance(const NodeId& other) const;
+
+  // True if this id is numerically closer to `target` than `other` is.
+  // Ties are broken toward the numerically smaller candidate id so that
+  // "closest node" is always unique.
+  bool CloserTo(const NodeId& target, const NodeId& other) const;
+
+  std::string ToHex() const { return Uint128ToHex(value_); }
+  static bool FromHex(const std::string& hex, NodeId* out);
+
+  friend constexpr bool operator==(const NodeId& a, const NodeId& b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr auto operator<=>(const NodeId& a, const NodeId& b) {
+    if (a.value_ < b.value_) {
+      return std::strong_ordering::less;
+    }
+    if (a.value_ > b.value_) {
+      return std::strong_ordering::greater;
+    }
+    return std::strong_ordering::equal;
+  }
+
+ private:
+  uint128 value_;
+};
+
+struct NodeIdHash {
+  size_t operator()(const NodeId& id) const {
+    uint64_t hi = Uint128High64(id.value());
+    uint64_t lo = Uint128Low64(id.value());
+    // splitmix-style mixing of the two halves.
+    uint64_t x = hi ^ (lo + 0x9e3779b97f4a7c15ULL + (hi << 6) + (hi >> 2));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_NODE_ID_H_

@@ -1,0 +1,76 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace past {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double bucket_width, size_t num_buckets)
+    : bucket_width_(bucket_width), buckets_(num_buckets, 0) {}
+
+void Histogram::Add(double x) {
+  size_t i = x <= 0.0 ? 0 : static_cast<size_t>(x / bucket_width_);
+  if (i >= buckets_.size()) {
+    i = buckets_.size() - 1;
+  }
+  ++buckets_[i];
+  ++total_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  double target = q * static_cast<double>(total_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      double within =
+          buckets_[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(cumulative)) / static_cast<double>(buckets_[i]);
+      return (static_cast<double>(i) + within) * bucket_width_;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(buckets_.size()) * bucket_width_;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace past

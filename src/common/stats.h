@@ -1,0 +1,58 @@
+// Lightweight statistics helpers used by the experiment harness.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace past {
+
+// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-bucket histogram over [0, bucket_width * num_buckets); overflow goes
+// in the final bucket.
+class Histogram {
+ public:
+  Histogram(double bucket_width, size_t num_buckets);
+
+  void Add(double x);
+  uint64_t BucketCount(size_t i) const { return buckets_[i]; }
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t total() const { return total_; }
+
+  // Linear-interpolated quantile estimate, q in [0, 1].
+  double Quantile(double q) const;
+
+ private:
+  double bucket_width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+// Exact percentile over a stored sample (for small/medium samples).
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace past
+
+#endif  // SRC_COMMON_STATS_H_

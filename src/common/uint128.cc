@@ -1,0 +1,42 @@
+#include "src/common/uint128.h"
+
+namespace past {
+
+std::string Uint128ToHex(uint128 v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 31; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[static_cast<unsigned>(v & 0xf)];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool Uint128FromHex(const std::string& hex, uint128* out) {
+  size_t start = 0;
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    start = 2;
+  }
+  if (hex.size() == start || hex.size() - start > 32) {
+    return false;
+  }
+  uint128 v = 0;
+  for (size_t i = start; i < hex.size(); ++i) {
+    char c = hex[i];
+    unsigned d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace past

@@ -1,0 +1,33 @@
+// 128-bit unsigned integer support for identifier arithmetic.
+//
+// PAST node identifiers live in a circular namespace of size 2^128 (paper
+// section 2). GCC/Clang provide `unsigned __int128` natively, which keeps the
+// ring arithmetic (wrap-around subtraction, comparisons) trivial and fast.
+#ifndef SRC_COMMON_UINT128_H_
+#define SRC_COMMON_UINT128_H_
+
+#include <cstdint>
+#include <string>
+
+namespace past {
+
+using uint128 = unsigned __int128;
+
+// Builds a 128-bit value out of two 64-bit halves.
+constexpr uint128 MakeUint128(uint64_t hi, uint64_t lo) {
+  return (static_cast<uint128>(hi) << 64) | lo;
+}
+
+constexpr uint64_t Uint128High64(uint128 v) { return static_cast<uint64_t>(v >> 64); }
+constexpr uint64_t Uint128Low64(uint128 v) { return static_cast<uint64_t>(v); }
+
+// Formats `v` as a fixed-width 32-character lowercase hex string.
+std::string Uint128ToHex(uint128 v);
+
+// Parses a hex string (at most 32 hex digits, optional "0x" prefix).
+// Returns false on malformed input.
+bool Uint128FromHex(const std::string& hex, uint128* out);
+
+}  // namespace past
+
+#endif  // SRC_COMMON_UINT128_H_

@@ -1,0 +1,89 @@
+#include "src/crypto/certificates.h"
+
+namespace past {
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v >> (56 - 8 * i)));
+  }
+}
+
+void AppendFileId(std::string* out, const FileId& id) {
+  out->append(reinterpret_cast<const char*>(id.bytes().data()), id.bytes().size());
+}
+
+void AppendNodeId(std::string* out, const NodeId& id) {
+  AppendU64(out, Uint128High64(id.value()));
+  AppendU64(out, Uint128Low64(id.value()));
+}
+
+}  // namespace
+
+FileId ComputeFileId(const std::string& name, const PublicKey& owner, uint64_t salt) {
+  Sha1 ctx;
+  ctx.Update(name);
+  std::string key_bytes = owner.ToBytes();
+  ctx.Update(key_bytes);
+  std::string salt_bytes;
+  AppendU64(&salt_bytes, salt);
+  ctx.Update(salt_bytes);
+  return FileId(ctx.Final());
+}
+
+std::string FileCertificate::SignedPayload() const {
+  std::string out;
+  out.reserve(80);
+  AppendFileId(&out, file_id);
+  out.append(reinterpret_cast<const char*>(content_hash.data()), content_hash.size());
+  AppendU64(&out, replication_factor);
+  AppendU64(&out, salt);
+  AppendU64(&out, creation_date);
+  out.append(owner.ToBytes());
+  return out;
+}
+
+bool FileCertificate::VerifySignature() const {
+  return KeyPair::Verify(owner, SignedPayload(), signature);
+}
+
+bool FileCertificate::VerifyContent(std::string_view content) const {
+  return Sha1::Hash(content) == content_hash;
+}
+
+std::string StoreReceipt::SignedPayload() const {
+  std::string out;
+  AppendFileId(&out, file_id);
+  AppendNodeId(&out, storing_node);
+  out.append(node_key.ToBytes());
+  return out;
+}
+
+bool StoreReceipt::Verify() const { return KeyPair::Verify(node_key, SignedPayload(), signature); }
+
+std::string ReclaimCertificate::SignedPayload() const {
+  std::string out;
+  AppendFileId(&out, file_id);
+  AppendU64(&out, date);
+  out.append(owner.ToBytes());
+  return out;
+}
+
+bool ReclaimCertificate::VerifySignature() const {
+  return KeyPair::Verify(owner, SignedPayload(), signature);
+}
+
+std::string ReclaimReceipt::SignedPayload() const {
+  std::string out;
+  AppendFileId(&out, file_id);
+  AppendNodeId(&out, storing_node);
+  AppendU64(&out, reclaimed_bytes);
+  out.append(node_key.ToBytes());
+  return out;
+}
+
+bool ReclaimReceipt::Verify() const {
+  return KeyPair::Verify(node_key, SignedPayload(), signature);
+}
+
+}  // namespace past

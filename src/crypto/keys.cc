@@ -1,0 +1,152 @@
+#include "src/crypto/keys.h"
+
+#include <array>
+
+#include "src/common/uint128.h"
+
+namespace past {
+namespace {
+
+constexpr uint64_t kPublicExponent = 65537;
+
+// Deterministic Miller-Rabin witnesses, sufficient for all n < 3.3e24.
+constexpr std::array<uint64_t, 7> kWitnesses = {2, 3, 5, 7, 11, 13, 17};
+
+uint64_t ReduceDigestTo64(const Sha1Digest& digest, uint64_t modulus) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | digest[static_cast<size_t>(i)];
+  }
+  // Keep strictly below the modulus so the RSA permutation applies.
+  return v % modulus;
+}
+
+uint64_t RandomPrime(Rng& rng, int bits) {
+  for (;;) {
+    uint64_t candidate = rng.NextU64() & ((1ULL << bits) - 1);
+    candidate |= (1ULL << (bits - 1)) | 1ULL;  // force top bit and oddness
+    if (IsPrime(candidate)) {
+      return candidate;
+    }
+  }
+}
+
+// Extended Euclid for the modular inverse of e mod phi.
+uint64_t ModInverse(uint64_t e, uint64_t phi) {
+  int64_t t = 0, new_t = 1;
+  int64_t r = static_cast<int64_t>(phi), new_r = static_cast<int64_t>(e);
+  while (new_r != 0) {
+    int64_t q = r / new_r;
+    int64_t tmp = t - q * new_t;
+    t = new_t;
+    new_t = tmp;
+    tmp = r - q * new_r;
+    r = new_r;
+    new_r = tmp;
+  }
+  if (r != 1) {
+    return 0;  // not invertible; caller retries with other primes
+  }
+  if (t < 0) {
+    t += static_cast<int64_t>(phi);
+  }
+  return static_cast<uint64_t>(t);
+}
+
+}  // namespace
+
+uint64_t ModMul(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(static_cast<uint128>(a) * b % m);
+}
+
+uint64_t ModPow(uint64_t base, uint64_t exp, uint64_t m) {
+  uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) {
+      result = ModMul(result, base, m);
+    }
+    base = ModMul(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) {
+    return false;
+  }
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL}) {
+    if (n % p == 0) {
+      return n == p;
+    }
+  }
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (uint64_t a : kWitnesses) {
+    uint64_t x = ModPow(a % n, d, n);
+    if (x == 1 || x == n - 1) {
+      continue;
+    }
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = ModMul(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PublicKey::ToBytes() const {
+  std::string out(16, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<size_t>(i)] = static_cast<char>(modulus >> (56 - 8 * i));
+    out[static_cast<size_t>(8 + i)] = static_cast<char>(exponent >> (56 - 8 * i));
+  }
+  return out;
+}
+
+KeyPair KeyPair::Generate(Rng& rng) {
+  for (;;) {
+    uint64_t p = RandomPrime(rng, 31);
+    uint64_t q = RandomPrime(rng, 31);
+    if (p == q) {
+      continue;
+    }
+    uint64_t n = p * q;
+    uint64_t phi = (p - 1) * (q - 1);
+    if (phi % kPublicExponent == 0) {
+      continue;  // e must be coprime with phi
+    }
+    uint64_t d = ModInverse(kPublicExponent, phi);
+    if (d == 0) {
+      continue;
+    }
+    return KeyPair(PublicKey{n, kPublicExponent}, d);
+  }
+}
+
+Signature KeyPair::Sign(std::string_view message) const {
+  uint64_t h = ReduceDigestTo64(Sha1::Hash(message), public_key_.modulus);
+  return Signature{ModPow(h, private_exponent_, public_key_.modulus)};
+}
+
+bool KeyPair::Verify(const PublicKey& key, std::string_view message, const Signature& sig) {
+  if (key.modulus == 0) {
+    return false;
+  }
+  uint64_t h = ReduceDigestTo64(Sha1::Hash(message), key.modulus);
+  return ModPow(sig.value, key.exponent, key.modulus) == h;
+}
+
+}  // namespace past

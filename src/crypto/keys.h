@@ -1,0 +1,68 @@
+// Simulation-grade RSA signatures.
+//
+// PAST's security architecture (paper section 2.3) rests on smartcard-held
+// private keys that sign file certificates, store receipts, and reclaim
+// certificates, and on nodeIds/fileIds derived from public keys via SHA-1.
+// The evaluation never measures cryptographic cost, so we implement a real
+// but deliberately toy-sized textbook RSA (64-bit modulus, e = 65537,
+// hash-then-sign over SHA-1). That gives the system genuine issue/verify/
+// tamper-detection semantics for tests without pulling in a crypto library.
+// It is NOT secure against a real adversary and is documented as a
+// substitution in DESIGN.md.
+#ifndef SRC_CRYPTO_KEYS_H_
+#define SRC_CRYPTO_KEYS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/crypto/sha1.h"
+
+namespace past {
+
+struct PublicKey {
+  uint64_t modulus = 0;   // n = p * q
+  uint64_t exponent = 0;  // e
+
+  // Canonical byte encoding, used when hashing the key into ids.
+  std::string ToBytes() const;
+
+  friend bool operator==(const PublicKey& a, const PublicKey& b) = default;
+};
+
+struct Signature {
+  uint64_t value = 0;
+
+  friend bool operator==(const Signature& a, const Signature& b) = default;
+};
+
+// An RSA key pair. Generation picks two random ~31-bit primes.
+class KeyPair {
+ public:
+  // Generates a fresh key pair using randomness from `rng`.
+  static KeyPair Generate(Rng& rng);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  // Signs SHA-1(message) with the private exponent.
+  Signature Sign(std::string_view message) const;
+
+  // Verifies a signature against a public key.
+  static bool Verify(const PublicKey& key, std::string_view message, const Signature& sig);
+
+ private:
+  KeyPair(PublicKey pub, uint64_t d) : public_key_(pub), private_exponent_(d) {}
+
+  PublicKey public_key_;
+  uint64_t private_exponent_;
+};
+
+// Modular arithmetic helpers (exposed for tests).
+uint64_t ModMul(uint64_t a, uint64_t b, uint64_t m);
+uint64_t ModPow(uint64_t base, uint64_t exp, uint64_t m);
+bool IsPrime(uint64_t n);
+
+}  // namespace past
+
+#endif  // SRC_CRYPTO_KEYS_H_

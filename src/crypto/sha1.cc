@@ -1,0 +1,136 @@
+#include "src/crypto/sha1.h"
+
+#include <cstring>
+
+namespace past {
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+}  // namespace
+
+Sha1::Sha1() { Reset(); }
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xEFCDAB89;
+  h_[2] = 0x98BADCFE;
+  h_[3] = 0x10325476;
+  h_[4] = 0xC3D2E1F0;
+  total_bytes_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_bytes_ += len;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+Sha1Digest Sha1::Final() {
+  uint64_t bit_len = total_bytes_ * 8;
+  // Append 0x80 then zeros until 8 bytes remain in the block, then the length.
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffer_len_ != 56) {
+    Update(&zero, 1);
+  }
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  // Bypass total_bytes_ accounting for the trailer (it no longer matters).
+  std::memcpy(buffer_ + buffer_len_, len_bytes, 8);
+  ProcessBlock(buffer_);
+  buffer_len_ = 0;
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[static_cast<size_t>(i * 4 + 0)] = static_cast<uint8_t>(h_[i] >> 24);
+    digest[static_cast<size_t>(i * 4 + 1)] = static_cast<uint8_t>(h_[i] >> 16);
+    digest[static_cast<size_t>(i * 4 + 2)] = static_cast<uint8_t>(h_[i] >> 8);
+    digest[static_cast<size_t>(i * 4 + 3)] = static_cast<uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1Digest Sha1::Hash(std::string_view data) {
+  Sha1 ctx;
+  ctx.Update(data);
+  return ctx.Final();
+}
+
+std::string DigestToHex(const Sha1Digest& digest) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (uint8_t byte : digest) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace past

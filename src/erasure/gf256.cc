@@ -1,0 +1,51 @@
+#include "src/erasure/gf256.h"
+
+namespace past {
+
+const Gf256& Gf256::Instance() {
+  static const Gf256 instance;
+  return instance;
+}
+
+Gf256::Gf256() {
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<uint8_t>(x);
+    log_[x] = static_cast<uint8_t>(i);
+    // Multiply by the generator 3 = x + 1: x*3 = (x << 1) ^ x, with reduction.
+    unsigned next = (x << 1) ^ x;
+    if (next & 0x100) {
+      next ^= 0x11b;
+    }
+    x = next & 0xff;
+  }
+  for (unsigned i = 255; i < 512; ++i) {
+    exp_[i] = exp_[i - 255];
+  }
+  log_[0] = 0;  // undefined; guarded by callers
+}
+
+uint8_t Gf256::Mul(uint8_t a, uint8_t b) const {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return exp_[log_[a] + log_[b]];
+}
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) const {
+  if (a == 0) {
+    return 0;
+  }
+  return exp_[log_[a] + 255 - log_[b]];
+}
+
+uint8_t Gf256::Inv(uint8_t a) const { return exp_[255 - log_[a]]; }
+
+uint8_t Gf256::Pow(uint8_t a, unsigned e) const {
+  if (a == 0) {
+    return e == 0 ? 1 : 0;
+  }
+  return exp_[(static_cast<unsigned>(log_[a]) * e) % 255];
+}
+
+}  // namespace past

@@ -1,0 +1,192 @@
+#include "src/erasure/reed_solomon.h"
+
+#include <stdexcept>
+
+#include "src/erasure/gf256.h"
+
+namespace past {
+namespace {
+
+const Gf256& GF() { return Gf256::Instance(); }
+
+}  // namespace
+
+ReedSolomon::Matrix ReedSolomon::Identity(int n) {
+  Matrix m(static_cast<size_t>(n), std::vector<uint8_t>(static_cast<size_t>(n), 0));
+  for (int i = 0; i < n; ++i) {
+    m[static_cast<size_t>(i)][static_cast<size_t>(i)] = 1;
+  }
+  return m;
+}
+
+ReedSolomon::Matrix ReedSolomon::Multiply(const Matrix& a, const Matrix& b) {
+  size_t rows = a.size();
+  size_t inner = b.size();
+  size_t cols = b[0].size();
+  Matrix out(rows, std::vector<uint8_t>(cols, 0));
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t k = 0; k < inner; ++k) {
+      uint8_t aik = a[i][k];
+      if (aik == 0) {
+        continue;
+      }
+      for (size_t j = 0; j < cols; ++j) {
+        out[i][j] = GF().Add(out[i][j], GF().Mul(aik, b[k][j]));
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<ReedSolomon::Matrix> ReedSolomon::Invert(Matrix m) {
+  size_t n = m.size();
+  Matrix inv = Identity(static_cast<int>(n));
+  for (size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    size_t pivot = col;
+    while (pivot < n && m[pivot][col] == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return std::nullopt;  // singular
+    }
+    std::swap(m[pivot], m[col]);
+    std::swap(inv[pivot], inv[col]);
+    // Normalize the pivot row.
+    uint8_t scale = GF().Inv(m[col][col]);
+    for (size_t j = 0; j < n; ++j) {
+      m[col][j] = GF().Mul(m[col][j], scale);
+      inv[col][j] = GF().Mul(inv[col][j], scale);
+    }
+    // Eliminate the column from other rows.
+    for (size_t row = 0; row < n; ++row) {
+      if (row == col || m[row][col] == 0) {
+        continue;
+      }
+      uint8_t factor = m[row][col];
+      for (size_t j = 0; j < n; ++j) {
+        m[row][j] = GF().Sub(m[row][j], GF().Mul(factor, m[col][j]));
+        inv[row][j] = GF().Sub(inv[row][j], GF().Mul(factor, inv[col][j]));
+      }
+    }
+  }
+  return inv;
+}
+
+ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
+    : n_(data_shards), m_(parity_shards) {
+  if (n_ <= 0 || m_ < 0 || n_ + m_ > 255) {
+    throw std::invalid_argument("ReedSolomon: invalid shard counts");
+  }
+  // Vandermonde matrix: row i is [1, x_i, x_i^2, ...] with distinct x_i.
+  Matrix vandermonde(static_cast<size_t>(n_ + m_),
+                     std::vector<uint8_t>(static_cast<size_t>(n_), 0));
+  for (int i = 0; i < n_ + m_; ++i) {
+    uint8_t x = static_cast<uint8_t>(i + 1);
+    for (int j = 0; j < n_; ++j) {
+      vandermonde[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          GF().Pow(x, static_cast<unsigned>(j));
+    }
+  }
+  // Systematize: multiply by the inverse of the top n x n block so the first
+  // n rows become the identity (data shards pass through unchanged).
+  Matrix top(vandermonde.begin(), vandermonde.begin() + n_);
+  auto top_inv = Invert(top);
+  encode_matrix_ = Multiply(vandermonde, *top_inv);
+}
+
+std::vector<std::vector<uint8_t>> ReedSolomon::Encode(
+    const std::vector<std::vector<uint8_t>>& data) const {
+  if (static_cast<int>(data.size()) != n_) {
+    throw std::invalid_argument("ReedSolomon::Encode: wrong shard count");
+  }
+  size_t shard_len = data[0].size();
+  std::vector<std::vector<uint8_t>> parity(static_cast<size_t>(m_),
+                                           std::vector<uint8_t>(shard_len, 0));
+  for (int p = 0; p < m_; ++p) {
+    const auto& row = encode_matrix_[static_cast<size_t>(n_ + p)];
+    auto& out = parity[static_cast<size_t>(p)];
+    for (int d = 0; d < n_; ++d) {
+      uint8_t coeff = row[static_cast<size_t>(d)];
+      if (coeff == 0) {
+        continue;
+      }
+      const auto& shard = data[static_cast<size_t>(d)];
+      for (size_t i = 0; i < shard_len; ++i) {
+        out[i] = GF().Add(out[i], GF().Mul(coeff, shard[i]));
+      }
+    }
+  }
+  return parity;
+}
+
+std::optional<std::vector<std::vector<uint8_t>>> ReedSolomon::Reconstruct(
+    const std::vector<std::optional<std::vector<uint8_t>>>& shards) const {
+  if (static_cast<int>(shards.size()) != n_ + m_) {
+    return std::nullopt;
+  }
+  // Gather n surviving shards and the matching encode-matrix rows.
+  Matrix sub;
+  std::vector<const std::vector<uint8_t>*> survivors;
+  for (int i = 0; i < n_ + m_ && static_cast<int>(survivors.size()) < n_; ++i) {
+    if (shards[static_cast<size_t>(i)]) {
+      sub.push_back(encode_matrix_[static_cast<size_t>(i)]);
+      survivors.push_back(&*shards[static_cast<size_t>(i)]);
+    }
+  }
+  if (static_cast<int>(survivors.size()) < n_) {
+    return std::nullopt;  // too many erasures
+  }
+  auto decode = Invert(sub);
+  if (!decode) {
+    return std::nullopt;
+  }
+  size_t shard_len = survivors[0]->size();
+  std::vector<std::vector<uint8_t>> data(static_cast<size_t>(n_),
+                                         std::vector<uint8_t>(shard_len, 0));
+  for (int d = 0; d < n_; ++d) {
+    const auto& row = (*decode)[static_cast<size_t>(d)];
+    auto& out = data[static_cast<size_t>(d)];
+    for (int s = 0; s < n_; ++s) {
+      uint8_t coeff = row[static_cast<size_t>(s)];
+      if (coeff == 0) {
+        continue;
+      }
+      const auto& shard = *survivors[static_cast<size_t>(s)];
+      for (size_t i = 0; i < shard_len; ++i) {
+        out[i] = GF().Add(out[i], GF().Mul(coeff, shard[i]));
+      }
+    }
+  }
+  return data;
+}
+
+std::vector<std::vector<uint8_t>> ReedSolomon::Split(const std::string& content) const {
+  size_t shard_len = (content.size() + static_cast<size_t>(n_) - 1) / static_cast<size_t>(n_);
+  if (shard_len == 0) {
+    shard_len = 1;
+  }
+  std::vector<std::vector<uint8_t>> shards(static_cast<size_t>(n_),
+                                           std::vector<uint8_t>(shard_len, 0));
+  for (size_t i = 0; i < content.size(); ++i) {
+    shards[i / shard_len][i % shard_len] = static_cast<uint8_t>(content[i]);
+  }
+  return shards;
+}
+
+std::string ReedSolomon::Join(const std::vector<std::vector<uint8_t>>& data,
+                              size_t original_size) {
+  std::string out;
+  out.reserve(original_size);
+  for (const auto& shard : data) {
+    for (uint8_t byte : shard) {
+      if (out.size() == original_size) {
+        return out;
+      }
+      out.push_back(static_cast<char>(byte));
+    }
+  }
+  return out;
+}
+
+}  // namespace past

@@ -1,0 +1,59 @@
+// Systematic Reed-Solomon erasure coding (paper section 3.6).
+//
+// PAST stores k full copies of each file; the paper observes that adding m
+// checksum blocks to n data blocks tolerates m losses at storage overhead
+// (n + m) / n instead of k. This codec (and bench_ablation_erasure) explores
+// that trade-off. Construction: a Vandermonde matrix transformed to
+// systematic form, so any n of the n + m shards reconstruct the data.
+#ifndef SRC_ERASURE_REED_SOLOMON_H_
+#define SRC_ERASURE_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace past {
+
+class ReedSolomon {
+ public:
+  // `data_shards` = n, `parity_shards` = m; n + m <= 255.
+  ReedSolomon(int data_shards, int parity_shards);
+
+  int data_shards() const { return n_; }
+  int parity_shards() const { return m_; }
+
+  // Computes the m parity shards for n equally sized data shards.
+  std::vector<std::vector<uint8_t>> Encode(
+      const std::vector<std::vector<uint8_t>>& data) const;
+
+  // Reconstructs the n data shards from any n survivors out of the n + m
+  // shards (data first, then parity; missing = nullopt). Returns nullopt when
+  // more than m shards are missing.
+  std::optional<std::vector<std::vector<uint8_t>>> Reconstruct(
+      const std::vector<std::optional<std::vector<uint8_t>>>& shards) const;
+
+  // Convenience: splits a string into n padded data shards / joins them back.
+  std::vector<std::vector<uint8_t>> Split(const std::string& content) const;
+  static std::string Join(const std::vector<std::vector<uint8_t>>& data, size_t original_size);
+
+  // Storage overhead factor relative to storing the data once.
+  static double StorageOverhead(int n, int m) {
+    return static_cast<double>(n + m) / static_cast<double>(n);
+  }
+
+ private:
+  using Matrix = std::vector<std::vector<uint8_t>>;
+
+  static Matrix Identity(int n);
+  static Matrix Multiply(const Matrix& a, const Matrix& b);
+  static std::optional<Matrix> Invert(Matrix m);
+
+  int n_;
+  int m_;
+  Matrix encode_matrix_;  // (n + m) x n, top n rows = identity
+};
+
+}  // namespace past
+
+#endif  // SRC_ERASURE_REED_SOLOMON_H_

@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing for the bench binaries.
+//
+// google-benchmark consumes its own flags; our experiment binaries accept a
+// small set of `--flag value` / `--flag` options and must tolerate unknown
+// flags so `for b in build/bench/*; do $b; done` always works.
+#ifndef SRC_HARNESS_CLI_H_
+#define SRC_HARNESS_CLI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace past {
+
+class CommandLine {
+ public:
+  CommandLine(int argc, char** argv);
+
+  bool Has(const std::string& flag) const;
+  int64_t GetInt(const std::string& flag, int64_t default_value) const;
+  double GetDouble(const std::string& flag, double default_value) const;
+  std::string GetString(const std::string& flag, const std::string& default_value) const;
+
+ private:
+  const std::string* ValueOf(const std::string& flag) const;
+
+  std::vector<std::string> args_;
+};
+
+}  // namespace past
+
+#endif  // SRC_HARNESS_CLI_H_

@@ -1,0 +1,126 @@
+// Experiment harness: builds a PAST network over an emulated topology, plays
+// a workload trace through it, and samples the metrics the paper's tables
+// and figures report (paper section 5).
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/past/client.h"
+#include "src/past/past_network.h"
+#include "src/workload/capacity.h"
+#include "src/workload/trace.h"
+#include "src/workload/trace_generator.h"
+
+namespace past {
+
+enum class WorkloadKind { kWeb, kFilesystem };
+
+struct ExperimentConfig {
+  // Overlay scale. The paper uses 2250 nodes; the default is scaled down so
+  // every bench finishes in minutes on one core (pass --paper-scale to the
+  // bench binaries for full size).
+  size_t num_nodes = 500;
+  int leaf_set_size = 32;
+  int b = 4;
+  uint32_t k = 5;
+
+  // Storage management parameters.
+  double t_pri = 0.1;
+  double t_div = 0.05;
+  bool replica_diversion = true;
+  bool file_diversion = true;
+  DiversionSelection diversion_selection = DiversionSelection::kMaxFreeSpace;
+
+  // Caching.
+  CacheMode cache_mode = CacheMode::kNone;
+  double cache_fraction_c = 1.0;
+
+  // Workload. catalog_size == 0 auto-sizes to num_nodes * 800, preserving the
+  // paper's files-per-node ratio (1,863,055 uniques / 2250 nodes ≈ 830),
+  // which is what controls how tightly the system can pack at saturation.
+  WorkloadKind workload = WorkloadKind::kWeb;
+  uint32_t catalog_size = 0;
+  uint64_t total_references = 0;  // 0 = insert-only
+  CapacityDistribution capacity = CapacityD1();
+  // Demand factor: sum(file sizes) * k / total capacity. The NLANR trace
+  // oversubscribes the paper's d1 deployment by ~1.53x, which is what drives
+  // the system into saturation by the end of the trace.
+  double demand_factor = 1.53;
+
+  uint64_t seed = 42;
+  // Number of points sampled along the utilization axis.
+  size_t curve_samples = 120;
+};
+
+// One point of a utilization-indexed curve (Figures 2-5, 8).
+struct CurveSample {
+  double utilization = 0.0;
+  uint64_t inserts_attempted = 0;  // unique files attempted so far
+  uint64_t inserts_failed = 0;
+  double cumulative_failure_ratio = 0.0;
+  // File diversions among successful inserts so far (Figure 4).
+  uint64_t diverted_once = 0;
+  uint64_t diverted_twice = 0;
+  uint64_t diverted_thrice = 0;
+  // Replica diversion census (Figure 5).
+  uint64_t replicas_stored = 0;
+  uint64_t replicas_diverted = 0;
+  // Caching metrics measured over the window since the last sample (Fig 8).
+  double window_hit_rate = 0.0;
+  double window_avg_hops = 0.0;
+  uint64_t window_lookups = 0;
+};
+
+// A failed insert, for the size-vs-utilization scatter (Figures 6-7).
+struct FailureRecord {
+  double utilization;
+  uint64_t size;
+};
+
+struct ExperimentResult {
+  // Headline numbers (Tables 2-4).
+  uint64_t files_attempted = 0;
+  uint64_t files_inserted = 0;
+  uint64_t files_failed = 0;
+  double success_ratio = 0.0;
+  double failure_ratio = 0.0;
+  // Fraction of successful inserts that required >= 1 file diversion.
+  double file_diversion_ratio = 0.0;
+  // Fraction of stored replicas that are diverted (end-of-run census).
+  double replica_diversion_ratio = 0.0;
+  double final_utilization = 0.0;
+
+  // Lookup/caching summary (Figure 8 runs).
+  uint64_t lookups = 0;
+  double global_cache_hit_rate = 0.0;
+  double avg_lookup_hops = 0.0;
+
+  std::vector<CurveSample> curve;
+  std::vector<FailureRecord> failures;
+
+  // Workload facts for reporting.
+  uint64_t total_unique_bytes = 0;
+  uint64_t total_capacity = 0;
+  double mean_file_size = 0.0;
+};
+
+// Runs a full experiment: build network, generate trace, auto-scale node
+// capacities to the configured demand factor, play the trace, sample curves.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// Fixture shared by examples and tests that want a live network without the
+// full harness: builds a small PAST deployment with clustered nodes.
+struct TestDeployment {
+  std::unique_ptr<PastNetwork> network;
+  std::vector<NodeId> node_ids;
+};
+TestDeployment BuildDeployment(size_t num_nodes, uint64_t capacity_per_node,
+                               const PastConfig& config, uint64_t seed);
+
+}  // namespace past
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

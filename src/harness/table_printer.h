@@ -1,0 +1,34 @@
+// Fixed-width table output for the bench binaries: each bench prints the
+// same rows/series its paper table or figure reports.
+#ifndef SRC_HARNESS_TABLE_PRINTER_H_
+#define SRC_HARNESS_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace past {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders an aligned text table to stdout.
+  void Print() const;
+
+  // Renders comma-separated values (for plotting) to stdout.
+  void PrintCsv() const;
+
+  static std::string Pct(double fraction, int decimals = 1);
+  static std::string Num(double value, int decimals = 2);
+  static std::string Int(uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace past
+
+#endif  // SRC_HARNESS_TABLE_PRINTER_H_

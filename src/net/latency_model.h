@@ -1,0 +1,49 @@
+// Latency model for client-visible operation times.
+//
+// The paper reports fetch distance in routing hops because wall-clock delay
+// depends on per-hop network latency, but it quotes one absolute number
+// (section 5.2): retrieving a 1 KB file from a node one Pastry hop away on a
+// LAN takes ~25 ms in the Java prototype. This model converts a route
+// (hops, proximity distance, payload size) into milliseconds so benches can
+// report latency distributions under configurable network assumptions.
+#ifndef SRC_NET_LATENCY_MODEL_H_
+#define SRC_NET_LATENCY_MODEL_H_
+
+#include <cstdint>
+
+namespace past {
+
+struct LatencyModel {
+  // Fixed cost per hop: marshalling, smartcard checks, request handling.
+  // Default calibrated to the paper's prototype measurement (1 hop + 1 KB on
+  // a LAN ≈ 25 ms).
+  double per_hop_overhead_ms = 24.0;
+
+  // Wide-area propagation: the proximity metric is scaled so that crossing
+  // the whole emulated space costs this much one-way delay. On a LAN the
+  // proximity distances are ~0.
+  double propagation_ms_per_unit_distance = 0.0;
+
+  // Payload transfer rate (10 Mbit/s ~ 1.25 MB/s by default).
+  double bandwidth_bytes_per_ms = 1250.0;
+
+  // End-to-end latency of fetching `payload_bytes` over a route of
+  // `hops` / `distance`, with the payload traveling only the final leg back
+  // (the storing node replies directly to the client).
+  double FetchLatencyMs(int hops, double distance, uint64_t payload_bytes) const {
+    double request = static_cast<double>(hops) * per_hop_overhead_ms +
+                     distance * propagation_ms_per_unit_distance;
+    double transfer = static_cast<double>(payload_bytes) / bandwidth_bytes_per_ms;
+    return request + transfer;
+  }
+
+  // A LAN-like configuration matching the paper's prototype measurement.
+  static LatencyModel Lan() { return LatencyModel{24.0, 0.0, 1250.0}; }
+
+  // A wide-area configuration: ~50 ms to cross the emulated space, 1 MB/s.
+  static LatencyModel Wan() { return LatencyModel{5.0, 100.0, 1000.0}; }
+};
+
+}  // namespace past
+
+#endif  // SRC_NET_LATENCY_MODEL_H_

@@ -1,0 +1,68 @@
+#include "src/net/topology.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace past {
+
+double TorusDistance(const Coordinate& a, const Coordinate& b) {
+  double dx = std::fabs(a.x - b.x);
+  double dy = std::fabs(a.y - b.y);
+  dx = std::min(dx, 1.0 - dx);
+  dy = std::min(dy, 1.0 - dy);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Topology::Topology(uint64_t seed) : rng_(seed) {}
+
+Coordinate Topology::PlaceUniform(const NodeId& id) {
+  Coordinate c{rng_.NextDouble(), rng_.NextDouble()};
+  locations_[id] = c;
+  return c;
+}
+
+Coordinate Topology::PlaceNear(const NodeId& id, const Coordinate& center, double spread) {
+  auto wrap = [](double v) {
+    v = std::fmod(v, 1.0);
+    if (v < 0.0) {
+      v += 1.0;
+    }
+    return v;
+  };
+  Coordinate c{wrap(center.x + spread * rng_.NextGaussian()),
+               wrap(center.y + spread * rng_.NextGaussian())};
+  locations_[id] = c;
+  return c;
+}
+
+void Topology::Remove(const NodeId& id) { locations_.erase(id); }
+
+bool Topology::Contains(const NodeId& id) const { return locations_.count(id) > 0; }
+
+const Coordinate& Topology::LocationOf(const NodeId& id) const {
+  auto it = locations_.find(id);
+  if (it == locations_.end()) {
+    throw std::out_of_range("Topology::LocationOf: unknown node " + id.ToHex());
+  }
+  return it->second;
+}
+
+double Topology::Distance(const NodeId& a, const NodeId& b) const {
+  return TorusDistance(LocationOf(a), LocationOf(b));
+}
+
+NodeId Topology::NearestTo(const Coordinate& point) const {
+  NodeId best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const auto& [id, location] : locations_) {
+    double d = TorusDistance(point, location);
+    if (d < best_distance) {
+      best_distance = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace past

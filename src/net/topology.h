@@ -1,0 +1,62 @@
+// Emulated network topology and proximity metric.
+//
+// The paper runs all 2250 nodes in one process over a network emulation layer
+// and measures fetch distance in Pastry routing hops; Pastry's locality
+// heuristics need a scalar proximity metric between any two nodes (IP hops,
+// geographic distance, ...). We model endpoints as points on a 2-D unit
+// torus: distance is Euclidean with wrap-around, which gives a well-behaved
+// metric with no edge effects. Geographic client clustering (the 8 NLANR
+// proxy sites) is modeled by placing cluster centers and sampling member
+// coordinates around them.
+#ifndef SRC_NET_TOPOLOGY_H_
+#define SRC_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/node_id.h"
+#include "src/common/rng.h"
+
+namespace past {
+
+struct Coordinate {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Euclidean distance on the unit torus.
+double TorusDistance(const Coordinate& a, const Coordinate& b);
+
+class Topology {
+ public:
+  explicit Topology(uint64_t seed);
+
+  // Registers an endpoint at a uniformly random location.
+  Coordinate PlaceUniform(const NodeId& id);
+
+  // Registers an endpoint clustered around `center` with Gaussian spread.
+  Coordinate PlaceNear(const NodeId& id, const Coordinate& center, double spread);
+
+  void Remove(const NodeId& id);
+
+  bool Contains(const NodeId& id) const;
+  const Coordinate& LocationOf(const NodeId& id) const;
+
+  // Proximity metric between two registered endpoints.
+  double Distance(const NodeId& a, const NodeId& b) const;
+
+  // The registered endpoint closest to `point` (linear scan; used when
+  // mapping trace clients onto nodes, not on routing paths).
+  NodeId NearestTo(const Coordinate& point) const;
+
+  size_t size() const { return locations_.size(); }
+
+ private:
+  Rng rng_;
+  std::unordered_map<NodeId, Coordinate, NodeIdHash> locations_;
+};
+
+}  // namespace past
+
+#endif  // SRC_NET_TOPOLOGY_H_

@@ -1,0 +1,43 @@
+// Accounting for messages and routing hops.
+//
+// PAST's evaluation reports lookup cost as the number of Pastry routing hops
+// and argues about network traffic via message counts; this collector is
+// shared by the Pastry network and the PAST layer.
+#ifndef SRC_NET_TRANSPORT_STATS_H_
+#define SRC_NET_TRANSPORT_STATS_H_
+
+#include <cstdint>
+
+namespace past {
+
+class TransportStats {
+ public:
+  void RecordHop(double proximity_distance) {
+    ++hops_;
+    total_distance_ += proximity_distance;
+  }
+  void RecordMessage(uint64_t bytes) {
+    ++messages_;
+    bytes_sent_ += bytes;
+  }
+  void RecordRpc() { ++rpcs_; }
+
+  void Reset() { *this = TransportStats(); }
+
+  uint64_t hops() const { return hops_; }
+  uint64_t messages() const { return messages_; }
+  uint64_t rpcs() const { return rpcs_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  double total_distance() const { return total_distance_; }
+
+ private:
+  uint64_t hops_ = 0;
+  uint64_t messages_ = 0;
+  uint64_t rpcs_ = 0;
+  uint64_t bytes_sent_ = 0;
+  double total_distance_ = 0.0;
+};
+
+}  // namespace past
+
+#endif  // SRC_NET_TRANSPORT_STATS_H_

@@ -1,0 +1,76 @@
+#include "src/past/client.h"
+
+namespace past {
+
+PastClient::PastClient(PastNetwork& network, const NodeId& access_node, uint64_t quota_bytes,
+                       uint64_t seed)
+    : network_(network), access_node_(access_node), rng_(seed), card_(rng_, quota_bytes) {}
+
+ClientInsertResult PastClient::Insert(const std::string& name, uint64_t size) {
+  // Without real content we certify a synthetic content hash derived from
+  // the name (the storage experiments track sizes, not bytes).
+  return DoInsert(name, size, Sha1::Hash(name), nullptr);
+}
+
+ClientInsertResult PastClient::InsertContent(const std::string& name,
+                                             const std::string& content) {
+  auto body = std::make_shared<const std::string>(content);
+  uint64_t size = body->size();
+  Sha1Digest content_hash = Sha1::Hash(*body);
+  return DoInsert(name, size, content_hash, std::move(body));
+}
+
+ClientInsertResult PastClient::DoInsert(const std::string& name, uint64_t size,
+                                        const Sha1Digest& content_hash, FileContentRef content) {
+  ClientInsertResult result;
+  int max_attempts = network_.config().enable_file_diversion
+                         ? network_.config().max_insert_attempts
+                         : 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    uint64_t salt = rng_.NextU64();
+    auto certificate = card_.IssueFileCertificate(name, salt, size, network_.config().k,
+                                                  content_hash, ++clock_);
+    if (!certificate) {
+      result.quota_exceeded = true;
+      return result;
+    }
+    ++result.attempts;
+    InsertResult outcome = network_.Insert(access_node_, *certificate, size, content);
+    result.last_status = outcome.status;
+    if (outcome.status == InsertStatus::kStored) {
+      // Verify the store receipts confirm k copies (paper section 2.2).
+      uint32_t verified = 0;
+      for (const StoreReceipt& receipt : outcome.receipts) {
+        if (receipt.Verify()) {
+          ++verified;
+        }
+      }
+      result.stored = verified == outcome.receipts.size() && verified > 0;
+      result.file_id = certificate->file_id;
+      result.diversions = result.attempts - 1;
+      return result;
+    }
+    // Negative ack: refund the quota debit and re-salt (file diversion).
+    card_.RefundInsert(size, network_.config().k);
+    if (outcome.status == InsertStatus::kDuplicateFileId && attempt + 1 >= max_attempts) {
+      break;
+    }
+  }
+  result.diversions = result.attempts - 1;
+  return result;
+}
+
+LookupResult PastClient::Lookup(const FileId& file_id) {
+  return network_.Lookup(access_node_, file_id);
+}
+
+ReclaimResult PastClient::Reclaim(const FileId& file_id) {
+  ReclaimCertificate certificate = card_.IssueReclaimCertificate(file_id, ++clock_);
+  ReclaimResult result = network_.Reclaim(access_node_, certificate);
+  for (const ReclaimReceipt& receipt : result.receipts) {
+    card_.CreditReclaim(receipt);
+  }
+  return result;
+}
+
+}  // namespace past

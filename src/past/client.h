@@ -1,0 +1,65 @@
+// PastClient: the user-side of PAST. Owns the user's smartcard (keys +
+// storage quota), computes fileIds, and drives the file-diversion retry loop:
+// on a negative ack the client generates a new salt, recomputes the fileId,
+// and retries the insert in a different part of the nodeId space, up to four
+// attempts total (paper section 3.4).
+#ifndef SRC_PAST_CLIENT_H_
+#define SRC_PAST_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/crypto/smartcard.h"
+#include "src/past/past_network.h"
+
+namespace past {
+
+struct ClientInsertResult {
+  bool stored = false;
+  FileId file_id;
+  // Number of file diversions (re-salted retries) before success; 0 means
+  // the first attempt succeeded. On failure this equals attempts - 1.
+  int diversions = 0;
+  int attempts = 0;
+  InsertStatus last_status = InsertStatus::kNoSpace;
+  bool quota_exceeded = false;
+};
+
+class PastClient {
+ public:
+  // `access_node` is the PAST node through which this client issues
+  // requests. `quota_bytes` caps its replicated storage use.
+  PastClient(PastNetwork& network, const NodeId& access_node, uint64_t quota_bytes,
+             uint64_t seed);
+
+  const NodeId& access_node() const { return access_node_; }
+  void set_access_node(const NodeId& node) { access_node_ = node; }
+  Smartcard& card() { return card_; }
+
+  // Inserts a file, driving file diversion on negative acks.
+  ClientInsertResult Insert(const std::string& name, uint64_t size);
+
+  // As Insert, but with caller-provided content (hashed into the
+  // certificate; used by examples and tests exercising verification).
+  ClientInsertResult InsertContent(const std::string& name, const std::string& content);
+
+  LookupResult Lookup(const FileId& file_id);
+
+  ReclaimResult Reclaim(const FileId& file_id);
+
+ private:
+  ClientInsertResult DoInsert(const std::string& name, uint64_t size,
+                              const Sha1Digest& content_hash, FileContentRef content);
+
+  PastNetwork& network_;
+  NodeId access_node_;
+  Rng rng_;
+  Smartcard card_;
+  uint64_t clock_ = 0;  // logical creation-date counter
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_CLIENT_H_

@@ -1,0 +1,60 @@
+// PAST configuration (paper sections 3 and 4).
+#ifndef SRC_PAST_CONFIG_H_
+#define SRC_PAST_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/storage/policies.h"
+
+namespace past {
+
+// How a diverting node picks the leaf-set member to hold a diverted replica.
+// The paper's policy is "maximal remaining free space"; the alternatives
+// exist for the ablation bench.
+enum class DiversionSelection {
+  kMaxFreeSpace,  // paper policy
+  kRandom,        // random eligible node
+  kFirstFit,      // first eligible node that would accept
+};
+
+enum class CacheMode {
+  kNone,
+  kLru,
+  kGreedyDualSize,  // paper policy
+};
+
+struct PastConfig {
+  // Number of replicas per file. Chosen to meet availability targets; the
+  // evaluation fixes k = 5. Must satisfy k <= l/2 + 1.
+  uint32_t k = 5;
+
+  // Replica / file diversion thresholds (paper defaults).
+  StoragePolicy policy;
+
+  // Enables replica diversion into the leaf set (section 3.3).
+  bool enable_replica_diversion = true;
+
+  // Enables file diversion: on a negative ack the client re-salts the fileId
+  // and retries elsewhere in the nodeId space (section 3.4).
+  bool enable_file_diversion = true;
+
+  // Total insert attempts per file (1 original + 3 re-salted retries).
+  int max_insert_attempts = 4;
+
+  // Caching (section 4): eviction policy and the admission fraction c — a
+  // routed-through file is cached only if its size is below c times the
+  // node's current cache capacity.
+  CacheMode cache_mode = CacheMode::kNone;
+  double cache_fraction_c = 1.0;
+
+  // Diversion target selection policy (ablation; paper uses kMaxFreeSpace).
+  DiversionSelection diversion_selection = DiversionSelection::kMaxFreeSpace;
+
+  // When true, membership changes trigger replica maintenance (section 3.5).
+  // Storage experiments without churn disable it to skip the scan.
+  bool enable_maintenance = true;
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_CONFIG_H_

@@ -1,0 +1,81 @@
+#include "src/past/fragmented.h"
+
+namespace past {
+
+FragmentedStore::FragmentedStore(PastClient& client, int data_shards, int parity_shards)
+    : client_(client), codec_(data_shards, parity_shards) {}
+
+std::optional<FragmentManifest> FragmentedStore::Insert(const std::string& name,
+                                                        const std::string& content) {
+  FragmentManifest manifest;
+  manifest.name = name;
+  manifest.original_size = content.size();
+  manifest.data_shards = codec_.data_shards();
+  manifest.parity_shards = codec_.parity_shards();
+
+  std::vector<std::vector<uint8_t>> data = codec_.Split(content);
+  std::vector<std::vector<uint8_t>> parity = codec_.Encode(data);
+
+  auto insert_fragment = [&](const std::vector<uint8_t>& shard, size_t index) {
+    std::string body(shard.begin(), shard.end());
+    std::string fragment_name = name + "#frag" + std::to_string(index);
+    ClientInsertResult r = client_.InsertContent(fragment_name, body);
+    if (!r.stored) {
+      return false;
+    }
+    manifest.fragments.push_back(r.file_id);
+    return true;
+  };
+
+  size_t index = 0;
+  for (const auto& shard : data) {
+    if (!insert_fragment(shard, index++)) {
+      Reclaim(manifest);
+      return std::nullopt;
+    }
+  }
+  for (const auto& shard : parity) {
+    if (!insert_fragment(shard, index++)) {
+      Reclaim(manifest);
+      return std::nullopt;
+    }
+  }
+  return manifest;
+}
+
+FragmentedRetrieveResult FragmentedStore::Retrieve(const FragmentManifest& manifest) {
+  FragmentedRetrieveResult result;
+  int n = manifest.data_shards;
+  int m = manifest.parity_shards;
+  std::vector<std::optional<std::vector<uint8_t>>> shards(static_cast<size_t>(n + m));
+  int fetched = 0;
+  for (size_t i = 0; i < manifest.fragments.size() && fetched < n; ++i) {
+    LookupResult r = client_.Lookup(manifest.fragments[i]);
+    result.total_hops += r.hops;
+    if (r.found && r.content != nullptr) {
+      shards[i] = std::vector<uint8_t>(r.content->begin(), r.content->end());
+      ++fetched;
+    } else {
+      ++result.fragments_missing;
+    }
+  }
+  result.fragments_fetched = fetched;
+  if (fetched < n) {
+    return result;  // unrecoverable: more than m fragments unavailable
+  }
+  auto data = codec_.Reconstruct(shards);
+  if (!data) {
+    return result;
+  }
+  result.content = ReedSolomon::Join(*data, manifest.original_size);
+  result.reconstructed = true;
+  return result;
+}
+
+void FragmentedStore::Reclaim(const FragmentManifest& manifest) {
+  for (const FileId& fragment : manifest.fragments) {
+    client_.Reclaim(fragment);
+  }
+}
+
+}  // namespace past

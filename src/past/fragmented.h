@@ -1,0 +1,73 @@
+// Erasure-coded file storage on top of PAST (paper section 3.6).
+//
+// Instead of k whole-file replicas, a file is split into n data fragments
+// plus m Reed-Solomon checksum fragments; each fragment is inserted into
+// PAST as an independent (small-k) file. Any n surviving fragments
+// reconstruct the original, cutting the storage overhead from k to
+// ((n + m) / n) * k_frag at the cost of contacting n nodes per retrieval —
+// the trade-off the paper defers to future work.
+#ifndef SRC_PAST_FRAGMENTED_H_
+#define SRC_PAST_FRAGMENTED_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/erasure/reed_solomon.h"
+#include "src/past/client.h"
+
+namespace past {
+
+// Client-held manifest describing an erasure-coded file. In a full system
+// this would itself be stored in PAST; here the client keeps it, like it
+// keeps fileIds.
+struct FragmentManifest {
+  std::string name;
+  size_t original_size = 0;
+  int data_shards = 0;    // n
+  int parity_shards = 0;  // m
+  // fileIds of the n + m fragments, data fragments first.
+  std::vector<FileId> fragments;
+};
+
+struct FragmentedRetrieveResult {
+  bool reconstructed = false;
+  std::string content;
+  int fragments_fetched = 0;
+  int fragments_missing = 0;
+  int total_hops = 0;
+};
+
+class FragmentedStore {
+ public:
+  // Fragments files into `data_shards` + `parity_shards` pieces. Each
+  // fragment is inserted with the replication factor of `client`'s network
+  // config (use a small k, e.g. 1-2, since the coding supplies redundancy).
+  FragmentedStore(PastClient& client, int data_shards, int parity_shards);
+
+  // Splits, encodes, and inserts all fragments. Returns nullopt if any
+  // fragment insert fails (already-inserted fragments are reclaimed).
+  std::optional<FragmentManifest> Insert(const std::string& name, const std::string& content);
+
+  // Fetches fragments and reconstructs; succeeds with up to
+  // `parity_shards` fragments unavailable.
+  FragmentedRetrieveResult Retrieve(const FragmentManifest& manifest);
+
+  // Reclaims all fragments of a file.
+  void Reclaim(const FragmentManifest& manifest);
+
+  // Storage overhead relative to one plain copy, given the fragment
+  // replication factor in use.
+  double StorageOverhead(uint32_t fragment_k) const {
+    return ReedSolomon::StorageOverhead(codec_.data_shards(), codec_.parity_shards()) *
+           static_cast<double>(fragment_k);
+  }
+
+ private:
+  PastClient& client_;
+  ReedSolomon codec_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_FRAGMENTED_H_

@@ -1,0 +1,755 @@
+#include "src/past/past_network.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace past {
+
+PastNetwork::PastNetwork(const PastConfig& config, const PastryConfig& pastry_config,
+                         uint64_t seed)
+    : config_(config), pastry_config_(pastry_config), pastry_(pastry_config, seed),
+      rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  pastry_.AddObserver(this);
+}
+
+PastNetwork::~PastNetwork() { pastry_.RemoveObserver(this); }
+
+NodeId PastNetwork::AddStorageNode(uint64_t capacity_bytes) {
+  Coordinate location{rng_.NextDouble(), rng_.NextDouble()};
+  return AddStorageNodeNear(capacity_bytes, location, 0.0);
+}
+
+NodeId PastNetwork::AddStorageNodeNear(uint64_t capacity_bytes, const Coordinate& center,
+                                       double spread) {
+  // The PastNode must exist before the Pastry join fires OnNodeJoined.
+  NodeId id;
+  for (;;) {
+    id = NodeId(rng_.NextU64(), rng_.NextU64());
+    if (nodes_.count(id) == 0 && pastry_.node(id) == nullptr) {
+      break;
+    }
+  }
+  nodes_[id] = std::make_unique<PastNode>(id, config_, capacity_bytes, rng_);
+  total_capacity_ += capacity_bytes;
+
+  Coordinate location = center;
+  if (spread > 0.0) {
+    // Sample a clustered location deterministically from our own rng.
+    auto wrap = [](double v) {
+      v = v - static_cast<int64_t>(v);
+      return v < 0.0 ? v + 1.0 : v;
+    };
+    location = Coordinate{wrap(center.x + spread * rng_.NextGaussian()),
+                          wrap(center.y + spread * rng_.NextGaussian())};
+  }
+  pastry_.Join(id, location);
+  return id;
+}
+
+PastNetwork::AdmissionOutcome PastNetwork::AddStorageNodeWithAdmission(
+    uint64_t advertised_capacity) {
+  AdmissionOutcome outcome;
+  // The prospective leaf set of a node with a fresh quasi-random id; at this
+  // point the node has not joined, so we sample where it would land.
+  NodeId tentative(rng_.NextU64(), rng_.NextU64());
+  std::vector<uint64_t> leaf_capacities;
+  for (const NodeId& neighbor : pastry_.KClosestLive(
+           tentative, static_cast<size_t>(pastry_config_.leaf_set_size))) {
+    const PastNode* pn = storage_node(neighbor);
+    if (pn != nullptr) {
+      leaf_capacities.push_back(pn->store().capacity());
+    }
+  }
+  AdmissionControl control;
+  AdmissionResult result = control.Evaluate(advertised_capacity, leaf_capacities);
+  outcome.decision = result.decision;
+  switch (result.decision) {
+    case AdmissionDecision::kReject:
+      break;
+    case AdmissionDecision::kAccept:
+      outcome.nodes.push_back(AddStorageNode(advertised_capacity));
+      break;
+    case AdmissionDecision::kSplit: {
+      uint64_t per_node = advertised_capacity / static_cast<uint64_t>(result.split_count);
+      for (int i = 0; i < result.split_count; ++i) {
+        outcome.nodes.push_back(AddStorageNode(per_node));
+      }
+      break;
+    }
+  }
+  return outcome;
+}
+
+void PastNetwork::FailStorageNode(const NodeId& id) {
+  // OnNodeFailed() performs the PAST-level bookkeeping.
+  pastry_.FailNode(id);
+}
+
+PastNode* PastNetwork::storage_node(const NodeId& id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const PastNode* PastNetwork::storage_node(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> PastNetwork::KClosestFromLeafSet(const NodeId& root, const NodeId& key,
+                                                     size_t k) const {
+  const PastryNode* node = pastry_.node(root);
+  if (node == nullptr) {
+    return {};
+  }
+  std::vector<NodeId> candidates = node->leaf_set().All();
+  candidates.push_back(root);
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [&](const NodeId& id) { return !pastry_.IsAlive(id); }),
+                   candidates.end());
+  std::sort(candidates.begin(), candidates.end(), [&](const NodeId& a, const NodeId& b) {
+    return a.CloserTo(key, b);
+  });
+  if (candidates.size() > k) {
+    candidates.resize(k);
+  }
+  return candidates;
+}
+
+bool PastNetwork::IsAmongKClosest(const NodeId& node, const NodeId& key, size_t k) const {
+  std::vector<NodeId> closest = KClosestFromLeafSet(node, key, k);
+  return std::find(closest.begin(), closest.end(), node) != closest.end();
+}
+
+std::optional<NodeId> PastNetwork::ChooseDiversionTarget(const NodeId& primary,
+                                                         const std::vector<NodeId>& k_closest,
+                                                         const FileId& file_id, uint64_t size) {
+  const PastryNode* node = pastry_.node(primary);
+  if (node == nullptr) {
+    return std::nullopt;
+  }
+  std::vector<NodeId> eligible;
+  for (const NodeId& candidate : node->leaf_set().All()) {
+    if (!pastry_.IsAlive(candidate)) {
+      continue;
+    }
+    if (std::find(k_closest.begin(), k_closest.end(), candidate) != k_closest.end()) {
+      continue;  // must not be among the k numerically closest
+    }
+    const PastNode* pn = storage_node(candidate);
+    if (pn == nullptr || pn->store().HasReplica(file_id)) {
+      continue;  // must not already hold a replica of this file
+    }
+    eligible.push_back(candidate);
+  }
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  switch (config_.diversion_selection) {
+    case DiversionSelection::kMaxFreeSpace: {
+      // Paper policy: the eligible node with maximal remaining free space.
+      return *std::max_element(eligible.begin(), eligible.end(),
+                               [&](const NodeId& a, const NodeId& b) {
+                                 return storage_node(a)->store().free_bytes() <
+                                        storage_node(b)->store().free_bytes();
+                               });
+    }
+    case DiversionSelection::kRandom:
+      return eligible[rng_.NextBelow(eligible.size())];
+    case DiversionSelection::kFirstFit: {
+      for (const NodeId& candidate : eligible) {
+        if (storage_node(candidate)->WouldAcceptDiverted(size)) {
+          return candidate;
+        }
+      }
+      return eligible.front();
+    }
+  }
+  return std::nullopt;
+}
+
+void PastNetwork::RollbackInsert(const FileId& file_id,
+                                 const std::vector<PendingStore>& stores) {
+  for (const PendingStore& pending : stores) {
+    PastNode* pn = storage_node(pending.node);
+    if (pn == nullptr) {
+      continue;
+    }
+    if (pending.is_pointer) {
+      pn->store().RemovePointer(file_id);
+      continue;
+    }
+    const ReplicaEntry* entry = pn->store().GetReplica(file_id);
+    if (entry != nullptr) {
+      if (entry->kind == ReplicaKind::kDiverted) {
+        --counters_.replicas_diverted_total;
+      }
+      --counters_.replicas_stored_total;
+      total_stored_ -= entry->size;
+      pn->RemoveReplica(file_id);
+    }
+  }
+}
+
+void PastNetwork::CacheAlongPath(const std::vector<NodeId>& path, const FileId& file_id,
+                                 uint64_t size, const FileContentRef& content) {
+  if (config_.cache_mode == CacheMode::kNone) {
+    return;
+  }
+  for (const NodeId& id : path) {
+    PastNode* pn = storage_node(id);
+    if (pn != nullptr) {
+      pn->CacheFile(file_id, size, content);
+    }
+  }
+}
+
+InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& certificate,
+                                 uint64_t size, FileContentRef content) {
+  InsertResult result;
+  ++counters_.insert_attempts;
+
+  const FileId& file_id = certificate.file_id;
+  NodeId key = file_id.ToRoutingKey();
+  size_t k = config_.k;
+
+  // Route toward the fileId; the first node that finds itself among the k
+  // numerically closest takes responsibility (paper section 2.2).
+  RouteResult route = pastry_.Route(
+      origin, key, [&](const NodeId& n) { return IsAmongKClosest(n, key, k); });
+  result.route_hops = route.hops();
+  NodeId root = route.destination();
+
+  // A malicious node swallowed the request: the attempt fails and the
+  // client's re-salted retry takes a different route (section 2.3).
+  if (!route.delivered) {
+    result.status = InsertStatus::kNoSpace;
+    ++counters_.insert_attempts_failed;
+    return result;
+  }
+
+  // The root verifies the file certificate — and, when the bytes travel with
+  // the request, recomputes the content hash — before accepting
+  // responsibility (paper section 2.2).
+  if (!certificate.VerifySignature() ||
+      (content != nullptr && !certificate.VerifyContent(*content))) {
+    result.status = InsertStatus::kBadCertificate;
+    ++counters_.insert_attempts_failed;
+    return result;
+  }
+
+  std::vector<NodeId> k_closest = KClosestFromLeafSet(root, key, k);
+  if (k_closest.empty()) {
+    result.status = InsertStatus::kNoSpace;
+    ++counters_.insert_attempts_failed;
+    return result;
+  }
+
+  // fileId collision: a file with this id already exists — reject the later
+  // insert (paper section 2).
+  for (const NodeId& t : k_closest) {
+    const PastNode* pn = storage_node(t);
+    if (pn != nullptr &&
+        (pn->store().HasReplica(file_id) || pn->store().GetPointer(file_id) != nullptr)) {
+      result.status = InsertStatus::kDuplicateFileId;
+      ++counters_.insert_attempts_failed;
+      return result;
+    }
+  }
+
+  // The witness node C: the (k+1)-th closest, which shadows diversion
+  // pointers so that the diverting node A is not a single point of failure.
+  std::vector<NodeId> k_plus_one = KClosestFromLeafSet(root, key, k + 1);
+  std::optional<NodeId> witness;
+  if (k_plus_one.size() == k + 1) {
+    witness = k_plus_one.back();
+  }
+
+  FileCertificateRef cert_ref = std::make_shared<const FileCertificate>(certificate);
+  std::vector<PendingStore> created;
+  for (const NodeId& t : k_closest) {
+    PastNode* pn = storage_node(t);
+    if (pn == nullptr) {
+      continue;
+    }
+    pastry_.stats().RecordMessage(size);
+
+    if (pn->WouldAcceptPrimary(size) &&
+        pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, cert_ref, content)) {
+      created.push_back({t, /*is_pointer=*/false});
+      total_stored_ += size;
+      ++counters_.replicas_stored_total;
+      ++result.replicas_stored;
+      result.receipts.push_back(pn->MakeStoreReceipt(file_id));
+      continue;
+    }
+
+    if (config_.enable_replica_diversion) {
+      std::optional<NodeId> target = ChooseDiversionTarget(t, k_closest, file_id, size);
+      if (target) {
+        PastNode* b = storage_node(*target);
+        pastry_.stats().RecordRpc();
+        if (b != nullptr && b->WouldAcceptDiverted(size) &&
+            b->StoreReplica(file_id, ReplicaKind::kDiverted, size, cert_ref, content)) {
+          created.push_back({*target, /*is_pointer=*/false});
+          total_stored_ += size;
+          ++counters_.replicas_stored_total;
+          ++counters_.replicas_diverted_total;
+          ++result.replicas_stored;
+          ++result.replicas_diverted;
+          // Node A keeps a pointer to B and issues the store receipt as
+          // usual; node C shadows the pointer.
+          pn->store().InstallPointer(file_id, *target, PointerRole::kDiverter, size);
+          created.push_back({t, /*is_pointer=*/true});
+          if (witness) {
+            PastNode* c = storage_node(*witness);
+            if (c != nullptr) {
+              pastry_.stats().RecordRpc();
+              c->store().InstallPointer(file_id, *target, PointerRole::kWitness, size);
+              created.push_back({*witness, /*is_pointer=*/true});
+            }
+          }
+          result.receipts.push_back(pn->MakeStoreReceipt(file_id));
+          continue;
+        }
+      }
+    }
+
+    // This primary declined and its chosen diversion target declined too:
+    // the entire file is diverted — replicas stored so far are discarded and
+    // a negative ack goes back to the client (paper section 3.3.1).
+    RollbackInsert(file_id, created);
+    result.replicas_stored = 0;
+    result.replicas_diverted = 0;
+    result.receipts.clear();
+    result.status = InsertStatus::kNoSpace;
+    ++counters_.insert_attempts_failed;
+    return result;
+  }
+
+  result.status = InsertStatus::kStored;
+  any_file_inserted_ = true;
+  CacheAlongPath(route.path, file_id, size, content);
+  return result;
+}
+
+LookupResult PastNetwork::Lookup(const NodeId& origin, const FileId& file_id) {
+  LookupResult result;
+  ++counters_.lookups;
+  NodeId key = file_id.ToRoutingKey();
+
+  NodeId served;
+  bool from_cache = false;
+  auto stop = [&](const NodeId& n) {
+    PastNode* pn = storage_node(n);
+    if (pn == nullptr) {
+      return false;
+    }
+    if (pn->store().HasReplica(file_id)) {
+      served = n;
+      from_cache = false;
+      return true;
+    }
+    if (pn->cache() != nullptr && pn->cache()->Lookup(file_id)) {
+      served = n;
+      from_cache = true;
+      return true;
+    }
+    return false;
+  };
+
+  RouteResult route = pastry_.Route(origin, key, stop);
+  result.hops = route.hops();
+  result.distance = route.distance;
+  if (!route.delivered) {
+    return result;  // swallowed by a malicious node: lookup fails, retry
+  }
+  bool found = route.stopped_early;
+
+  if (!found && !route.path.empty()) {
+    // The route ended at the numerically closest node without finding a
+    // replica en route; a diverted replica is reachable through its pointer
+    // at the cost of one extra hop (paper section 3.3).
+    NodeId dest = route.destination();
+    PastNode* pn = storage_node(dest);
+    const DiversionPointer* ptr = pn == nullptr ? nullptr : pn->store().GetPointer(file_id);
+    if (ptr != nullptr && pastry_.IsAlive(ptr->holder)) {
+      PastNode* holder = storage_node(ptr->holder);
+      if (holder != nullptr && holder->store().HasReplica(file_id)) {
+        served = ptr->holder;
+        from_cache = false;
+        found = true;
+        result.via_diversion_pointer = true;
+        double d = pastry_.topology().Distance(dest, ptr->holder);
+        pastry_.stats().RecordHop(d);
+        result.hops += 1;
+        result.distance += d;
+      }
+    }
+    if (!found) {
+      // Rare: routing terminated at a node that is not tracking the file
+      // (e.g. stale leaf set right after churn). Probe the k closest.
+      for (const NodeId& t : KClosestFromLeafSet(dest, key, config_.k)) {
+        PastNode* candidate = storage_node(t);
+        if (candidate != nullptr && candidate->store().HasReplica(file_id)) {
+          served = t;
+          found = true;
+          double d = pastry_.topology().Distance(dest, t);
+          pastry_.stats().RecordHop(d);
+          result.hops += 1;
+          result.distance += d;
+          break;
+        }
+      }
+    }
+  }
+
+  if (!found) {
+    return result;
+  }
+
+  result.found = true;
+  result.served_from_cache = from_cache;
+  result.served_by = served;
+  PastNode* server = storage_node(served);
+  if (from_cache) {
+    result.file_size = server->cache()->SizeOf(file_id).value_or(0);
+    result.content = server->cache()->ContentOf(file_id);
+  } else {
+    const ReplicaEntry* entry = server->store().GetReplica(file_id);
+    result.file_size = entry == nullptr ? 0 : entry->size;
+    result.content = entry == nullptr ? nullptr : entry->content;
+  }
+  ++counters_.lookups_found;
+  if (from_cache) {
+    ++counters_.lookups_from_cache;
+  }
+  counters_.lookup_hops_total += static_cast<uint64_t>(result.hops);
+  counters_.lookup_distance_total += result.distance;
+  CacheAlongPath(route.path, file_id, result.file_size, result.content);
+  return result;
+}
+
+ReclaimResult PastNetwork::Reclaim(const NodeId& origin, const ReclaimCertificate& certificate) {
+  ReclaimResult result;
+  const FileId& file_id = certificate.file_id;
+  NodeId key = file_id.ToRoutingKey();
+  size_t k = config_.k;
+
+  if (!certificate.VerifySignature()) {
+    return result;
+  }
+  result.accepted = true;
+
+  RouteResult route = pastry_.Route(
+      origin, key, [&](const NodeId& n) { return IsAmongKClosest(n, key, k); });
+  NodeId root = route.destination();
+  std::vector<NodeId> k_plus_one = KClosestFromLeafSet(root, key, k + 1);
+
+  auto reclaim_at = [&](const NodeId& node_id) {
+    PastNode* pn = storage_node(node_id);
+    if (pn == nullptr) {
+      return;
+    }
+    const ReplicaEntry* entry = pn->store().GetReplica(file_id);
+    if (entry != nullptr) {
+      // Only the file's legitimate owner may reclaim it.
+      if (!(entry->certificate->owner == certificate.owner)) {
+        result.accepted = false;
+        return;
+      }
+      uint64_t size = entry->size;
+      bool diverted = entry->kind == ReplicaKind::kDiverted;
+      pn->RemoveReplica(file_id);
+      total_stored_ -= size;
+      --counters_.replicas_stored_total;
+      if (diverted) {
+        --counters_.replicas_diverted_total;
+      }
+      ++result.replicas_reclaimed;
+      result.bytes_reclaimed += size;
+      result.receipts.push_back(pn->MakeReclaimReceipt(file_id, size));
+    }
+  };
+
+  for (const NodeId& t : k_plus_one) {
+    PastNode* pn = storage_node(t);
+    if (pn == nullptr) {
+      continue;
+    }
+    // Follow diverter pointers to the actual replica holders first.
+    const DiversionPointer* ptr = pn->store().GetPointer(file_id);
+    if (ptr != nullptr) {
+      if (ptr->role == PointerRole::kDiverter && pastry_.IsAlive(ptr->holder)) {
+        reclaim_at(ptr->holder);
+      }
+      pn->store().RemovePointer(file_id);
+    }
+    reclaim_at(t);
+  }
+  return result;
+}
+
+double PastNetwork::utilization() const {
+  if (total_capacity_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_stored_) / static_cast<double>(total_capacity_);
+}
+
+PastNetwork::ReplicaCensus PastNetwork::CountReplicas() const {
+  ReplicaCensus census;
+  for (const auto& [id, node] : nodes_) {
+    if (!pastry_.IsAlive(id)) {
+      continue;
+    }
+    census.replicas += node->store().replica_count();
+    census.diverted += node->store().diverted_count();
+  }
+  return census;
+}
+
+size_t PastNetwork::CountStorageInvariantViolations(const std::vector<FileId>& files) const {
+  size_t violations = 0;
+  for (const FileId& f : files) {
+    NodeId key = f.ToRoutingKey();
+    for (const NodeId& t : pastry_.KClosestLive(key, config_.k)) {
+      const PastNode* pn = storage_node(t);
+      if (pn == nullptr) {
+        ++violations;
+        continue;
+      }
+      if (pn->store().HasReplica(f)) {
+        continue;
+      }
+      const DiversionPointer* ptr = pn->store().GetPointer(f);
+      if (ptr != nullptr && pastry_.IsAlive(ptr->holder)) {
+        const PastNode* holder = storage_node(ptr->holder);
+        if (holder != nullptr && holder->store().HasReplica(f)) {
+          continue;
+        }
+      }
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+uint32_t PastNetwork::CountLiveReplicas(const FileId& file_id) const {
+  uint32_t count = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (pastry_.IsAlive(id) && node->store().HasReplica(file_id)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void PastNetwork::OnNodeJoined(const NodeId& id) {
+  if (!config_.enable_maintenance || !any_file_inserted_) {
+    return;
+  }
+  const PastryNode* node = pastry_.node(id);
+  if (node == nullptr) {
+    return;
+  }
+  std::vector<NodeId> region = node->leaf_set().All();
+  region.push_back(id);
+  RestoreInvariants(region);
+}
+
+void PastNetwork::OnNodeFailed(const NodeId& id) {
+  // PAST-level accounting: the node's disk contents are gone.
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) {
+    total_capacity_ -= it->second->store().capacity();
+    total_stored_ -= it->second->store().used();
+    counters_.replicas_stored_total -= it->second->store().replica_count();
+    counters_.replicas_diverted_total -= it->second->store().diverted_count();
+    nodes_.erase(it);
+  }
+  if (!config_.enable_maintenance || !any_file_inserted_) {
+    return;
+  }
+  // The failed node's former leaf-set neighbors re-examine their files.
+  NodeId key = id;
+  std::vector<NodeId> region =
+      pastry_.KClosestLive(key, static_cast<size_t>(pastry_config_.leaf_set_size));
+  RestoreInvariants(region);
+}
+
+void PastNetwork::RestoreInvariants(const std::vector<NodeId>& region) {
+  std::unordered_set<FileId, FileIdHash> files;
+  for (const NodeId& id : region) {
+    const PastNode* pn = storage_node(id);
+    if (pn == nullptr) {
+      continue;
+    }
+    for (const auto& [f, entry] : pn->store().replicas()) {
+      (void)entry;
+      files.insert(f);
+    }
+    for (const auto& [f, ptr] : pn->store().pointers()) {
+      (void)ptr;
+      files.insert(f);
+    }
+  }
+  for (const FileId& f : files) {
+    RepairFile(f);
+  }
+}
+
+void PastNetwork::RepairFile(const FileId& file_id) {
+  NodeId key = file_id.ToRoutingKey();
+  NodeId root = pastry_.ClosestLive(key);
+  const PastryNode* root_node = pastry_.node(root);
+  if (root_node == nullptr) {
+    return;
+  }
+  std::vector<NodeId> k_closest = KClosestFromLeafSet(root, key, config_.k);
+
+  // Discover live replica holders in the neighborhood: the k closest, the
+  // root's wider leaf set (nodes that recently ceased to be among the k
+  // closest may still hold replicas), and pointer targets.
+  std::vector<NodeId> holders;
+  auto add_holder = [&](const NodeId& n) {
+    if (!pastry_.IsAlive(n)) {
+      return;
+    }
+    const PastNode* pn = storage_node(n);
+    if (pn != nullptr && pn->store().HasReplica(file_id) &&
+        std::find(holders.begin(), holders.end(), n) == holders.end()) {
+      holders.push_back(n);
+    }
+  };
+  for (const NodeId& n : k_closest) {
+    add_holder(n);
+  }
+  for (const NodeId& n : root_node->leaf_set().All()) {
+    add_holder(n);
+  }
+  for (const NodeId& n : k_closest) {
+    const PastNode* pn = storage_node(n);
+    if (pn != nullptr) {
+      const DiversionPointer* ptr = pn->store().GetPointer(file_id);
+      if (ptr != nullptr) {
+        add_holder(ptr->holder);
+      }
+    }
+  }
+
+  if (holders.empty()) {
+    // All k replicas (and any diverted copies) vanished inside one recovery
+    // period — the file is lost. Drop dangling pointers.
+    ++counters_.files_lost;
+    for (const NodeId& n : k_closest) {
+      PastNode* pn = storage_node(n);
+      if (pn != nullptr) {
+        pn->store().RemovePointer(file_id);
+      }
+    }
+    return;
+  }
+
+  const ReplicaEntry* sample = storage_node(holders.front())->store().GetReplica(file_id);
+  uint64_t size = sample->size;
+  FileCertificateRef certificate = sample->certificate;
+  FileContentRef content = sample->content;
+
+  // Pass 1: every one of the k closest must hold the replica or a valid
+  // pointer to a live holder.
+  for (const NodeId& t : k_closest) {
+    PastNode* pn = storage_node(t);
+    if (pn == nullptr) {
+      continue;
+    }
+    if (pn->store().HasReplica(file_id)) {
+      continue;
+    }
+    const DiversionPointer* ptr = pn->store().GetPointer(file_id);
+    if (ptr != nullptr) {
+      bool valid = pastry_.IsAlive(ptr->holder) && storage_node(ptr->holder) != nullptr &&
+                   storage_node(ptr->holder)->store().HasReplica(file_id);
+      if (valid) {
+        continue;
+      }
+      pn->store().RemovePointer(file_id);
+    }
+    // Prefer acquiring a real replica; otherwise install a pointer to an
+    // existing holder (semantically identical to replica diversion, paper
+    // section 3.5: the joining node installs a pointer and migrates later).
+    if (pn->WouldAcceptPrimary(size) &&
+        pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate, content)) {
+      total_stored_ += size;
+      ++counters_.replicas_stored_total;
+      ++counters_.replicas_recreated;
+      if (std::find(holders.begin(), holders.end(), t) == holders.end()) {
+        holders.push_back(t);
+      }
+      continue;
+    }
+    // Point at a holder outside the k closest if possible (that holder plays
+    // the diverted-replica role), else at any holder.
+    NodeId target = holders.front();
+    for (const NodeId& h : holders) {
+      if (std::find(k_closest.begin(), k_closest.end(), h) == k_closest.end()) {
+        target = h;
+        break;
+      }
+    }
+    pn->store().InstallPointer(file_id, target, PointerRole::kDiverter, size);
+    ++counters_.maintenance_pointers_installed;
+  }
+
+  // Pass 2: restore the replication level to k when space allows. First try
+  // k-closest members without a replica, then diversion into their leaf sets.
+  uint32_t live = static_cast<uint32_t>(holders.size());
+  if (live >= config_.k) {
+    return;
+  }
+  for (const NodeId& t : k_closest) {
+    if (live >= config_.k) {
+      break;
+    }
+    PastNode* pn = storage_node(t);
+    if (pn == nullptr || pn->store().HasReplica(file_id)) {
+      continue;
+    }
+    if (pn->WouldAcceptPrimary(size) &&
+        pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate, content)) {
+      pn->store().RemovePointer(file_id);
+      total_stored_ += size;
+      ++counters_.replicas_stored_total;
+      ++counters_.replicas_recreated;
+      ++live;
+      holders.push_back(t);
+    }
+  }
+  for (const NodeId& t : k_closest) {
+    if (live >= config_.k) {
+      break;
+    }
+    PastNode* pn = storage_node(t);
+    if (pn == nullptr || pn->store().HasReplica(file_id)) {
+      continue;
+    }
+    std::optional<NodeId> target = ChooseDiversionTarget(t, k_closest, file_id, size);
+    if (!target) {
+      continue;
+    }
+    PastNode* b = storage_node(*target);
+    if (b != nullptr && b->WouldAcceptDiverted(size) &&
+        b->StoreReplica(file_id, ReplicaKind::kDiverted, size, certificate, content)) {
+      total_stored_ += size;
+      ++counters_.replicas_stored_total;
+      ++counters_.replicas_diverted_total;
+      ++counters_.replicas_recreated;
+      pn->store().InstallPointer(file_id, *target, PointerRole::kDiverter, size);
+      ++live;
+      holders.push_back(*target);
+    }
+  }
+}
+
+}  // namespace past

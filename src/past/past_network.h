@@ -1,0 +1,173 @@
+// PastNetwork: the PAST storage utility as a whole — every storage node, the
+// Pastry overlay beneath them, and the distributed insert / lookup / reclaim
+// protocols with replica diversion, file diversion support, caching, and
+// replica maintenance under churn.
+#ifndef SRC_PAST_PAST_NETWORK_H_
+#define SRC_PAST_PAST_NETWORK_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/file_id.h"
+#include "src/common/node_id.h"
+#include "src/past/config.h"
+#include "src/past/past_node.h"
+#include "src/past/results.h"
+#include "src/pastry/network.h"
+#include "src/storage/admission.h"
+
+namespace past {
+
+// Global operation counters for the experiment harness.
+struct PastCounters {
+  // Insert attempts at the network level (each re-salt counts as one).
+  uint64_t insert_attempts = 0;
+  uint64_t insert_attempts_failed = 0;  // negative acks (kNoSpace)
+  // Replicas currently stored / cumulative stored.
+  uint64_t replicas_stored_total = 0;
+  uint64_t replicas_diverted_total = 0;
+  // Lookup accounting.
+  uint64_t lookups = 0;
+  uint64_t lookups_found = 0;
+  uint64_t lookups_from_cache = 0;
+  uint64_t lookup_hops_total = 0;
+  double lookup_distance_total = 0.0;
+  // Maintenance accounting.
+  uint64_t replicas_recreated = 0;
+  uint64_t maintenance_pointers_installed = 0;
+  uint64_t files_lost = 0;
+};
+
+class PastNetwork : public MembershipObserver {
+ public:
+  PastNetwork(const PastConfig& config, const PastryConfig& pastry_config, uint64_t seed);
+  ~PastNetwork() override;
+
+  PastNetwork(const PastNetwork&) = delete;
+  PastNetwork& operator=(const PastNetwork&) = delete;
+
+  const PastConfig& config() const { return config_; }
+  PastryNetwork& overlay() { return pastry_; }
+  PastCounters& counters() { return counters_; }
+  const PastCounters& counters() const { return counters_; }
+
+  // --- membership ---
+
+  // Adds a storage node with the given advertised capacity at a uniformly
+  // random location. Returns its nodeId.
+  NodeId AddStorageNode(uint64_t capacity_bytes);
+
+  // Adds a storage node clustered around `center` (client locality model).
+  NodeId AddStorageNodeNear(uint64_t capacity_bytes, const Coordinate& center, double spread);
+
+  // Admission-controlled join (paper section 3.2): the advertised capacity
+  // is compared against the average capacity in the joining node's
+  // prospective leaf set. Oversized nodes are split into several logical
+  // nodes with separate nodeIds; undersized nodes are rejected.
+  struct AdmissionOutcome {
+    AdmissionDecision decision = AdmissionDecision::kAccept;
+    std::vector<NodeId> nodes;  // logical nodes created (empty on reject)
+  };
+  AdmissionOutcome AddStorageNodeWithAdmission(uint64_t advertised_capacity);
+
+  // Fails a storage node (its disk contents are lost); Pastry repairs its
+  // leaf sets and, if maintenance is enabled, replicas are re-created.
+  void FailStorageNode(const NodeId& id);
+
+  PastNode* storage_node(const NodeId& id);
+  const PastNode* storage_node(const NodeId& id) const;
+  size_t node_count() const { return nodes_.size(); }
+
+  // --- client-visible operations (invoked via a PastClient) ---
+
+  // Executes one insert attempt for a certified file from access node
+  // `origin`. File diversion (re-salting) is the client's job. When
+  // `content` is non-null, the root recomputes and checks the certified
+  // content hash before accepting responsibility (paper section 2.2); the
+  // bytes are then stored with each replica and returned by lookups.
+  InsertResult Insert(const NodeId& origin, const FileCertificate& certificate, uint64_t size,
+                      FileContentRef content = nullptr);
+
+  LookupResult Lookup(const NodeId& origin, const FileId& file_id);
+
+  ReclaimResult Reclaim(const NodeId& origin, const ReclaimCertificate& certificate);
+
+  // --- global metrics ---
+
+  // Total advertised capacity over live storage nodes.
+  uint64_t total_capacity() const { return total_capacity_; }
+  // Bytes held in primary + diverted replicas over live nodes.
+  uint64_t total_stored() const { return total_stored_; }
+  // Global storage utilization in [0, 1].
+  double utilization() const;
+
+  // Live replica / diverted-replica counts (scans all nodes; for sampling).
+  struct ReplicaCensus {
+    uint64_t replicas = 0;
+    uint64_t diverted = 0;
+  };
+  ReplicaCensus CountReplicas() const;
+
+  // --- invariant checking (tests) ---
+
+  // For every file in `files`, verifies that each of the k live nodes
+  // closest to its fileId holds either a replica or a diversion pointer to a
+  // live replica holder. Returns the number of violations.
+  size_t CountStorageInvariantViolations(const std::vector<FileId>& files) const;
+
+  // Count of live replicas of one file across all nodes.
+  uint32_t CountLiveReplicas(const FileId& file_id) const;
+
+  // MembershipObserver:
+  void OnNodeJoined(const NodeId& id) override;
+  void OnNodeFailed(const NodeId& id) override;
+
+ private:
+  struct PendingStore {
+    NodeId node;
+    bool is_pointer = false;
+  };
+
+  // The k live nodes numerically closest to `key`, computed from the root
+  // node's leaf set (valid because k <= l/2 + 1).
+  std::vector<NodeId> KClosestFromLeafSet(const NodeId& root, const NodeId& key,
+                                          size_t k) const;
+
+  // True if `node` is one of the k closest to `key` according to its own
+  // leaf set — the insert/reclaim routing stop predicate.
+  bool IsAmongKClosest(const NodeId& node, const NodeId& key, size_t k) const;
+
+  // Chooses a diversion target for node `primary` per the configured policy:
+  // a leaf-set member that is not among the k closest and does not already
+  // hold a replica of the file. Returns nullopt if none eligible.
+  std::optional<NodeId> ChooseDiversionTarget(const NodeId& primary,
+                                              const std::vector<NodeId>& k_closest,
+                                              const FileId& file_id, uint64_t size);
+
+  // Rolls back replicas and pointers created by a failed insert attempt.
+  void RollbackInsert(const FileId& file_id, const std::vector<PendingStore>& stores);
+
+  // Caches the file along a route (section 4).
+  void CacheAlongPath(const std::vector<NodeId>& path, const FileId& file_id, uint64_t size,
+                      const FileContentRef& content);
+
+  // Replica maintenance (section 3.5) over a set of nodes' file tables.
+  void RestoreInvariants(const std::vector<NodeId>& region);
+  void RepairFile(const FileId& file_id);
+
+  PastConfig config_;
+  PastryConfig pastry_config_;
+  PastryNetwork pastry_;
+  Rng rng_;
+  std::unordered_map<NodeId, std::unique_ptr<PastNode>, NodeIdHash> nodes_;
+  PastCounters counters_;
+  uint64_t total_capacity_ = 0;
+  uint64_t total_stored_ = 0;
+  bool any_file_inserted_ = false;
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_PAST_NETWORK_H_

@@ -1,0 +1,81 @@
+#include "src/past/past_node.h"
+
+#include "src/cache/gds_policy.h"
+#include "src/cache/lru_policy.h"
+
+namespace past {
+namespace {
+
+std::unique_ptr<FileCache> MakeCache(const PastConfig& config) {
+  switch (config.cache_mode) {
+    case CacheMode::kNone:
+      return nullptr;
+    case CacheMode::kLru:
+      return std::make_unique<FileCache>(std::make_unique<LruPolicy>(), config.cache_fraction_c);
+    case CacheMode::kGreedyDualSize:
+      return std::make_unique<FileCache>(std::make_unique<GdsPolicy>(), config.cache_fraction_c);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PastNode::PastNode(const NodeId& id, const PastConfig& config, uint64_t capacity_bytes, Rng& rng)
+    : id_(id),
+      config_(config),
+      store_(capacity_bytes),
+      cache_(MakeCache(config)),
+      card_(rng, /*quota_bytes=*/0) {}
+
+bool PastNode::WouldAcceptPrimary(uint64_t size) const {
+  return config_.policy.AcceptPrimary(size, store_.free_bytes());
+}
+
+bool PastNode::WouldAcceptDiverted(uint64_t size) const {
+  return config_.policy.AcceptDiverted(size, store_.free_bytes());
+}
+
+bool PastNode::StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
+                            FileCertificateRef certificate, FileContentRef content) {
+  if (cache_ != nullptr) {
+    // The incoming replica displaces any cached copy of the same file and
+    // evicts enough cached content to make room (section 4).
+    cache_->Remove(id);
+    if (size <= store_.free_bytes() && store_.free_bytes() - size < cache_->used()) {
+      cache_->ShrinkToBudget(store_.free_bytes() - size);
+    }
+  }
+  return store_.StoreReplica(id, kind, size, std::move(certificate), std::move(content));
+}
+
+std::optional<uint64_t> PastNode::RemoveReplica(const FileId& id) {
+  return store_.RemoveReplica(id);
+}
+
+bool PastNode::CacheFile(const FileId& id, uint64_t size, FileContentRef content) {
+  if (cache_ == nullptr || store_.HasReplica(id)) {
+    return false;
+  }
+  return cache_->Insert(id, size, store_.free_bytes(), std::move(content));
+}
+
+StoreReceipt PastNode::MakeStoreReceipt(const FileId& id) {
+  StoreReceipt receipt;
+  receipt.file_id = id;
+  receipt.storing_node = id_;
+  receipt.node_key = card_.public_key();
+  receipt.signature = card_.Sign(receipt.SignedPayload());
+  return receipt;
+}
+
+ReclaimReceipt PastNode::MakeReclaimReceipt(const FileId& id, uint64_t bytes) {
+  ReclaimReceipt receipt;
+  receipt.file_id = id;
+  receipt.storing_node = id_;
+  receipt.reclaimed_bytes = bytes;
+  receipt.node_key = card_.public_key();
+  receipt.signature = card_.Sign(receipt.SignedPayload());
+  return receipt;
+}
+
+}  // namespace past

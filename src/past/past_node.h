@@ -1,0 +1,64 @@
+// The PAST storage layer living on one Pastry node: the local store, the
+// file cache, the node's smartcard (for signing store/reclaim receipts), and
+// the local accept/divert decisions of section 3.3.1.
+#ifndef SRC_PAST_PAST_NODE_H_
+#define SRC_PAST_PAST_NODE_H_
+
+#include <memory>
+
+#include "src/cache/file_cache.h"
+#include "src/common/node_id.h"
+#include "src/common/rng.h"
+#include "src/crypto/smartcard.h"
+#include "src/past/config.h"
+#include "src/storage/node_store.h"
+
+namespace past {
+
+class PastNode {
+ public:
+  PastNode(const NodeId& id, const PastConfig& config, uint64_t capacity_bytes, Rng& rng);
+
+  const NodeId& id() const { return id_; }
+  NodeStore& store() { return store_; }
+  const NodeStore& store() const { return store_; }
+
+  // Null when caching is disabled.
+  FileCache* cache() { return cache_.get(); }
+  const FileCache* cache() const { return cache_.get(); }
+
+  Smartcard& card() { return card_; }
+
+  // Policy checks (S_D / F_N thresholds of section 3.3.1).
+  bool WouldAcceptPrimary(uint64_t size) const;
+  bool WouldAcceptDiverted(uint64_t size) const;
+
+  // Stores a replica, displacing cached content as needed. The caller has
+  // already run the policy check. Returns false if it physically cannot fit.
+  bool StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
+                    FileCertificateRef certificate, FileContentRef content = nullptr);
+
+  // Removes a replica, returning its size if present.
+  std::optional<uint64_t> RemoveReplica(const FileId& id);
+
+  // Tries to cache a file (route-side caching, section 4). Never caches a
+  // file this node holds as a replica.
+  bool CacheFile(const FileId& id, uint64_t size, FileContentRef content = nullptr);
+
+  // Issues a signed store receipt for a file this node is responsible for.
+  StoreReceipt MakeStoreReceipt(const FileId& id);
+
+  // Issues a signed reclaim receipt for `bytes` freed.
+  ReclaimReceipt MakeReclaimReceipt(const FileId& id, uint64_t bytes);
+
+ private:
+  NodeId id_;
+  const PastConfig& config_;
+  NodeStore store_;
+  std::unique_ptr<FileCache> cache_;
+  Smartcard card_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_PAST_NODE_H_

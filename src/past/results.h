@@ -1,0 +1,62 @@
+// Result types for the PAST client-visible operations.
+#ifndef SRC_PAST_RESULTS_H_
+#define SRC_PAST_RESULTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/file_id.h"
+#include "src/common/node_id.h"
+#include "src/crypto/certificates.h"
+
+namespace past {
+
+enum class InsertStatus {
+  kStored,          // k replicas created, receipts returned
+  kNoSpace,         // negative ack: neither the k closest nor their leaf sets
+                    // could accommodate the file (triggers file diversion)
+  kDuplicateFileId, // fileId collision: the later insert is rejected
+  kBadCertificate,  // certificate failed verification at the root
+};
+
+struct InsertResult {
+  InsertStatus status = InsertStatus::kNoSpace;
+  // Replicas actually created (== k on success).
+  uint32_t replicas_stored = 0;
+  // How many of those were diverted into the leaf set.
+  uint32_t replicas_diverted = 0;
+  // Pastry hops taken by the insert message.
+  int route_hops = 0;
+  std::vector<StoreReceipt> receipts;
+};
+
+struct LookupResult {
+  bool found = false;
+  // True when a cached copy (not one of the k replicas) served the request.
+  bool served_from_cache = false;
+  // True when the serving replica was a diverted one reached via pointer
+  // (costs one extra hop, paper section 3.3).
+  bool via_diversion_pointer = false;
+  uint64_t file_size = 0;
+  // Routing hops until the file was found (including the pointer hop).
+  int hops = 0;
+  // Total proximity distance traversed.
+  double distance = 0.0;
+  NodeId served_by;
+  // The file bytes, when the insert supplied content (null for size-only
+  // trace experiments).
+  std::shared_ptr<const std::string> content;
+};
+
+struct ReclaimResult {
+  bool accepted = false;  // certificate verified at the storing nodes
+  uint32_t replicas_reclaimed = 0;
+  uint64_t bytes_reclaimed = 0;
+  std::vector<ReclaimReceipt> receipts;
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_RESULTS_H_

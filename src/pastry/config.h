@@ -1,0 +1,28 @@
+// Pastry configuration parameters (paper section 2.1).
+#ifndef SRC_PASTRY_CONFIG_H_
+#define SRC_PASTRY_CONFIG_H_
+
+namespace past {
+
+struct PastryConfig {
+  // Base of the digit representation is 2^b. The paper's typical value is 4
+  // (hex digits), giving ceil(log_16 N) routing steps.
+  int b = 4;
+
+  // Leaf set size l: l/2 numerically closest smaller and l/2 larger nodeIds.
+  // Typical value 32; PAST's Table 2 also evaluates 16.
+  int leaf_set_size = 32;
+
+  // Neighborhood set size: the M nodes closest by the proximity metric.
+  // Used during node addition, not for routing.
+  int neighborhood_size = 32;
+
+  // Probability that a routing step deliberately picks a random valid
+  // alternative instead of the best next hop (paper section 2.3: randomized
+  // routing to evade malicious/faulty nodes on the path). 0 = deterministic.
+  double route_randomization = 0.0;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_CONFIG_H_

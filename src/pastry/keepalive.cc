@@ -1,0 +1,35 @@
+#include "src/pastry/keepalive.h"
+
+namespace past {
+
+KeepAliveDriver::KeepAliveDriver(EventQueue& queue, PastryNetwork& network, SimTime period)
+    : queue_(queue), network_(network), period_(period) {
+  ScheduleNext();
+}
+
+KeepAliveDriver::~KeepAliveDriver() { Stop(); }
+
+void KeepAliveDriver::Stop() {
+  if (!stopped_) {
+    stopped_ = true;
+    if (pending_event_ != 0) {
+      queue_.Cancel(pending_event_);
+      pending_event_ = 0;
+    }
+  }
+}
+
+void KeepAliveDriver::ScheduleNext() {
+  pending_event_ = queue_.ScheduleAfter(period_, [this] { RunRound(); });
+}
+
+void KeepAliveDriver::RunRound() {
+  if (stopped_) {
+    return;
+  }
+  ++rounds_run_;
+  failures_detected_ += network_.DetectAndRepair();
+  ScheduleNext();
+}
+
+}  // namespace past

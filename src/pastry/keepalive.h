@@ -1,0 +1,48 @@
+// Timed keep-alive protocol (paper section 2.1): neighboring nodes in the
+// nodeId space exchange keep-alive messages; a node unresponsive for a period
+// T is presumed failed, triggering leaf-set repair in all affected nodes.
+//
+// The KeepAliveDriver binds that behavior to the discrete-event clock: every
+// `period` of virtual time it runs one probe round over the overlay. A
+// silently failed node is therefore detected no later than its failure time
+// plus period + timeout (the paper's recovery period).
+#ifndef SRC_PASTRY_KEEPALIVE_H_
+#define SRC_PASTRY_KEEPALIVE_H_
+
+#include "src/pastry/network.h"
+#include "src/sim/event_queue.h"
+
+namespace past {
+
+class KeepAliveDriver {
+ public:
+  // Starts probing immediately: the first round fires at now() + period.
+  KeepAliveDriver(EventQueue& queue, PastryNetwork& network, SimTime period);
+  ~KeepAliveDriver();
+
+  KeepAliveDriver(const KeepAliveDriver&) = delete;
+  KeepAliveDriver& operator=(const KeepAliveDriver&) = delete;
+
+  // Stops scheduling further rounds (pending round is cancelled).
+  void Stop();
+
+  SimTime period() const { return period_; }
+  uint64_t rounds_run() const { return rounds_run_; }
+  uint64_t failures_detected() const { return failures_detected_; }
+
+ private:
+  void ScheduleNext();
+  void RunRound();
+
+  EventQueue& queue_;
+  PastryNetwork& network_;
+  SimTime period_;
+  EventQueue::EventId pending_event_ = 0;
+  bool stopped_ = false;
+  uint64_t rounds_run_ = 0;
+  uint64_t failures_detected_ = 0;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_KEEPALIVE_H_

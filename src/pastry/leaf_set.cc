@@ -1,0 +1,109 @@
+#include "src/pastry/leaf_set.h"
+
+#include <algorithm>
+
+namespace past {
+
+LeafSet::LeafSet(const NodeId& owner, int capacity_per_side)
+    : owner_(owner), capacity_per_side_(capacity_per_side) {}
+
+bool LeafSet::InsertSide(std::vector<NodeId>& side, const NodeId& id, bool clockwise) {
+  auto directed = [&](const NodeId& n) {
+    return clockwise ? owner_.ClockwiseDistance(n) : n.ClockwiseDistance(owner_);
+  };
+  uint128 d = directed(id);
+  auto pos = std::lower_bound(side.begin(), side.end(), id, [&](const NodeId& a, const NodeId& b) {
+    return directed(a) < directed(b);
+  });
+  // `pos` may point at an equal-distance element, i.e. the id itself.
+  if (pos != side.end() && *pos == id) {
+    return false;
+  }
+  if (side.size() == static_cast<size_t>(capacity_per_side_)) {
+    if (d >= directed(side.back())) {
+      return false;  // farther than everything we keep
+    }
+    side.pop_back();
+    pos = std::lower_bound(side.begin(), side.end(), id,
+                           [&](const NodeId& a, const NodeId& b) {
+                             return directed(a) < directed(b);
+                           });
+  }
+  side.insert(pos, id);
+  return true;
+}
+
+bool LeafSet::Insert(const NodeId& id) {
+  if (id == owner_) {
+    return false;
+  }
+  // A node is a candidate for both sides; with >= l+1 nodes in the system the
+  // capacity limits naturally make the sides disjoint.
+  bool inserted_larger = InsertSide(larger_, id, /*clockwise=*/true);
+  bool inserted_smaller = InsertSide(smaller_, id, /*clockwise=*/false);
+  return inserted_larger || inserted_smaller;
+}
+
+bool LeafSet::Remove(const NodeId& id) {
+  auto erase_from = [&](std::vector<NodeId>& side) {
+    auto it = std::find(side.begin(), side.end(), id);
+    if (it == side.end()) {
+      return false;
+    }
+    side.erase(it);
+    return true;
+  };
+  bool a = erase_from(larger_);
+  bool b = erase_from(smaller_);
+  return a || b;
+}
+
+bool LeafSet::Contains(const NodeId& id) const {
+  return std::find(larger_.begin(), larger_.end(), id) != larger_.end() ||
+         std::find(smaller_.begin(), smaller_.end(), id) != smaller_.end();
+}
+
+std::vector<NodeId> LeafSet::All() const {
+  std::vector<NodeId> all = larger_;
+  for (const NodeId& id : smaller_) {
+    if (std::find(all.begin(), all.end(), id) == all.end()) {
+      all.push_back(id);
+    }
+  }
+  return all;
+}
+
+bool LeafSet::Covers(const NodeId& key) const {
+  if (key == owner_) {
+    return true;
+  }
+  // The covered arc runs counterclockwise from the farthest smaller member to
+  // the farthest larger member (through the owner). With an empty side, the
+  // arc boundary is the owner itself.
+  uint128 cw_reach = larger_.empty() ? 0 : owner_.ClockwiseDistance(larger_.back());
+  uint128 ccw_reach = smaller_.empty() ? 0 : smaller_.back().ClockwiseDistance(owner_);
+  uint128 cw_key = owner_.ClockwiseDistance(key);
+  uint128 ccw_key = key.ClockwiseDistance(owner_);
+  return cw_key <= cw_reach || ccw_key <= ccw_reach;
+}
+
+NodeId LeafSet::ClosestTo(const NodeId& key) const {
+  NodeId best = owner_;
+  for (const auto* side : {&larger_, &smaller_}) {
+    for (const NodeId& id : *side) {
+      if (id.CloserTo(key, best)) {
+        best = id;
+      }
+    }
+  }
+  return best;
+}
+
+size_t LeafSet::size() const { return All().size(); }
+
+bool LeafSet::full() const {
+  return larger_.size() == static_cast<size_t>(capacity_per_side_) &&
+         smaller_.size() == static_cast<size_t>(capacity_per_side_);
+}
+
+}  // namespace past

@@ -1,0 +1,67 @@
+// Pastry leaf set: the l/2 numerically closest larger and l/2 numerically
+// closest smaller nodeIds relative to the owning node (paper section 2.1).
+//
+// The leaf set is the backbone of both routing correctness (final-hop
+// delivery) and PAST's replica placement (the k nodes closest to a fileId
+// are, by the constraint k <= l/2 + 1, always inside the root's leaf set).
+// When fewer than l nodes exist on either side the two sides may overlap;
+// consumers that need "distinct nodes" use All().
+#ifndef SRC_PASTRY_LEAF_SET_H_
+#define SRC_PASTRY_LEAF_SET_H_
+
+#include <vector>
+
+#include "src/common/node_id.h"
+
+namespace past {
+
+class LeafSet {
+ public:
+  LeafSet(const NodeId& owner, int capacity_per_side);
+
+  const NodeId& owner() const { return owner_; }
+  int capacity_per_side() const { return capacity_per_side_; }
+
+  // Considers `id` for membership; returns true if it was inserted (possibly
+  // evicting the farthest member on its side).
+  bool Insert(const NodeId& id);
+
+  // Removes `id` from both sides. Returns true if it was present.
+  bool Remove(const NodeId& id);
+
+  bool Contains(const NodeId& id) const;
+
+  // Members on the clockwise (numerically larger, wrapping) side, ordered by
+  // increasing ring distance from the owner.
+  const std::vector<NodeId>& larger() const { return larger_; }
+  // Members on the counterclockwise side, ordered likewise.
+  const std::vector<NodeId>& smaller() const { return smaller_; }
+
+  // Distinct members of both sides (owner excluded).
+  std::vector<NodeId> All() const;
+
+  // True if `key` falls inside the id range covered by the leaf set
+  // (between the farthest smaller and farthest larger member, owner
+  // inclusive). When true, the numerically closest node to `key` is a member
+  // (or the owner) and routing can finish in one hop.
+  bool Covers(const NodeId& key) const;
+
+  // The member (or owner) numerically closest to `key`.
+  NodeId ClosestTo(const NodeId& key) const;
+
+  size_t size() const;
+  bool full() const;
+
+ private:
+  // Inserts into one side vector kept sorted by directed distance.
+  bool InsertSide(std::vector<NodeId>& side, const NodeId& id, bool clockwise);
+
+  NodeId owner_;
+  int capacity_per_side_;
+  std::vector<NodeId> larger_;
+  std::vector<NodeId> smaller_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_LEAF_SET_H_

@@ -1,0 +1,42 @@
+#include "src/pastry/neighborhood_set.h"
+
+#include <algorithm>
+
+namespace past {
+
+NeighborhoodSet::NeighborhoodSet(const NodeId& owner, int capacity, ProximityFn proximity)
+    : owner_(owner), capacity_(static_cast<size_t>(capacity)), proximity_(std::move(proximity)) {}
+
+bool NeighborhoodSet::Consider(const NodeId& id) {
+  if (id == owner_ || Contains(id)) {
+    return false;
+  }
+  // Without a proximity metric every node is equidistant (insertion order).
+  auto distance = [this](const NodeId& n) { return proximity_ ? proximity_(n) : 0.0; };
+  double d = distance(id);
+  auto pos = std::lower_bound(members_.begin(), members_.end(), d,
+                              [&](const NodeId& m, double v) { return distance(m) < v; });
+  if (members_.size() >= capacity_ && pos == members_.end()) {
+    return false;
+  }
+  members_.insert(pos, id);
+  if (members_.size() > capacity_) {
+    members_.pop_back();
+  }
+  return true;
+}
+
+bool NeighborhoodSet::Remove(const NodeId& id) {
+  auto it = std::find(members_.begin(), members_.end(), id);
+  if (it == members_.end()) {
+    return false;
+  }
+  members_.erase(it);
+  return true;
+}
+
+bool NeighborhoodSet::Contains(const NodeId& id) const {
+  return std::find(members_.begin(), members_.end(), id) != members_.end();
+}
+
+}  // namespace past

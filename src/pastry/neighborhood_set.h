@@ -1,0 +1,37 @@
+// Pastry neighborhood set: the M nodes closest to the owner according to the
+// proximity metric (paper section 2.1). Not used in routing; it seeds
+// locality-aware state during node addition.
+#ifndef SRC_PASTRY_NEIGHBORHOOD_SET_H_
+#define SRC_PASTRY_NEIGHBORHOOD_SET_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/node_id.h"
+
+namespace past {
+
+class NeighborhoodSet {
+ public:
+  using ProximityFn = std::function<double(const NodeId&)>;
+
+  NeighborhoodSet(const NodeId& owner, int capacity, ProximityFn proximity);
+
+  // Considers `id`; keeps the `capacity` proximally closest nodes.
+  bool Consider(const NodeId& id);
+  bool Remove(const NodeId& id);
+  bool Contains(const NodeId& id) const;
+
+  const std::vector<NodeId>& members() const { return members_; }
+  size_t size() const { return members_.size(); }
+
+ private:
+  NodeId owner_;
+  size_t capacity_;
+  ProximityFn proximity_;
+  std::vector<NodeId> members_;  // sorted by increasing proximity distance
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_NEIGHBORHOOD_SET_H_

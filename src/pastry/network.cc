@@ -1,0 +1,453 @@
+#include "src/pastry/network.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace past {
+
+PastryNetwork::PastryNetwork(const PastryConfig& config, uint64_t seed)
+    : config_(config), rng_(seed), topology_(rng_.NextU64()) {}
+
+NodeId PastryNetwork::RandomNodeId() {
+  for (;;) {
+    NodeId id(rng_.NextU64(), rng_.NextU64());
+    if (nodes_.count(id) == 0) {
+      return id;
+    }
+  }
+}
+
+PastryNode::ProximityFn PastryNetwork::MakeProximityFn(const NodeId& id) {
+  return [this, id](const NodeId& other) {
+    if (!topology_.Contains(id) || !topology_.Contains(other)) {
+      return 1e9;
+    }
+    return topology_.Distance(id, other);
+  };
+}
+
+NodeId PastryNetwork::CreateNode() {
+  NodeId id = RandomNodeId();
+  Coordinate location{rng_.NextDouble(), rng_.NextDouble()};
+  Join(id, location);
+  return id;
+}
+
+NodeId PastryNetwork::CreateNodeNear(const Coordinate& center, double spread) {
+  NodeId id = RandomNodeId();
+  // Spread handled by the topology's own generator for determinism.
+  Coordinate location = center;
+  topology_.PlaceNear(id, center, spread);
+  location = topology_.LocationOf(id);
+  topology_.Remove(id);  // Join() re-registers it
+  Join(id, location);
+  return id;
+}
+
+bool PastryNetwork::Join(const NodeId& id, const Coordinate& location) {
+  if (nodes_.count(id) != 0 && alive_[id]) {
+    return false;
+  }
+
+  // Find the proximally nearest live node to bootstrap from, before the new
+  // node occupies its own place in the topology.
+  NodeId seed;
+  bool have_seed = !ring_.empty();
+  if (have_seed) {
+    seed = topology_.NearestTo(location);
+  }
+
+  topology_.PlaceNear(id, location, 0.0);
+  auto node = std::make_unique<PastryNode>(id, config_, MakeProximityFn(id));
+  PastryNode* x = node.get();
+  nodes_[id] = std::move(node);
+  alive_[id] = true;
+
+  if (have_seed) {
+    // Route the special join message from the seed toward the new id; the
+    // path supplies routing rows, its terminus Z supplies the leaf set, and
+    // the seed supplies the neighborhood set (paper section 2.1).
+    RouteResult route = Route(seed, id);
+    PastryNode* z = this->node(route.destination());
+
+    for (const NodeId& member : z->leaf_set().All()) {
+      if (IsAlive(member)) {
+        x->leaf_set().Insert(member);
+      }
+    }
+    x->leaf_set().Insert(z->id());
+
+    for (const NodeId& visited : route.path) {
+      PastryNode* p = this->node(visited);
+      if (p == nullptr) {
+        continue;
+      }
+      x->Learn(p->id());
+      for (const NodeId& entry : p->routing_table().Entries()) {
+        if (IsAlive(entry)) {
+          x->routing_table().Consider(entry);
+        }
+      }
+      for (const NodeId& member : p->leaf_set().All()) {
+        if (IsAlive(member)) {
+          x->routing_table().Consider(member);
+        }
+      }
+    }
+
+    PastryNode* a = this->node(seed);
+    x->neighborhood().Consider(a->id());
+    for (const NodeId& neighbor : a->neighborhood().members()) {
+      if (IsAlive(neighbor)) {
+        x->neighborhood().Consider(neighbor);
+      }
+    }
+
+    AnnounceNewNode(*x);
+  }
+
+  ring_[id.value()] = id;
+  NotifyJoined(id);
+  return true;
+}
+
+void PastryNetwork::AnnounceNewNode(PastryNode& node) {
+  // The arriving node transmits its state to every node it now references;
+  // each of them folds the newcomer into its own state.
+  std::vector<NodeId> targets = node.leaf_set().All();
+  for (const NodeId& entry : node.routing_table().Entries()) {
+    targets.push_back(entry);
+  }
+  for (const NodeId& member : node.neighborhood().members()) {
+    targets.push_back(member);
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  for (const NodeId& t : targets) {
+    PastryNode* w = this->node(t);
+    if (w != nullptr && IsAlive(t)) {
+      w->Learn(node.id());
+      stats_.RecordMessage(64);
+    }
+  }
+}
+
+void PastryNetwork::BuildInitialNetwork(size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    CreateNode();
+  }
+}
+
+void PastryNetwork::FailNode(const NodeId& id) {
+  FailNodeSilently(id);
+  RepairAfterFailure(id);
+  NotifyFailed(id);
+}
+
+void PastryNetwork::FailNodeSilently(const NodeId& id) {
+  auto it = alive_.find(id);
+  if (it == alive_.end() || !it->second) {
+    return;
+  }
+  it->second = false;
+  ring_.erase(id.value());
+  topology_.Remove(id);
+}
+
+void PastryNetwork::RepairAfterFailure(const NodeId& failed) {
+  // All members of the failed node's leaf set detect the failure, purge the
+  // reference, and rebuild from the leaf sets of their remaining members —
+  // overlap among adjacent leaf sets makes the replacement reachable.
+  std::vector<NodeId> affected;
+  for (const auto& [value, id] : ring_) {
+    (void)value;
+    PastryNode* w = node(id);
+    if (w != nullptr && (w->leaf_set().Contains(failed) || w->routing_table().Remove(failed) ||
+                         w->neighborhood().Contains(failed))) {
+      affected.push_back(id);
+    }
+  }
+  for (const NodeId& id : affected) {
+    node(id)->Forget(failed);
+  }
+  for (const NodeId& id : affected) {
+    PastryNode* w = node(id);
+    std::vector<NodeId> donors = w->leaf_set().All();
+    for (const NodeId& donor : donors) {
+      PastryNode* d = node(donor);
+      if (d == nullptr || !IsAlive(donor)) {
+        continue;
+      }
+      stats_.RecordRpc();
+      for (const NodeId& candidate : d->leaf_set().All()) {
+        if (IsAlive(candidate)) {
+          w->leaf_set().Insert(candidate);
+        }
+      }
+    }
+  }
+}
+
+size_t PastryNetwork::DetectAndRepair() {
+  // One keep-alive round: collect every dead node still referenced by a live
+  // leaf set, then run the standard repair for each.
+  std::vector<NodeId> detected;
+  for (const auto& [value, id] : ring_) {
+    (void)value;
+    PastryNode* w = node(id);
+    for (const NodeId& member : w->leaf_set().All()) {
+      stats_.RecordMessage(16);  // keep-alive probe
+      if (!IsAlive(member) &&
+          std::find(detected.begin(), detected.end(), member) == detected.end()) {
+        detected.push_back(member);
+      }
+    }
+  }
+  for (const NodeId& dead : detected) {
+    RepairAfterFailure(dead);
+    NotifyFailed(dead);
+  }
+  return detected.size();
+}
+
+bool PastryNetwork::RecoverNode(const NodeId& id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || alive_[id]) {
+    return false;
+  }
+  // A recovering node contacts the nodes in its last known leaf set, obtains
+  // their current leaf sets, and rebuilds. We reuse the join machinery with
+  // the node's previous id; its stale state is discarded first.
+  Coordinate location{rng_.NextDouble(), rng_.NextDouble()};
+  nodes_.erase(it);
+  alive_.erase(id);
+  return Join(id, location);
+}
+
+size_t PastryNetwork::RepairRoutingTables() {
+  size_t repaired = 0;
+  for (const auto& [value, id] : ring_) {
+    (void)value;
+    PastryNode* w = node(id);
+    RoutingTable& table = w->routing_table();
+    for (int row = 0; row < table.rows(); ++row) {
+      // Candidates for this row come from the same row of our row-mates
+      // (they share the same prefix with us up to `row` digits) and from our
+      // leaf set. Only bother while the row has known members.
+      std::vector<NodeId> row_mates = table.Row(row);
+      if (row_mates.empty()) {
+        continue;
+      }
+      for (const NodeId& mate : row_mates) {
+        PastryNode* m = node(mate);
+        if (m == nullptr || !IsAlive(mate)) {
+          continue;
+        }
+        stats_.RecordRpc();
+        for (const NodeId& candidate : m->routing_table().Row(row)) {
+          if (IsAlive(candidate) && table.Consider(candidate)) {
+            ++repaired;
+          }
+        }
+      }
+    }
+    for (const NodeId& member : w->leaf_set().All()) {
+      if (IsAlive(member) && table.Consider(member)) {
+        ++repaired;
+      }
+    }
+  }
+  return repaired;
+}
+
+RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const StopFn& stop) {
+  RouteResult result;
+  if (!IsAlive(from)) {
+    return result;
+  }
+  NodeId current = from;
+  result.path.push_back(current);
+  if (stop && stop(current)) {
+    result.stopped_early = true;
+    return result;
+  }
+  // Hop bound as a safety net; Pastry terminates in ~log_2^b(N) steps.
+  int max_hops = 8 * NodeId::NumDigits(config_.b);
+  for (int hop = 0; hop < max_hops; ++hop) {
+    PastryNode* n = node(current);
+    std::optional<NodeId> next =
+        n->NextHop(key, [this](const NodeId& id) { return IsAlive(id); }, &rng_);
+    if (!next) {
+      return result;  // current node is the destination
+    }
+    double d = topology_.Distance(current, *next);
+    stats_.RecordHop(d);
+    stats_.RecordMessage(64);
+    result.distance += d;
+    current = *next;
+    result.path.push_back(current);
+    // A malicious node accepts the message and silently drops it; the
+    // message never reaches the application at this or any further node.
+    if (IsMalicious(current)) {
+      result.delivered = false;
+      return result;
+    }
+    if (stop && stop(current)) {
+      result.stopped_early = true;
+      return result;
+    }
+  }
+  PAST_LOG(kWarning) << "routing to " << key.ToHex() << " exceeded hop bound";
+  return result;
+}
+
+void PastryNetwork::SetMalicious(const NodeId& id, bool malicious) {
+  malicious_[id] = malicious;
+}
+
+bool PastryNetwork::IsMalicious(const NodeId& id) const {
+  auto it = malicious_.find(id);
+  return it != malicious_.end() && it->second;
+}
+
+bool PastryNetwork::IsAlive(const NodeId& id) const {
+  auto it = alive_.find(id);
+  return it != alive_.end() && it->second;
+}
+
+PastryNode* PastryNetwork::node(const NodeId& id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const PastryNode* PastryNetwork::node(const NodeId& id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> PastryNetwork::live_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(ring_.size());
+  for (const auto& [value, id] : ring_) {
+    (void)value;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> PastryNetwork::KClosestLive(const NodeId& key, size_t k) const {
+  std::vector<NodeId> out;
+  if (ring_.empty()) {
+    return out;
+  }
+  k = std::min(k, ring_.size());
+  // Walk outward from the key position in both directions, picking whichever
+  // side is closer by ring distance at each step.
+  auto forward = ring_.lower_bound(key.value());
+  auto backward = forward;
+  auto advance_fwd = [&](std::map<uint128, NodeId>::const_iterator& it) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+  };
+  advance_fwd(forward);
+  auto retreat_bwd = [&](std::map<uint128, NodeId>::const_iterator& it) {
+    if (it == ring_.begin()) {
+      it = ring_.end();
+    }
+    --it;
+  };
+  retreat_bwd(backward);
+
+  while (out.size() < k) {
+    const NodeId& f = forward->second;
+    const NodeId& b = backward->second;
+    bool f_taken = std::find(out.begin(), out.end(), f) != out.end();
+    bool b_taken = std::find(out.begin(), out.end(), b) != out.end();
+    if (f_taken && b_taken) {
+      break;  // exhausted the ring
+    }
+    bool take_forward = b_taken || (!f_taken && f.CloserTo(key, b));
+    if (take_forward) {
+      out.push_back(f);
+      ++forward;
+      advance_fwd(forward);
+    } else {
+      out.push_back(b);
+      retreat_bwd(backward);
+    }
+  }
+  return out;
+}
+
+NodeId PastryNetwork::ClosestLive(const NodeId& key) const {
+  std::vector<NodeId> closest = KClosestLive(key, 1);
+  return closest.empty() ? NodeId() : closest.front();
+}
+
+void PastryNetwork::RemoveObserver(MembershipObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer), observers_.end());
+}
+
+void PastryNetwork::NotifyJoined(const NodeId& id) {
+  for (MembershipObserver* o : observers_) {
+    o->OnNodeJoined(id);
+  }
+}
+
+void PastryNetwork::NotifyFailed(const NodeId& id) {
+  for (MembershipObserver* o : observers_) {
+    o->OnNodeFailed(id);
+  }
+}
+
+size_t PastryNetwork::CountLeafSetViolations() const {
+  size_t violations = 0;
+  size_t per_side = static_cast<size_t>(config_.leaf_set_size) / 2;
+  for (const auto& [value, id] : ring_) {
+    (void)value;
+    const PastryNode* n = node(id);
+    // Ground truth: walk the ring in each direction.
+    auto it = ring_.find(id.value());
+    auto fwd = it;
+    std::vector<NodeId> expect_larger;
+    for (size_t i = 0; i < per_side && expect_larger.size() < ring_.size() - 1; ++i) {
+      ++fwd;
+      if (fwd == ring_.end()) {
+        fwd = ring_.begin();
+      }
+      if (fwd->second == id) {
+        break;
+      }
+      expect_larger.push_back(fwd->second);
+    }
+    auto bwd = it;
+    std::vector<NodeId> expect_smaller;
+    for (size_t i = 0; i < per_side && expect_smaller.size() < ring_.size() - 1; ++i) {
+      if (bwd == ring_.begin()) {
+        bwd = ring_.end();
+      }
+      --bwd;
+      if (bwd->second == id) {
+        break;
+      }
+      expect_smaller.push_back(bwd->second);
+    }
+    for (const NodeId& e : expect_larger) {
+      if (std::find(n->leaf_set().larger().begin(), n->leaf_set().larger().end(), e) ==
+          n->leaf_set().larger().end()) {
+        ++violations;
+      }
+    }
+    for (const NodeId& e : expect_smaller) {
+      if (std::find(n->leaf_set().smaller().begin(), n->leaf_set().smaller().end(), e) ==
+          n->leaf_set().smaller().end()) {
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace past

@@ -1,0 +1,164 @@
+// The Pastry overlay network: node registry, the join / failure / recovery
+// protocols, and message routing with hop accounting.
+//
+// Mirrors the paper's evaluation methodology: all nodes live in one process
+// and communicate by direct invocation, while proximity comes from the
+// emulated topology. Ground-truth oracles (the sorted ring of live ids) are
+// exposed for invariant checking in tests, never used on routing paths.
+#ifndef SRC_PASTRY_NETWORK_H_
+#define SRC_PASTRY_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/node_id.h"
+#include "src/common/rng.h"
+#include "src/net/topology.h"
+#include "src/net/transport_stats.h"
+#include "src/pastry/config.h"
+#include "src/pastry/node.h"
+
+namespace past {
+
+// Notifications about overlay membership changes; PAST subscribes to drive
+// replica maintenance (paper section 3.5).
+class MembershipObserver {
+ public:
+  virtual ~MembershipObserver() = default;
+  virtual void OnNodeJoined(const NodeId& id) = 0;
+  virtual void OnNodeFailed(const NodeId& id) = 0;
+};
+
+struct RouteResult {
+  // Visited nodes, origin first. Empty only if the origin is unknown/dead.
+  std::vector<NodeId> path;
+  // True if the stop predicate fired before reaching the numerically
+  // closest node (e.g. a cached copy satisfied a lookup en route).
+  bool stopped_early = false;
+  // False if a malicious node on the path accepted the message but silently
+  // dropped it (paper section 2.3). The client must retry; randomized
+  // routing makes the retry likely to avoid the bad node.
+  bool delivered = true;
+  // Sum of proximity distances over all hops taken.
+  double distance = 0.0;
+
+  int hops() const { return path.empty() ? 0 : static_cast<int>(path.size()) - 1; }
+  NodeId destination() const { return path.empty() ? NodeId() : path.back(); }
+};
+
+class PastryNetwork {
+ public:
+  // Stop predicate evaluated at every node a message visits (including the
+  // origin); returning true terminates routing at that node.
+  using StopFn = std::function<bool(const NodeId&)>;
+
+  PastryNetwork(const PastryConfig& config, uint64_t seed);
+
+  const PastryConfig& config() const { return config_; }
+  Topology& topology() { return topology_; }
+  TransportStats& stats() { return stats_; }
+  Rng& rng() { return rng_; }
+
+  // --- membership ---
+
+  // Creates a node with a fresh quasi-random nodeId at a uniform location and
+  // joins it through the proximally nearest existing node. Returns its id.
+  NodeId CreateNode();
+
+  // Same, but placed near `center` (geographic clustering).
+  NodeId CreateNodeNear(const Coordinate& center, double spread);
+
+  // Joins a node with a caller-chosen id at `location`. Returns false if the
+  // id is already present.
+  bool Join(const NodeId& id, const Coordinate& location);
+
+  // Builds an initial network of `n` uniformly placed nodes.
+  void BuildInitialNetwork(size_t n);
+
+  // Fails a node and immediately runs failure detection and leaf-set repair
+  // on the affected nodes (the common case in tests and experiments).
+  void FailNode(const NodeId& id);
+
+  // Marks a node dead without telling anyone. Failure is discovered lazily
+  // during routing or by the next DetectAndRepair() keep-alive round.
+  void FailNodeSilently(const NodeId& id);
+
+  // One keep-alive round: every live node checks its leaf set for dead
+  // members and repairs (paper: neighbors exchange keep-alives; after period
+  // T a silent node is presumed failed). Returns number of failures detected.
+  size_t DetectAndRepair();
+
+  // A previously failed node recovers and rejoins with the same id.
+  bool RecoverNode(const NodeId& id);
+
+  // One round of lazy routing-table repair (paper section 2.1: a failed
+  // entry at row r is replaced by asking other nodes from row r for a node
+  // with the required prefix). Each live node offers its row-mates' entries
+  // and its leaf set to every node it references. Returns the number of
+  // routing-table slots that were newly filled.
+  size_t RepairRoutingTables();
+
+  // --- routing ---
+
+  // Routes a message from `from` toward `key`, stopping early where `stop`
+  // fires. Accounts hops and proximity distance in stats().
+  RouteResult Route(const NodeId& from, const NodeId& key, const StopFn& stop = nullptr);
+
+  // --- adversarial model (paper section 2.3) ---
+
+  // Marks a node as malicious: it accepts messages routed to it but does not
+  // forward them. Routing state still lists it (it responds to probes), so
+  // deterministic routes through it fail repeatedly; randomized routing
+  // (PastryConfig::route_randomization) lets retries evade it.
+  void SetMalicious(const NodeId& id, bool malicious);
+  bool IsMalicious(const NodeId& id) const;
+
+  // --- queries ---
+
+  bool IsAlive(const NodeId& id) const;
+  PastryNode* node(const NodeId& id);
+  const PastryNode* node(const NodeId& id) const;
+  size_t live_count() const { return ring_.size(); }
+  std::vector<NodeId> live_nodes() const;
+
+  // Ground-truth oracle: the k live nodes numerically closest to `key`.
+  std::vector<NodeId> KClosestLive(const NodeId& key, size_t k) const;
+
+  // Ground-truth oracle: the live node numerically closest to `key`.
+  NodeId ClosestLive(const NodeId& key) const;
+
+  // --- observers / invariants ---
+
+  void AddObserver(MembershipObserver* observer) { observers_.push_back(observer); }
+  void RemoveObserver(MembershipObserver* observer);
+
+  // Verifies every live node's leaf set against the ground-truth ring.
+  // Returns the number of discrepancies (0 means the invariant holds).
+  size_t CountLeafSetViolations() const;
+
+ private:
+  NodeId RandomNodeId();
+  PastryNode::ProximityFn MakeProximityFn(const NodeId& id);
+  void AnnounceNewNode(PastryNode& node);
+  void RepairAfterFailure(const NodeId& failed);
+  void NotifyJoined(const NodeId& id);
+  void NotifyFailed(const NodeId& id);
+
+  PastryConfig config_;
+  Rng rng_;
+  Topology topology_;
+  TransportStats stats_;
+  std::unordered_map<NodeId, std::unique_ptr<PastryNode>, NodeIdHash> nodes_;
+  std::unordered_map<NodeId, bool, NodeIdHash> alive_;
+  std::unordered_map<NodeId, bool, NodeIdHash> malicious_;
+  std::map<uint128, NodeId> ring_;  // live nodes ordered by id (oracle + seeds)
+  std::vector<MembershipObserver*> observers_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_NETWORK_H_

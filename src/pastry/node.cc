@@ -1,0 +1,121 @@
+#include "src/pastry/node.h"
+
+#include <algorithm>
+
+namespace past {
+
+PastryNode::PastryNode(const NodeId& id, const PastryConfig& config, ProximityFn proximity)
+    : id_(id),
+      config_(config),
+      routing_table_(id, config.b, proximity),
+      leaf_set_(id, config.leaf_set_size / 2),
+      neighborhood_(id, config.neighborhood_size, proximity) {}
+
+void PastryNode::Learn(const NodeId& other) {
+  if (other == id_) {
+    return;
+  }
+  leaf_set_.Insert(other);
+  routing_table_.Consider(other);
+  neighborhood_.Consider(other);
+}
+
+void PastryNode::Forget(const NodeId& other) {
+  leaf_set_.Remove(other);
+  routing_table_.Remove(other);
+  neighborhood_.Remove(other);
+}
+
+NodeId PastryNode::ClosestAliveLeaf(const NodeId& key, const AliveFn& alive) {
+  NodeId best = id_;
+  std::vector<NodeId> dead;
+  for (const NodeId& member : leaf_set_.All()) {
+    if (!alive(member)) {
+      dead.push_back(member);
+      continue;
+    }
+    if (member.CloserTo(key, best)) {
+      best = member;
+    }
+  }
+  for (const NodeId& d : dead) {
+    Forget(d);
+  }
+  return best;
+}
+
+std::vector<NodeId> PastryNode::ValidCandidates(const NodeId& key, const AliveFn& alive) {
+  int my_prefix = id_.SharedPrefixLength(key, config_.b);
+  std::vector<NodeId> candidates;
+  auto consider = [&](const NodeId& c) {
+    if (c == id_ || !alive(c)) {
+      return;
+    }
+    if (c.SharedPrefixLength(key, config_.b) >= my_prefix && c.CloserTo(key, id_) &&
+        std::find(candidates.begin(), candidates.end(), c) == candidates.end()) {
+      candidates.push_back(c);
+    }
+  };
+  for (const NodeId& c : leaf_set_.All()) {
+    consider(c);
+  }
+  for (const NodeId& c : routing_table_.Entries()) {
+    consider(c);
+  }
+  for (const NodeId& c : neighborhood_.members()) {
+    consider(c);
+  }
+  return candidates;
+}
+
+std::optional<NodeId> PastryNode::NextHop(const NodeId& key, const AliveFn& alive, Rng* rng) {
+  // Randomized routing (paper section 2.3): occasionally pick any valid
+  // choice to route around malicious or silently failed nodes on the path.
+  if (rng != nullptr && config_.route_randomization > 0.0 &&
+      rng->NextBool(config_.route_randomization)) {
+    std::vector<NodeId> candidates = ValidCandidates(key, alive);
+    if (!candidates.empty()) {
+      return candidates[rng->NextBelow(candidates.size())];
+    }
+    return std::nullopt;
+  }
+
+  // Case 1: key is within the leaf set's range; deliver to the numerically
+  // closest member (possibly ourselves).
+  if (leaf_set_.Covers(key)) {
+    NodeId best = ClosestAliveLeaf(key, alive);
+    if (best == id_) {
+      return std::nullopt;
+    }
+    return best;
+  }
+
+  // Case 2: forward to a routing table entry with a longer shared prefix.
+  int my_prefix = id_.SharedPrefixLength(key, config_.b);
+  int next_digit = key.Digit(my_prefix, config_.b);
+  if (auto entry = routing_table_.Get(my_prefix, next_digit)) {
+    if (alive(*entry)) {
+      return *entry;
+    }
+    Forget(*entry);
+  }
+
+  // Case 3 (rare): no such entry; forward to any known node sharing at least
+  // as long a prefix that is numerically closer to the key than we are.
+  std::vector<NodeId> candidates = ValidCandidates(key, alive);
+  if (candidates.empty()) {
+    return std::nullopt;  // we are (as far as we know) the closest node
+  }
+  NodeId best = candidates.front();
+  for (const NodeId& c : candidates) {
+    // Prefer a longer prefix match, then closer ring distance.
+    int best_prefix = best.SharedPrefixLength(key, config_.b);
+    int c_prefix = c.SharedPrefixLength(key, config_.b);
+    if (c_prefix > best_prefix || (c_prefix == best_prefix && c.CloserTo(key, best))) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace past

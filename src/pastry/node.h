@@ -1,0 +1,68 @@
+// A single Pastry node: nodeId plus the three pieces of routing state
+// (routing table, leaf set, neighborhood set) and the per-hop forwarding
+// decision (paper section 2.1).
+#ifndef SRC_PASTRY_NODE_H_
+#define SRC_PASTRY_NODE_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/common/node_id.h"
+#include "src/common/rng.h"
+#include "src/pastry/config.h"
+#include "src/pastry/leaf_set.h"
+#include "src/pastry/neighborhood_set.h"
+#include "src/pastry/routing_table.h"
+
+namespace past {
+
+class PastryNode {
+ public:
+  using AliveFn = std::function<bool(const NodeId&)>;
+  using ProximityFn = std::function<double(const NodeId&)>;
+
+  PastryNode(const NodeId& id, const PastryConfig& config, ProximityFn proximity);
+
+  const NodeId& id() const { return id_; }
+  const PastryConfig& config() const { return config_; }
+
+  RoutingTable& routing_table() { return routing_table_; }
+  const RoutingTable& routing_table() const { return routing_table_; }
+  LeafSet& leaf_set() { return leaf_set_; }
+  const LeafSet& leaf_set() const { return leaf_set_; }
+  NeighborhoodSet& neighborhood() { return neighborhood_; }
+  const NeighborhoodSet& neighborhood() const { return neighborhood_; }
+
+  // Considers `other` for all three state components.
+  void Learn(const NodeId& other);
+
+  // Drops `other` from all state (failed node).
+  void Forget(const NodeId& other);
+
+  // Computes the next hop toward `key`. Returns nullopt when this node is the
+  // destination (numerically closest live node it knows of). Dead references
+  // discovered via `alive` are forgotten on the spot, emulating the timeout +
+  // lazy repair of the real protocol. When `rng` is non-null and the config
+  // enables route randomization, a random valid next hop (sharing at least as
+  // long a prefix and numerically strictly closer to `key`) may be chosen
+  // instead of the best one.
+  std::optional<NodeId> NextHop(const NodeId& key, const AliveFn& alive, Rng* rng = nullptr);
+
+ private:
+  // Best alive member of {self} ∪ leaf set by ring distance to key.
+  NodeId ClosestAliveLeaf(const NodeId& key, const AliveFn& alive);
+
+  // All alive known nodes that are valid Pastry forwarding choices for `key`:
+  // shared prefix >= ours and strictly numerically closer.
+  std::vector<NodeId> ValidCandidates(const NodeId& key, const AliveFn& alive);
+
+  NodeId id_;
+  PastryConfig config_;
+  RoutingTable routing_table_;
+  LeafSet leaf_set_;
+  NeighborhoodSet neighborhood_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_NODE_H_

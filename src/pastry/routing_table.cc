@@ -1,0 +1,88 @@
+#include "src/pastry/routing_table.h"
+
+namespace past {
+
+RoutingTable::RoutingTable(const NodeId& owner, int b, ProximityFn proximity)
+    : owner_(owner),
+      b_(b),
+      rows_(NodeId::NumDigits(b)),
+      columns_(1 << b),
+      proximity_(std::move(proximity)),
+      slots_(static_cast<size_t>(rows_ * columns_)) {}
+
+std::optional<NodeId> RoutingTable::Get(int row, int column) const {
+  if (row < 0 || row >= rows_ || column < 0 || column >= columns_) {
+    return std::nullopt;
+  }
+  return slots_[static_cast<size_t>(row * columns_ + column)];
+}
+
+std::optional<std::pair<int, int>> RoutingTable::SlotFor(const NodeId& id) const {
+  int shared = owner_.SharedPrefixLength(id, b_);
+  if (shared >= rows_) {
+    return std::nullopt;  // id == owner
+  }
+  return std::make_pair(shared, id.Digit(shared, b_));
+}
+
+bool RoutingTable::Consider(const NodeId& id) {
+  auto slot = SlotFor(id);
+  if (!slot) {
+    return false;
+  }
+  auto& entry = slots_[static_cast<size_t>(slot->first * columns_ + slot->second)];
+  if (!entry) {
+    entry = id;
+    ++populated_;
+    return true;
+  }
+  if (*entry == id) {
+    return false;
+  }
+  if (proximity_ && proximity_(id) < proximity_(*entry)) {
+    entry = id;
+    return true;
+  }
+  return false;
+}
+
+bool RoutingTable::Remove(const NodeId& id) {
+  auto slot = SlotFor(id);
+  if (!slot) {
+    return false;
+  }
+  auto& entry = slots_[static_cast<size_t>(slot->first * columns_ + slot->second)];
+  if (entry && *entry == id) {
+    entry.reset();
+    --populated_;
+    return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> RoutingTable::Entries() const {
+  std::vector<NodeId> out;
+  out.reserve(populated_);
+  for (const auto& slot : slots_) {
+    if (slot) {
+      out.push_back(*slot);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> RoutingTable::Row(int row) const {
+  std::vector<NodeId> out;
+  if (row < 0 || row >= rows_) {
+    return out;
+  }
+  for (int c = 0; c < columns_; ++c) {
+    const auto& slot = slots_[static_cast<size_t>(row * columns_ + c)];
+    if (slot) {
+      out.push_back(*slot);
+    }
+  }
+  return out;
+}
+
+}  // namespace past

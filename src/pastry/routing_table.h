@@ -1,0 +1,67 @@
+// Pastry routing table (paper section 2.1).
+//
+// ceil(128/b) rows of 2^b - 1 usable entries. The entry at (row n, column d)
+// refers to a node whose nodeId shares the first n digits with the owner and
+// whose (n+1)-th digit is d (the owner's own digit column is unused). Among
+// the many qualifying nodes, the table prefers one close to the owner in the
+// proximity metric — this is the source of Pastry's route locality.
+#ifndef SRC_PASTRY_ROUTING_TABLE_H_
+#define SRC_PASTRY_ROUTING_TABLE_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/common/node_id.h"
+
+namespace past {
+
+class RoutingTable {
+ public:
+  // `proximity` returns the distance from the owner to the given node; used
+  // to prefer nearby nodes when multiple candidates fit a slot.
+  using ProximityFn = std::function<double(const NodeId&)>;
+
+  RoutingTable(const NodeId& owner, int b, ProximityFn proximity);
+
+  const NodeId& owner() const { return owner_; }
+  int rows() const { return rows_; }
+  int columns() const { return columns_; }
+
+  // Entry lookup; nullopt when the slot is empty.
+  std::optional<NodeId> Get(int row, int column) const;
+
+  // Offers `id` as a candidate. It is placed in its unique (row, column) slot
+  // if the slot is empty or `id` is closer (by proximity) than the incumbent.
+  // Returns true if the table changed.
+  bool Consider(const NodeId& id);
+
+  // Removes `id` wherever it appears. Returns true if found.
+  bool Remove(const NodeId& id);
+
+  // All populated entries.
+  std::vector<NodeId> Entries() const;
+
+  // Populated entries in one row (used for lazy repair: row-mates are asked
+  // for a replacement referring to the failed slot).
+  std::vector<NodeId> Row(int row) const;
+
+  // Number of populated slots.
+  size_t size() const { return populated_; }
+
+ private:
+  // The slot `id` belongs to, or nullopt for the owner itself.
+  std::optional<std::pair<int, int>> SlotFor(const NodeId& id) const;
+
+  NodeId owner_;
+  int b_;
+  int rows_;
+  int columns_;
+  ProximityFn proximity_;
+  std::vector<std::optional<NodeId>> slots_;  // rows_ x columns_
+  size_t populated_ = 0;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_ROUTING_TABLE_H_

@@ -1,0 +1,67 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+namespace past {
+
+EventQueue::EventId EventQueue::ScheduleAfter(SimTime delay, Callback fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventQueue::EventId EventQueue::ScheduleAt(SimTime when, Callback fn) {
+  EventId id = next_id_++;
+  heap_.push(Event{std::max(when, now_), next_sequence_++, id, std::move(fn)});
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return false;
+  }
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  ++cancelled_count_;
+  return true;
+}
+
+bool EventQueue::PopAndRun() {
+  while (!heap_.empty()) {
+    Event event = heap_.top();
+    heap_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      continue;
+    }
+    now_ = event.when;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventQueue::RunUntil(SimTime until) {
+  size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    if (PopAndRun()) {
+      ++executed;
+    }
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+size_t EventQueue::RunAll() {
+  size_t executed = 0;
+  while (PopAndRun()) {
+    ++executed;
+  }
+  return executed;
+}
+
+bool EventQueue::Step() { return PopAndRun(); }
+
+}  // namespace past

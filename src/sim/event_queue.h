@@ -1,0 +1,76 @@
+// Discrete-event simulation core.
+//
+// Storage and caching experiments drive Pastry routes synchronously (exactly
+// what the paper's single-JVM emulation reduces to), but the failure
+// machinery — keep-alive exchange, the unresponsiveness period T, leaf-set
+// repair ordering — is inherently timed. The EventQueue provides a virtual
+// clock and ordered timer callbacks for those paths.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace past {
+
+using SimTime = uint64_t;  // milliseconds of virtual time
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at now() + delay. Returns an id usable with Cancel.
+  EventId ScheduleAfter(SimTime delay, Callback fn);
+  EventId ScheduleAt(SimTime when, Callback fn);
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty or `until` is reached (events
+  // scheduled exactly at `until` are executed). Returns events executed.
+  size_t RunUntil(SimTime until);
+
+  // Runs everything currently scheduled (including events scheduled by
+  // earlier events). Use with care with repeating timers.
+  size_t RunAll();
+
+  // Executes just the next pending event, if any.
+  bool Step();
+
+  size_t pending() const { return heap_.size() - cancelled_count_; }
+  bool empty() const { return pending() == 0; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;  // FIFO among events with equal time
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool PopAndRun();
+
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<EventId> cancelled_;
+  size_t cancelled_count_ = 0;
+};
+
+}  // namespace past
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

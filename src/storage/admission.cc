@@ -1,0 +1,30 @@
+#include "src/storage/admission.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace past {
+
+AdmissionResult AdmissionControl::Evaluate(
+    uint64_t advertised_capacity, const std::vector<uint64_t>& leaf_set_capacities) const {
+  if (leaf_set_capacities.empty()) {
+    return {AdmissionDecision::kAccept, 1};
+  }
+  double sum = std::accumulate(leaf_set_capacities.begin(), leaf_set_capacities.end(), 0.0);
+  double average = sum / static_cast<double>(leaf_set_capacities.size());
+  if (average <= 0.0) {
+    return {AdmissionDecision::kAccept, 1};
+  }
+  double ratio = static_cast<double>(advertised_capacity) / average;
+  if (ratio < min_ratio) {
+    return {AdmissionDecision::kReject, 1};
+  }
+  if (ratio > max_ratio) {
+    // Join under enough nodeIds that each logical node is within bounds.
+    int count = static_cast<int>(std::ceil(ratio / max_ratio));
+    return {AdmissionDecision::kSplit, count};
+  }
+  return {AdmissionDecision::kAccept, 1};
+}
+
+}  // namespace past

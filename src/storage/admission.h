@@ -1,0 +1,41 @@
+// Node admission control (paper section 3.2).
+//
+// PAST keeps per-node storage capacities within two orders of magnitude by
+// comparing a joining node's advertised capacity against the average capacity
+// of nodes in its prospective leaf set: oversized nodes must split into
+// multiple logical nodes with separate nodeIds; undersized nodes are
+// rejected.
+#ifndef SRC_STORAGE_ADMISSION_H_
+#define SRC_STORAGE_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace past {
+
+enum class AdmissionDecision {
+  kAccept,
+  kReject,  // advertised capacity too small relative to the leaf set average
+  kSplit,   // too large: must join as `split_count` logical nodes
+};
+
+struct AdmissionResult {
+  AdmissionDecision decision;
+  // For kSplit: number of logical nodes to join as (each with capacity
+  // advertised / split_count).
+  int split_count = 1;
+};
+
+struct AdmissionControl {
+  // A node may be at most this multiple of the leaf-set average capacity.
+  double max_ratio = 100.0;  // two orders of magnitude (section 3.2)
+  // ... and at least this fraction of it.
+  double min_ratio = 0.01;
+
+  AdmissionResult Evaluate(uint64_t advertised_capacity,
+                           const std::vector<uint64_t>& leaf_set_capacities) const;
+};
+
+}  // namespace past
+
+#endif  // SRC_STORAGE_ADMISSION_H_

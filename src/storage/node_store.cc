@@ -1,0 +1,73 @@
+#include "src/storage/node_store.h"
+
+namespace past {
+
+NodeStore::NodeStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+bool NodeStore::StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
+                             FileCertificateRef certificate, FileContentRef content) {
+  if (size > free_bytes()) {
+    return false;
+  }
+  auto [it, inserted] = replicas_.try_emplace(
+      id, ReplicaEntry{kind, size, std::move(certificate), std::move(content)});
+  if (!inserted) {
+    return false;  // fileId collision: later insert is rejected (section 2)
+  }
+  used_ += size;
+  if (kind == ReplicaKind::kPrimary) {
+    ++primary_count_;
+  }
+  return true;
+}
+
+bool NodeStore::HasReplica(const FileId& id) const { return replicas_.count(id) > 0; }
+
+const ReplicaEntry* NodeStore::GetReplica(const FileId& id) const {
+  auto it = replicas_.find(id);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+std::optional<uint64_t> NodeStore::RemoveReplica(const FileId& id) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return std::nullopt;
+  }
+  uint64_t size = it->second.size;
+  used_ -= size;
+  if (it->second.kind == ReplicaKind::kPrimary) {
+    --primary_count_;
+  }
+  replicas_.erase(it);
+  return size;
+}
+
+bool NodeStore::SetReplicaKind(const FileId& id, ReplicaKind kind) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return false;
+  }
+  if (it->second.kind != kind) {
+    if (kind == ReplicaKind::kPrimary) {
+      ++primary_count_;
+    } else {
+      --primary_count_;
+    }
+    it->second.kind = kind;
+  }
+  return true;
+}
+
+void NodeStore::InstallPointer(const FileId& id, const NodeId& holder, PointerRole role,
+                               uint64_t size) {
+  pointers_[id] = DiversionPointer{holder, role, size};
+}
+
+const DiversionPointer* NodeStore::GetPointer(const FileId& id) const {
+  auto it = pointers_.find(id);
+  return it == pointers_.end() ? nullptr : &it->second;
+}
+
+bool NodeStore::RemovePointer(const FileId& id) { return pointers_.erase(id) > 0; }
+
+}  // namespace past

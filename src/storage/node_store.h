@@ -1,0 +1,112 @@
+// Per-node persistent storage state.
+//
+// A PAST node's disk holds (a) primary replicas (the node is one of the k
+// numerically closest to the fileId), (b) diverted replicas (held on behalf
+// of a leaf-set neighbor), and (c) diversion pointers: file-table entries
+// referring to a replica held elsewhere, installed at the diverting node A
+// and at the (k+1)-th closest node C so that neither single failure loses
+// track of the replica (paper section 3.3). The remainder of the advertised
+// capacity is available to the cache.
+#ifndef SRC_STORAGE_NODE_STORE_H_
+#define SRC_STORAGE_NODE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/file_id.h"
+#include "src/common/node_id.h"
+#include "src/crypto/certificates.h"
+
+namespace past {
+
+enum class ReplicaKind {
+  kPrimary,   // stored because we are among the k closest
+  kDiverted,  // stored on behalf of a diverting leaf-set neighbor
+};
+
+// All k replicas of a file share one immutable certificate, so entries hold
+// it by shared pointer (at paper scale ~9.3M replica entries exist).
+using FileCertificateRef = std::shared_ptr<const FileCertificate>;
+// File bodies are immutable too; replicas of the same file share the bytes.
+// Null for trace-driven experiments, which track sizes only.
+using FileContentRef = std::shared_ptr<const std::string>;
+
+struct ReplicaEntry {
+  ReplicaKind kind;
+  uint64_t size = 0;
+  FileCertificateRef certificate;
+  FileContentRef content;
+};
+
+// The role a diversion pointer plays at this node.
+enum class PointerRole {
+  kDiverter,  // we are node A: one of the k closest, diverted our replica to B
+  kWitness,   // we are node C: the (k+1)-th closest, shadowing A's pointer
+};
+
+struct DiversionPointer {
+  NodeId holder;  // node B actually storing the replica
+  PointerRole role;
+  uint64_t size = 0;
+};
+
+class NodeStore {
+ public:
+  explicit NodeStore(uint64_t capacity_bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const { return used_; }
+  // Remaining free space F_N: capacity minus replica bytes. Cached copies do
+  // not count — they are evictable at any time.
+  uint64_t free_bytes() const { return capacity_ - used_; }
+
+  // --- replicas ---
+
+  // Unconditionally stores a replica (policy checks happen in the PAST
+  // layer). Returns false if it physically cannot fit.
+  bool StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
+                    FileCertificateRef certificate, FileContentRef content = nullptr);
+
+  bool HasReplica(const FileId& id) const;
+  const ReplicaEntry* GetReplica(const FileId& id) const;
+
+  // Drops a replica, freeing its space. Returns its size, or nullopt.
+  std::optional<uint64_t> RemoveReplica(const FileId& id);
+
+  // Changes the bookkeeping kind of an existing replica (e.g. a diverted
+  // replica being migrated/promoted after membership change).
+  bool SetReplicaKind(const FileId& id, ReplicaKind kind);
+
+  const std::unordered_map<FileId, ReplicaEntry, FileIdHash>& replicas() const {
+    return replicas_;
+  }
+
+  // --- diversion pointers ---
+
+  void InstallPointer(const FileId& id, const NodeId& holder, PointerRole role, uint64_t size);
+  const DiversionPointer* GetPointer(const FileId& id) const;
+  bool RemovePointer(const FileId& id);
+  const std::unordered_map<FileId, DiversionPointer, FileIdHash>& pointers() const {
+    return pointers_;
+  }
+
+  // --- stats ---
+
+  size_t replica_count() const { return replicas_.size(); }
+  size_t primary_count() const { return primary_count_; }
+  size_t diverted_count() const { return replicas_.size() - primary_count_; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  size_t primary_count_ = 0;
+  std::unordered_map<FileId, ReplicaEntry, FileIdHash> replicas_;
+  std::unordered_map<FileId, DiversionPointer, FileIdHash> pointers_;
+};
+
+}  // namespace past
+
+#endif  // SRC_STORAGE_NODE_STORE_H_

@@ -1,0 +1,46 @@
+// Storage management policies (paper section 3.3.1).
+//
+// A node N rejects a file D when S_D / F_N > t, where S_D is the file size,
+// F_N the node's remaining free space, and t a threshold: t_pri for nodes
+// acting as primary replica stores (among the k numerically closest) and
+// t_div (< t_pri) for nodes asked to hold a diverted replica. The policy
+// discriminates against large files as utilization rises, which keeps room
+// for the many small files and defers insert failures to high utilization.
+#ifndef SRC_STORAGE_POLICIES_H_
+#define SRC_STORAGE_POLICIES_H_
+
+#include <cstdint>
+
+namespace past {
+
+struct StoragePolicy {
+  // Threshold for primary replica stores. Paper default 0.1.
+  double t_pri = 0.1;
+  // Threshold for diverted replica stores. Paper default 0.05.
+  double t_div = 0.05;
+
+  // Accept/reject decision for a primary replica.
+  bool AcceptPrimary(uint64_t file_size, uint64_t free_bytes) const {
+    return Accept(file_size, free_bytes, t_pri);
+  }
+
+  // Accept/reject decision for a diverted replica.
+  bool AcceptDiverted(uint64_t file_size, uint64_t free_bytes) const {
+    return Accept(file_size, free_bytes, t_div);
+  }
+
+ private:
+  static bool Accept(uint64_t file_size, uint64_t free_bytes, double threshold) {
+    if (file_size > free_bytes) {
+      return false;  // cannot fit even after evicting all cached content
+    }
+    if (free_bytes == 0) {
+      return false;
+    }
+    return static_cast<double>(file_size) <= threshold * static_cast<double>(free_bytes);
+  }
+};
+
+}  // namespace past
+
+#endif  // SRC_STORAGE_POLICIES_H_

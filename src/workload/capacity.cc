@@ -1,0 +1,52 @@
+#include "src/workload/capacity.h"
+
+#include "src/common/distributions.h"
+
+namespace past {
+namespace {
+
+constexpr double kBytesPerMb = 1000.0 * 1000.0;
+
+}  // namespace
+
+const CapacityDistribution& CapacityD1() {
+  static const CapacityDistribution d{"d1", 27.0, 10.8, 2.0, 51.0};
+  return d;
+}
+const CapacityDistribution& CapacityD2() {
+  static const CapacityDistribution d{"d2", 27.0, 9.6, 4.0, 49.0};
+  return d;
+}
+const CapacityDistribution& CapacityD3() {
+  static const CapacityDistribution d{"d3", 27.0, 54.0, 6.0, 48.0};
+  return d;
+}
+const CapacityDistribution& CapacityD4() {
+  static const CapacityDistribution d{"d4", 27.0, 54.0, 1.0, 53.0};
+  return d;
+}
+
+const CapacityDistribution* CapacityByName(const std::string& name) {
+  for (const CapacityDistribution* d : {&CapacityD1(), &CapacityD2(), &CapacityD3(),
+                                        &CapacityD4()}) {
+    if (d->name == name) {
+      return d;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<uint64_t> SampleCapacities(const CapacityDistribution& dist, size_t n, double scale,
+                                       Rng& rng) {
+  TruncatedNormal normal(dist.mean_mb * kBytesPerMb * scale, dist.sigma_mb * kBytesPerMb * scale,
+                         dist.lower_mb * kBytesPerMb * scale,
+                         dist.upper_mb * kBytesPerMb * scale);
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<uint64_t>(normal.Sample(rng)));
+  }
+  return out;
+}
+
+}  // namespace past

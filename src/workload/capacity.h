@@ -1,0 +1,42 @@
+// Node storage capacity distributions (paper Table 1).
+//
+// Per-node capacities are drawn from truncated normal distributions; d1/d2
+// cut the tails at roughly +-2.3 sigma, d3/d4 use a large sigma with
+// arbitrary bounds. The paper scales capacities ~1000x below practical disk
+// sizes so the traces can drive the system to high utilization; we keep that
+// technique and add a further configurable scale so benches can also shrink
+// the workload (the paper argues smaller nodes make storage management
+// harder, so scaling down is conservative).
+#ifndef SRC_WORKLOAD_CAPACITY_H_
+#define SRC_WORKLOAD_CAPACITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace past {
+
+struct CapacityDistribution {
+  std::string name;
+  double mean_mb;
+  double sigma_mb;
+  double lower_mb;
+  double upper_mb;
+};
+
+// The four distributions of Table 1 (values in MBytes).
+const CapacityDistribution& CapacityD1();
+const CapacityDistribution& CapacityD2();
+const CapacityDistribution& CapacityD3();
+const CapacityDistribution& CapacityD4();
+const CapacityDistribution* CapacityByName(const std::string& name);
+
+// Samples `n` capacities in bytes, multiplying every parameter by `scale`.
+std::vector<uint64_t> SampleCapacities(const CapacityDistribution& dist, size_t n, double scale,
+                                       Rng& rng);
+
+}  // namespace past
+
+#endif  // SRC_WORKLOAD_CAPACITY_H_

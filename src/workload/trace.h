@@ -1,0 +1,46 @@
+// Trace representation shared by the workload generators and the harness.
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace past {
+
+enum class TraceOp : uint8_t {
+  kInsert,  // first reference of a file: insert it into PAST
+  kLookup,  // subsequent reference: lookup by fileId
+};
+
+struct TraceEvent {
+  TraceOp op;
+  uint32_t file_index;  // index into the file catalog
+  uint32_t client;      // which trace client issues the request
+};
+
+struct Trace {
+  // Per-file sizes; file_index indexes this catalog. Only files that appear
+  // in `events` exist.
+  std::vector<uint64_t> file_sizes;
+  std::vector<TraceEvent> events;
+  uint32_t num_clients = 0;
+  uint32_t num_clusters = 0;
+
+  // Cluster a client belongs to (clients are partitioned into contiguous
+  // blocks, mirroring the 8 geographically distinct NLANR proxy logs).
+  uint32_t ClusterOf(uint32_t client) const {
+    return client * num_clusters / num_clients;
+  }
+
+  uint64_t TotalUniqueBytes() const {
+    uint64_t total = 0;
+    for (uint64_t s : file_sizes) {
+      total += s;
+    }
+    return total;
+  }
+};
+
+}  // namespace past
+
+#endif  // SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,88 @@
+#include "src/workload/trace_generator.h"
+
+#include "src/common/distributions.h"
+
+namespace past {
+namespace {
+
+// Uniform client within a contiguous cluster block.
+uint32_t ClientInCluster(uint32_t cluster, uint32_t num_clients, uint32_t num_clusters,
+                         Rng& rng) {
+  uint32_t begin = cluster * num_clients / num_clusters;
+  uint32_t end = (cluster + 1) * num_clients / num_clusters;
+  if (end <= begin) {
+    end = begin + 1;
+  }
+  return begin + static_cast<uint32_t>(rng.NextBelow(end - begin));
+}
+
+}  // namespace
+
+Trace GenerateWebTrace(const WebTraceConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  trace.num_clients = config.num_clients;
+  trace.num_clusters = config.num_clusters;
+
+  FileSizeDistribution size_dist(config.median_size, config.mean_size, config.tail_fraction,
+                                 config.tail_alpha, config.max_size);
+  trace.file_sizes.reserve(config.catalog_size);
+  for (uint32_t i = 0; i < config.catalog_size; ++i) {
+    trace.file_sizes.push_back(size_dist.Sample(rng));
+  }
+
+  if (config.total_references == 0) {
+    // Insert-only stream: the storage experiments use the first appearance
+    // of each URL and ignore repeats, which reduces to one insert per file.
+    trace.events.reserve(config.catalog_size);
+    for (uint32_t i = 0; i < config.catalog_size; ++i) {
+      uint32_t client = static_cast<uint32_t>(rng.NextBelow(config.num_clients));
+      trace.events.push_back({TraceOp::kInsert, i, client});
+    }
+    return trace;
+  }
+
+  // Full reference stream: Zipf popularity; first reference inserts.
+  Zipf popularity(config.catalog_size, config.zipf_alpha);
+  std::vector<bool> seen(config.catalog_size, false);
+  std::vector<uint32_t> home_cluster(config.catalog_size, 0);
+  trace.events.reserve(config.total_references);
+  for (uint64_t r = 0; r < config.total_references; ++r) {
+    uint32_t f = static_cast<uint32_t>(popularity.Sample(rng));
+    if (!seen[f]) {
+      seen[f] = true;
+      uint32_t client = static_cast<uint32_t>(rng.NextBelow(config.num_clients));
+      home_cluster[f] = trace.ClusterOf(client);
+      trace.events.push_back({TraceOp::kInsert, f, client});
+    } else {
+      uint32_t client;
+      if (rng.NextBool(config.cluster_affinity)) {
+        client = ClientInCluster(home_cluster[f], config.num_clients, config.num_clusters, rng);
+      } else {
+        client = static_cast<uint32_t>(rng.NextBelow(config.num_clients));
+      }
+      trace.events.push_back({TraceOp::kLookup, f, client});
+    }
+  }
+  return trace;
+}
+
+Trace GenerateFilesystemTrace(const FilesystemTraceConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  trace.num_clients = config.num_clients;
+  trace.num_clusters = config.num_clusters;
+
+  FileSizeDistribution size_dist(config.median_size, config.mean_size, config.tail_fraction,
+                                 config.tail_alpha, config.max_size);
+  trace.file_sizes.reserve(config.catalog_size);
+  trace.events.reserve(config.catalog_size);
+  for (uint32_t i = 0; i < config.catalog_size; ++i) {
+    trace.file_sizes.push_back(size_dist.Sample(rng));
+    uint32_t client = static_cast<uint32_t>(rng.NextBelow(config.num_clients));
+    trace.events.push_back({TraceOp::kInsert, i, client});
+  }
+  return trace;
+}
+
+}  // namespace past

@@ -1,0 +1,95 @@
+#include "src/workload/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace past {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'S', 'T', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good() || (in.eof() && in.gcount() == sizeof(*value));
+}
+
+}  // namespace
+
+bool WriteTrace(const Trace& trace, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, trace.num_clients);
+  WritePod<uint32_t>(out, trace.num_clusters);
+  WritePod<uint64_t>(out, trace.file_sizes.size());
+  for (uint64_t size : trace.file_sizes) {
+    WritePod<uint64_t>(out, size);
+  }
+  WritePod<uint64_t>(out, trace.events.size());
+  for (const TraceEvent& e : trace.events) {
+    WritePod<uint8_t>(out, static_cast<uint8_t>(e.op));
+    WritePod<uint32_t>(out, e.file_index);
+    WritePod<uint32_t>(out, e.client);
+  }
+  return out.good();
+}
+
+bool WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  return out.is_open() && WriteTrace(trace, out);
+}
+
+std::optional<Trace> ReadTrace(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  Trace trace;
+  uint64_t file_count = 0;
+  uint64_t event_count = 0;
+  if (!ReadPod(in, &trace.num_clients) || !ReadPod(in, &trace.num_clusters) ||
+      !ReadPod(in, &file_count)) {
+    return std::nullopt;
+  }
+  trace.file_sizes.resize(file_count);
+  for (uint64_t i = 0; i < file_count; ++i) {
+    if (!ReadPod(in, &trace.file_sizes[i])) {
+      return std::nullopt;
+    }
+  }
+  if (!ReadPod(in, &event_count)) {
+    return std::nullopt;
+  }
+  trace.events.reserve(event_count);
+  for (uint64_t i = 0; i < event_count; ++i) {
+    uint8_t op;
+    TraceEvent e{};
+    if (!ReadPod(in, &op) || !ReadPod(in, &e.file_index) || !ReadPod(in, &e.client)) {
+      return std::nullopt;
+    }
+    if (op > static_cast<uint8_t>(TraceOp::kLookup) || e.file_index >= file_count ||
+        (trace.num_clients != 0 && e.client >= trace.num_clients)) {
+      return std::nullopt;
+    }
+    e.op = static_cast<TraceOp>(op);
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+std::optional<Trace> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  return ReadTrace(in);
+}
+
+}  // namespace past

@@ -1,0 +1,34 @@
+// Binary trace serialization.
+//
+// Generated traces can be written to disk and replayed later, so a sweep of
+// configurations (Tables 2-4) runs against byte-identical workloads even
+// across processes, and externally produced traces (e.g. a converted proxy
+// log) can be fed to the harness.
+//
+// Format (little-endian):
+//   magic "PASTTRC1" | u32 num_clients | u32 num_clusters
+//   u64 file_count  | file_count x u64 sizes
+//   u64 event_count | event_count x { u8 op, u32 file_index, u32 client }
+#ifndef SRC_WORKLOAD_TRACE_IO_H_
+#define SRC_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/workload/trace.h"
+
+namespace past {
+
+// Serializes to a stream / file. Returns false on I/O error.
+bool WriteTrace(const Trace& trace, std::ostream& out);
+bool WriteTraceFile(const Trace& trace, const std::string& path);
+
+// Deserializes; returns nullopt on malformed input (bad magic, truncation,
+// out-of-range file indices).
+std::optional<Trace> ReadTrace(std::istream& in);
+std::optional<Trace> ReadTraceFile(const std::string& path);
+
+}  // namespace past
+
+#endif  // SRC_WORKLOAD_TRACE_IO_H_

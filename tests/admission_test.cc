@@ -1,0 +1,61 @@
+// Node admission control tests (paper section 3.2).
+#include <gtest/gtest.h>
+
+#include "src/storage/admission.h"
+
+namespace past {
+namespace {
+
+TEST(AdmissionTest, AcceptsTypicalNode) {
+  AdmissionControl control;
+  std::vector<uint64_t> leaf_caps(32, 27000000);
+  auto result = control.Evaluate(30000000, leaf_caps);
+  EXPECT_EQ(result.decision, AdmissionDecision::kAccept);
+}
+
+TEST(AdmissionTest, RejectsTinyNode) {
+  AdmissionControl control;
+  std::vector<uint64_t> leaf_caps(32, 27000000);
+  auto result = control.Evaluate(100000, leaf_caps);  // ~0.4% of average
+  EXPECT_EQ(result.decision, AdmissionDecision::kReject);
+}
+
+TEST(AdmissionTest, SplitsOversizedNode) {
+  AdmissionControl control;
+  std::vector<uint64_t> leaf_caps(32, 27000000);
+  // 500x the average: must split into ceil(500/100) = 5 logical nodes.
+  auto result = control.Evaluate(27000000ull * 500, leaf_caps);
+  EXPECT_EQ(result.decision, AdmissionDecision::kSplit);
+  EXPECT_EQ(result.split_count, 5);
+}
+
+TEST(AdmissionTest, BoundaryRatios) {
+  AdmissionControl control;
+  std::vector<uint64_t> leaf_caps(10, 1000);
+  EXPECT_EQ(control.Evaluate(100000, leaf_caps).decision, AdmissionDecision::kAccept);
+  EXPECT_EQ(control.Evaluate(100001, leaf_caps).decision, AdmissionDecision::kSplit);
+  EXPECT_EQ(control.Evaluate(10, leaf_caps).decision, AdmissionDecision::kAccept);
+  EXPECT_EQ(control.Evaluate(9, leaf_caps).decision, AdmissionDecision::kReject);
+}
+
+TEST(AdmissionTest, EmptyLeafSetAcceptsAnything) {
+  AdmissionControl control;
+  EXPECT_EQ(control.Evaluate(1, {}).decision, AdmissionDecision::kAccept);
+  EXPECT_EQ(control.Evaluate(1ull << 60, {}).decision, AdmissionDecision::kAccept);
+}
+
+TEST(AdmissionTest, SplitNodesLandWithinBounds) {
+  AdmissionControl control;
+  std::vector<uint64_t> leaf_caps(32, 1000000);
+  for (uint64_t factor : {150ull, 300ull, 1000ull, 5000ull}) {
+    uint64_t advertised = 1000000ull * factor;
+    auto result = control.Evaluate(advertised, leaf_caps);
+    ASSERT_EQ(result.decision, AdmissionDecision::kSplit) << factor;
+    uint64_t per_node = advertised / static_cast<uint64_t>(result.split_count);
+    auto recheck = control.Evaluate(per_node, leaf_caps);
+    EXPECT_EQ(recheck.decision, AdmissionDecision::kAccept) << factor;
+  }
+}
+
+}  // namespace
+}  // namespace past

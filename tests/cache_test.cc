@@ -1,0 +1,194 @@
+// Cache tests: GreedyDual-Size semantics, LRU semantics, and the FileCache
+// container's budget handling (paper section 4).
+#include <gtest/gtest.h>
+
+#include "src/cache/file_cache.h"
+#include "src/cache/gds_policy.h"
+#include "src/cache/lru_policy.h"
+#include "src/common/distributions.h"
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+FileId MakeFileId(uint32_t tag) {
+  std::array<uint8_t, 20> bytes{};
+  bytes[0] = static_cast<uint8_t>(tag >> 24);
+  bytes[1] = static_cast<uint8_t>(tag >> 16);
+  bytes[2] = static_cast<uint8_t>(tag >> 8);
+  bytes[3] = static_cast<uint8_t>(tag);
+  return FileId(bytes);
+}
+
+TEST(GdsPolicyTest, EvictsLargestFirstWhenUnreferenced) {
+  // With c(d)=1, H = L + 1/size: big files have the smallest H.
+  GdsPolicy gds;
+  gds.OnInsert(MakeFileId(1), 100);
+  gds.OnInsert(MakeFileId(2), 10000);
+  gds.OnInsert(MakeFileId(3), 10);
+  auto victim = gds.EvictVictim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, MakeFileId(2));
+}
+
+TEST(GdsPolicyTest, HitProtectsEntry) {
+  GdsPolicy gds;
+  gds.OnInsert(MakeFileId(1), 1000);
+  gds.OnInsert(MakeFileId(2), 1000);
+  // Age the cache: evicting raises L.
+  gds.OnInsert(MakeFileId(3), 500000);
+  ASSERT_EQ(*gds.EvictVictim(), MakeFileId(3));
+  EXPECT_GT(gds.inflation(), 0.0);
+  // A hit on 1 re-inflates its weight above 2's.
+  gds.OnHit(MakeFileId(1), 1000);
+  EXPECT_EQ(*gds.EvictVictim(), MakeFileId(2));
+}
+
+TEST(GdsPolicyTest, InflationRisesMonotonically) {
+  GdsPolicy gds;
+  for (uint32_t i = 0; i < 10; ++i) {
+    gds.OnInsert(MakeFileId(i), 100 * (i + 1));
+  }
+  double last = gds.inflation();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(gds.EvictVictim().has_value());
+    EXPECT_GE(gds.inflation(), last);
+    last = gds.inflation();
+  }
+  EXPECT_FALSE(gds.EvictVictim().has_value());
+}
+
+TEST(GdsPolicyTest, RemoveDropsEntry) {
+  GdsPolicy gds;
+  gds.OnInsert(MakeFileId(1), 100);
+  gds.OnRemove(MakeFileId(1));
+  EXPECT_FALSE(gds.EvictVictim().has_value());
+  gds.OnRemove(MakeFileId(99));  // unknown id: no-op
+}
+
+TEST(LruPolicyTest, EvictsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.OnInsert(MakeFileId(1), 1);
+  lru.OnInsert(MakeFileId(2), 1);
+  lru.OnInsert(MakeFileId(3), 1);
+  lru.OnHit(MakeFileId(1), 1);  // 2 is now the oldest
+  EXPECT_EQ(*lru.EvictVictim(), MakeFileId(2));
+  EXPECT_EQ(*lru.EvictVictim(), MakeFileId(3));
+  EXPECT_EQ(*lru.EvictVictim(), MakeFileId(1));
+  EXPECT_FALSE(lru.EvictVictim().has_value());
+}
+
+TEST(LruPolicyTest, RemoveDropsEntry) {
+  LruPolicy lru;
+  lru.OnInsert(MakeFileId(1), 1);
+  lru.OnInsert(MakeFileId(2), 1);
+  lru.OnRemove(MakeFileId(1));
+  EXPECT_EQ(*lru.EvictVictim(), MakeFileId(2));
+  EXPECT_FALSE(lru.EvictVictim().has_value());
+}
+
+TEST(FileCacheTest, InsertWithinBudget) {
+  FileCache cache(std::make_unique<LruPolicy>(), 1.0);
+  EXPECT_TRUE(cache.Insert(MakeFileId(1), 100, 1000));
+  EXPECT_EQ(cache.used(), 100u);
+  EXPECT_TRUE(cache.Lookup(MakeFileId(1)));
+  EXPECT_FALSE(cache.Lookup(MakeFileId(2)));
+}
+
+TEST(FileCacheTest, AdmissionFractionRespected) {
+  // c = 0.1: a file must be smaller than 10% of the budget.
+  FileCache cache(std::make_unique<LruPolicy>(), 0.1);
+  EXPECT_FALSE(cache.Insert(MakeFileId(1), 200, 1000));
+  EXPECT_TRUE(cache.Insert(MakeFileId(2), 50, 1000));
+}
+
+TEST(FileCacheTest, FileAsLargeAsBudgetRejected) {
+  FileCache cache(std::make_unique<LruPolicy>(), 1.0);
+  // size >= c * budget is rejected (strict inequality in the paper).
+  EXPECT_FALSE(cache.Insert(MakeFileId(1), 1000, 1000));
+  EXPECT_TRUE(cache.Insert(MakeFileId(2), 999, 1000));
+}
+
+TEST(FileCacheTest, EvictsToMakeRoom) {
+  FileCache cache(std::make_unique<LruPolicy>(), 1.0);
+  EXPECT_TRUE(cache.Insert(MakeFileId(1), 400, 1000));
+  EXPECT_TRUE(cache.Insert(MakeFileId(2), 400, 1000));
+  EXPECT_TRUE(cache.Insert(MakeFileId(3), 400, 1000));  // evicts 1
+  EXPECT_LE(cache.used(), 1000u);
+  EXPECT_FALSE(cache.Lookup(MakeFileId(1), /*touch=*/false));
+  EXPECT_TRUE(cache.Lookup(MakeFileId(2), /*touch=*/false));
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(FileCacheTest, ShrinkToBudgetEvicts) {
+  FileCache cache(std::make_unique<LruPolicy>(), 1.0);
+  cache.Insert(MakeFileId(1), 300, 1000);
+  cache.Insert(MakeFileId(2), 300, 1000);
+  cache.Insert(MakeFileId(3), 300, 1000);
+  cache.ShrinkToBudget(500);
+  EXPECT_LE(cache.used(), 500u);
+  EXPECT_EQ(cache.count(), 1u);
+}
+
+TEST(FileCacheTest, RemoveSpecificFile) {
+  FileCache cache(std::make_unique<GdsPolicy>(), 1.0);
+  cache.Insert(MakeFileId(1), 100, 1000);
+  EXPECT_TRUE(cache.Remove(MakeFileId(1)));
+  EXPECT_FALSE(cache.Remove(MakeFileId(1)));
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+TEST(FileCacheTest, SizeOfReportsWithoutTouching) {
+  FileCache cache(std::make_unique<LruPolicy>(), 1.0);
+  cache.Insert(MakeFileId(1), 123, 1000);
+  auto size = cache.SizeOf(MakeFileId(1));
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 123u);
+  EXPECT_FALSE(cache.SizeOf(MakeFileId(2)).has_value());
+}
+
+TEST(FileCacheTest, DuplicateInsertRejected) {
+  FileCache cache(std::make_unique<LruPolicy>(), 1.0);
+  EXPECT_TRUE(cache.Insert(MakeFileId(1), 100, 1000));
+  EXPECT_FALSE(cache.Insert(MakeFileId(1), 100, 1000));
+  EXPECT_EQ(cache.used(), 100u);
+}
+
+TEST(FileCacheTest, ZeroByteFilesNotCached) {
+  FileCache cache(std::make_unique<LruPolicy>(), 1.0);
+  EXPECT_FALSE(cache.Insert(MakeFileId(1), 0, 1000));
+}
+
+// Comparative property: on a Zipf-like trace with varied sizes, GD-S should
+// achieve at least as high a hit rate as LRU (the paper's Figure 8 finding).
+TEST(CachePolicyComparisonTest, GdsBeatsLruOnSkewedTrace) {
+  auto run = [](std::unique_ptr<EvictionPolicy> policy) {
+    FileCache cache(std::move(policy), 1.0);
+    const uint64_t budget = 50000;
+    Rng rng(77);
+    Zipf zipf(500, 0.9);
+    std::vector<uint64_t> sizes(500);
+    FileSizeDistribution dist(1312, 10517, 0.0, 1.1, 1000000);
+    for (auto& s : sizes) {
+      s = std::max<uint64_t>(1, dist.Sample(rng));
+    }
+    uint64_t hits = 0, refs = 0;
+    for (int i = 0; i < 30000; ++i) {
+      uint32_t f = static_cast<uint32_t>(zipf.Sample(rng));
+      ++refs;
+      if (cache.Lookup(MakeFileId(f))) {
+        ++hits;
+      } else {
+        cache.Insert(MakeFileId(f), sizes[f], budget);
+      }
+    }
+    return static_cast<double>(hits) / static_cast<double>(refs);
+  };
+  double gds_rate = run(std::make_unique<GdsPolicy>());
+  double lru_rate = run(std::make_unique<LruPolicy>());
+  EXPECT_GT(gds_rate, 0.1);
+  EXPECT_GE(gds_rate, lru_rate - 0.02);
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,138 @@
+// Unit tests for identifier arithmetic: uint128 helpers, NodeId digits /
+// prefixes / ring distances, FileId truncation.
+#include <gtest/gtest.h>
+
+#include "src/common/file_id.h"
+#include "src/common/node_id.h"
+#include "src/common/rng.h"
+#include "src/common/uint128.h"
+
+namespace past {
+namespace {
+
+TEST(Uint128Test, MakeAndSplit) {
+  uint128 v = MakeUint128(0x0123456789abcdefULL, 0xfedcba9876543210ULL);
+  EXPECT_EQ(Uint128High64(v), 0x0123456789abcdefULL);
+  EXPECT_EQ(Uint128Low64(v), 0xfedcba9876543210ULL);
+}
+
+TEST(Uint128Test, HexRoundTrip) {
+  uint128 v = MakeUint128(0xdeadbeef00112233ULL, 0x445566778899aabbULL);
+  std::string hex = Uint128ToHex(v);
+  EXPECT_EQ(hex, "deadbeef00112233445566778899aabb");
+  uint128 parsed = 0;
+  ASSERT_TRUE(Uint128FromHex(hex, &parsed));
+  EXPECT_EQ(parsed, v);
+}
+
+TEST(Uint128Test, HexParsingRejectsJunk) {
+  uint128 v;
+  EXPECT_FALSE(Uint128FromHex("", &v));
+  EXPECT_FALSE(Uint128FromHex("xyz", &v));
+  EXPECT_FALSE(Uint128FromHex(std::string(33, 'f'), &v));
+  EXPECT_TRUE(Uint128FromHex("0xff", &v));
+  EXPECT_EQ(v, static_cast<uint128>(0xff));
+}
+
+TEST(NodeIdTest, DigitsBase16) {
+  // 0x0123... : digit 0 = 0x0, digit 1 = 0x1, ...
+  NodeId id(0x0123456789abcdefULL, 0x0000000000000000ULL);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(id.Digit(i, 4), i) << "digit " << i;
+  }
+  EXPECT_EQ(NodeId::NumDigits(4), 32);
+}
+
+TEST(NodeIdTest, DigitsBase4) {
+  NodeId id(0xC000000000000000ULL, 0);  // top two bits 11
+  EXPECT_EQ(id.Digit(0, 2), 3);
+  EXPECT_EQ(NodeId::NumDigits(2), 64);
+}
+
+TEST(NodeIdTest, SharedPrefixLength) {
+  NodeId a(0xAAAA000000000000ULL, 0);
+  NodeId b(0xAAAB000000000000ULL, 0);
+  EXPECT_EQ(a.SharedPrefixLength(b, 4), 3);
+  EXPECT_EQ(a.SharedPrefixLength(a, 4), 32);
+  NodeId c(0x5555000000000000ULL, 0);
+  EXPECT_EQ(a.SharedPrefixLength(c, 4), 0);
+}
+
+TEST(NodeIdTest, RingDistanceWrapsAround) {
+  NodeId zero(static_cast<uint128>(0));
+  NodeId max(MakeUint128(~0ULL, ~0ULL));
+  EXPECT_EQ(zero.RingDistance(max), static_cast<uint128>(1));
+  EXPECT_EQ(max.RingDistance(zero), static_cast<uint128>(1));
+  EXPECT_EQ(zero.RingDistance(zero), static_cast<uint128>(0));
+}
+
+TEST(NodeIdTest, RingDistanceIsSymmetric) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    NodeId a(rng.NextU64(), rng.NextU64());
+    NodeId b(rng.NextU64(), rng.NextU64());
+    EXPECT_EQ(a.RingDistance(b), b.RingDistance(a));
+  }
+}
+
+TEST(NodeIdTest, CloserToBreaksTiesDeterministically) {
+  // a and b equidistant from key on opposite sides.
+  NodeId key(MakeUint128(0, 100));
+  NodeId a(MakeUint128(0, 90));
+  NodeId b(MakeUint128(0, 110));
+  EXPECT_NE(a.CloserTo(key, b), b.CloserTo(key, a));
+}
+
+TEST(NodeIdTest, ClockwiseDistance) {
+  NodeId a(MakeUint128(0, 10));
+  NodeId b(MakeUint128(0, 30));
+  EXPECT_EQ(a.ClockwiseDistance(b), static_cast<uint128>(20));
+  // Wrapping the other way round the 2^128 ring.
+  EXPECT_EQ(b.ClockwiseDistance(a), static_cast<uint128>(0) - 20);
+}
+
+TEST(NodeIdTest, HexRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    NodeId id(rng.NextU64(), rng.NextU64());
+    NodeId parsed;
+    ASSERT_TRUE(NodeId::FromHex(id.ToHex(), &parsed));
+    EXPECT_EQ(parsed, id);
+  }
+}
+
+TEST(FileIdTest, RoutingKeyTakes128Msbs) {
+  std::array<uint8_t, 20> bytes{};
+  for (int i = 0; i < 20; ++i) {
+    bytes[static_cast<size_t>(i)] = static_cast<uint8_t>(i + 1);
+  }
+  FileId fid(bytes);
+  NodeId key = fid.ToRoutingKey();
+  EXPECT_EQ(Uint128High64(key.value()), 0x0102030405060708ULL);
+  EXPECT_EQ(Uint128Low64(key.value()), 0x090a0b0c0d0e0f10ULL);
+}
+
+TEST(FileIdTest, HexRoundTrip) {
+  std::array<uint8_t, 20> bytes{};
+  bytes[0] = 0xab;
+  bytes[19] = 0xcd;
+  FileId fid(bytes);
+  FileId parsed;
+  ASSERT_TRUE(FileId::FromHex(fid.ToHex(), &parsed));
+  EXPECT_EQ(parsed, fid);
+  EXPECT_FALSE(FileId::FromHex("abc", &parsed));
+}
+
+TEST(NodeIdHashTest, DistinctIdsRarelyCollide) {
+  Rng rng(13);
+  NodeIdHash hasher;
+  std::vector<size_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.push_back(hasher(NodeId(rng.NextU64(), rng.NextU64())));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::unique(hashes.begin(), hashes.end()), hashes.end());
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,113 @@
+// End-to-end content integrity: bytes travel with inserts, content hashes
+// are verified at the root, lookups and caches return the exact bytes
+// (paper section 2.2), and admission-controlled joins (section 3.2).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/past/client.h"
+
+namespace past {
+namespace {
+
+TEST(ContentTest, LookupReturnsExactBytes) {
+  PastConfig config;
+  TestDeployment deployment = BuildDeployment(60, 10'000'000, config, 220);
+  PastClient client(*deployment.network, deployment.node_ids[0], 1ull << 40, 221);
+  std::string body = "the quick brown fox; \0 binary too";
+  ClientInsertResult inserted = client.InsertContent("exact.bin", body);
+  ASSERT_TRUE(inserted.stored);
+  LookupResult r = client.Lookup(inserted.file_id);
+  ASSERT_TRUE(r.found);
+  ASSERT_NE(r.content, nullptr);
+  EXPECT_EQ(*r.content, body);
+  EXPECT_EQ(r.file_size, body.size());
+}
+
+TEST(ContentTest, CorruptedContentRejectedAtRoot) {
+  PastConfig config;
+  TestDeployment deployment = BuildDeployment(60, 10'000'000, config, 222);
+  PastNetwork& network = *deployment.network;
+  PastClient client(network, deployment.node_ids[0], 1ull << 40, 223);
+
+  // Issue a certificate for one body, then try to insert different bytes —
+  // the root recomputes the content hash and must reject.
+  std::string body = "authentic bytes";
+  auto cert = client.card().IssueFileCertificate("spoof.bin", 1, body.size(), 5,
+                                                 Sha1::Hash(body), 1);
+  ASSERT_TRUE(cert.has_value());
+  auto forged = std::make_shared<const std::string>("corrupted bytes");
+  InsertResult r = network.Insert(deployment.node_ids[0], *cert, forged->size(), forged);
+  EXPECT_EQ(r.status, InsertStatus::kBadCertificate);
+  EXPECT_EQ(network.CountLiveReplicas(cert->file_id), 0u);
+}
+
+TEST(ContentTest, CacheServesBytesToo) {
+  PastConfig config;
+  config.cache_mode = CacheMode::kGreedyDualSize;
+  TestDeployment deployment = BuildDeployment(80, 10'000'000, config, 224);
+  PastNetwork& network = *deployment.network;
+  PastClient client(network, deployment.node_ids[0], 1ull << 40, 225);
+  std::string body(5000, 'z');
+  ClientInsertResult inserted = client.InsertContent("cached.bin", body);
+  ASSERT_TRUE(inserted.stored);
+
+  // Warm caches, then find a cache-served lookup and check its bytes.
+  bool saw_cache_hit = false;
+  for (size_t i = 0; i < deployment.node_ids.size(); ++i) {
+    LookupResult r = network.Lookup(deployment.node_ids[i], inserted.file_id);
+    ASSERT_TRUE(r.found);
+    ASSERT_NE(r.content, nullptr);
+    EXPECT_EQ(*r.content, body);
+    saw_cache_hit |= r.served_from_cache;
+  }
+  EXPECT_TRUE(saw_cache_hit);
+}
+
+TEST(ContentTest, SizeOnlyInsertsHaveNoContent) {
+  PastConfig config;
+  TestDeployment deployment = BuildDeployment(40, 10'000'000, config, 226);
+  PastClient client(*deployment.network, deployment.node_ids[0], 1ull << 40, 227);
+  ClientInsertResult inserted = client.Insert("sized.bin", 4096);
+  ASSERT_TRUE(inserted.stored);
+  LookupResult r = client.Lookup(inserted.file_id);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.content, nullptr);
+  EXPECT_EQ(r.file_size, 4096u);
+}
+
+TEST(AdmissionIntegrationTest, TypicalNodeAccepted) {
+  PastConfig config;
+  TestDeployment deployment = BuildDeployment(50, 10'000'000, config, 228);
+  auto outcome = deployment.network->AddStorageNodeWithAdmission(12'000'000);
+  EXPECT_EQ(outcome.decision, AdmissionDecision::kAccept);
+  ASSERT_EQ(outcome.nodes.size(), 1u);
+  EXPECT_TRUE(deployment.network->overlay().IsAlive(outcome.nodes[0]));
+}
+
+TEST(AdmissionIntegrationTest, OversizedNodeSplitsIntoLogicalNodes) {
+  PastConfig config;
+  TestDeployment deployment = BuildDeployment(50, 10'000'000, config, 229);
+  size_t before = deployment.network->overlay().live_count();
+  // 500x the typical capacity: must join as ceil(500/100) = 5 logical nodes.
+  auto outcome = deployment.network->AddStorageNodeWithAdmission(10'000'000ull * 500);
+  EXPECT_EQ(outcome.decision, AdmissionDecision::kSplit);
+  EXPECT_EQ(outcome.nodes.size(), 5u);
+  EXPECT_EQ(deployment.network->overlay().live_count(), before + 5);
+  // Each logical node advertises an equal share.
+  for (const NodeId& id : outcome.nodes) {
+    EXPECT_EQ(deployment.network->storage_node(id)->store().capacity(), 1'000'000'000u);
+  }
+}
+
+TEST(AdmissionIntegrationTest, TinyNodeRejected) {
+  PastConfig config;
+  TestDeployment deployment = BuildDeployment(50, 10'000'000, config, 230);
+  size_t before = deployment.network->overlay().live_count();
+  auto outcome = deployment.network->AddStorageNodeWithAdmission(10'000);  // 0.1% of avg
+  EXPECT_EQ(outcome.decision, AdmissionDecision::kReject);
+  EXPECT_TRUE(outcome.nodes.empty());
+  EXPECT_EQ(deployment.network->overlay().live_count(), before);
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,181 @@
+// GF(256) and Reed-Solomon tests (paper section 3.6 extension).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/erasure/gf256.h"
+#include "src/erasure/reed_solomon.h"
+
+namespace past {
+namespace {
+
+TEST(Gf256Test, FieldAxiomsSpotChecks) {
+  const Gf256& gf = Gf256::Instance();
+  // Additive identity and self-inverse (characteristic 2).
+  EXPECT_EQ(gf.Add(0x57, 0), 0x57);
+  EXPECT_EQ(gf.Add(0x57, 0x57), 0);
+  // Multiplicative identity and zero.
+  EXPECT_EQ(gf.Mul(0x57, 1), 0x57);
+  EXPECT_EQ(gf.Mul(0x57, 0), 0);
+  // Known AES product: 0x57 * 0x83 = 0xc1.
+  EXPECT_EQ(gf.Mul(0x57, 0x83), 0xc1);
+}
+
+TEST(Gf256Test, InverseIsExact) {
+  const Gf256& gf = Gf256::Instance();
+  for (unsigned a = 1; a < 256; ++a) {
+    uint8_t inv = gf.Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(gf.Mul(static_cast<uint8_t>(a), inv), 1) << a;
+    EXPECT_EQ(gf.Div(1, static_cast<uint8_t>(a)), inv);
+  }
+}
+
+TEST(Gf256Test, MulIsCommutativeAndAssociative) {
+  const Gf256& gf = Gf256::Instance();
+  Rng rng(150);
+  for (int i = 0; i < 500; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.NextBelow(256));
+    uint8_t b = static_cast<uint8_t>(rng.NextBelow(256));
+    uint8_t c = static_cast<uint8_t>(rng.NextBelow(256));
+    EXPECT_EQ(gf.Mul(a, b), gf.Mul(b, a));
+    EXPECT_EQ(gf.Mul(gf.Mul(a, b), c), gf.Mul(a, gf.Mul(b, c)));
+    // Distributivity.
+    EXPECT_EQ(gf.Mul(a, gf.Add(b, c)), gf.Add(gf.Mul(a, b), gf.Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMul) {
+  const Gf256& gf = Gf256::Instance();
+  uint8_t acc = 1;
+  for (unsigned e = 0; e < 20; ++e) {
+    EXPECT_EQ(gf.Pow(7, e), acc);
+    acc = gf.Mul(acc, 7);
+  }
+  EXPECT_EQ(gf.Pow(0, 0), 1);
+  EXPECT_EQ(gf.Pow(0, 5), 0);
+}
+
+std::vector<std::vector<uint8_t>> RandomShards(int n, size_t len, Rng& rng) {
+  std::vector<std::vector<uint8_t>> shards(static_cast<size_t>(n), std::vector<uint8_t>(len));
+  for (auto& shard : shards) {
+    for (auto& byte : shard) {
+      byte = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+  }
+  return shards;
+}
+
+TEST(ReedSolomonTest, NoErasureReconstructs) {
+  ReedSolomon rs(4, 2);
+  Rng rng(151);
+  auto data = RandomShards(4, 64, rng);
+  auto parity = rs.Encode(data);
+  ASSERT_EQ(parity.size(), 2u);
+  std::vector<std::optional<std::vector<uint8_t>>> shards;
+  for (const auto& d : data) {
+    shards.emplace_back(d);
+  }
+  for (const auto& p : parity) {
+    shards.emplace_back(p);
+  }
+  auto rebuilt = rs.Reconstruct(shards);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(*rebuilt, data);
+}
+
+class RsErasurePatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsErasurePatternTest, RecoversFromAnyMErasures) {
+  const int n = 5, m = 3;
+  ReedSolomon rs(n, m);
+  Rng rng(static_cast<uint64_t>(GetParam()) + 160);
+  auto data = RandomShards(n, 32, rng);
+  auto parity = rs.Encode(data);
+  // Erase m random distinct shards.
+  std::vector<std::optional<std::vector<uint8_t>>> shards;
+  for (const auto& d : data) {
+    shards.emplace_back(d);
+  }
+  for (const auto& p : parity) {
+    shards.emplace_back(p);
+  }
+  std::vector<size_t> indices(static_cast<size_t>(n + m));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = i;
+  }
+  for (int e = 0; e < m; ++e) {
+    size_t pick = static_cast<size_t>(e) + rng.NextBelow(indices.size() - static_cast<size_t>(e));
+    std::swap(indices[static_cast<size_t>(e)], indices[pick]);
+    shards[indices[static_cast<size_t>(e)]] = std::nullopt;
+  }
+  auto rebuilt = rs.Reconstruct(shards);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(*rebuilt, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, RsErasurePatternTest, ::testing::Range(0, 20));
+
+TEST(ReedSolomonTest, TooManyErasuresFails) {
+  ReedSolomon rs(4, 2);
+  Rng rng(152);
+  auto data = RandomShards(4, 16, rng);
+  auto parity = rs.Encode(data);
+  std::vector<std::optional<std::vector<uint8_t>>> shards;
+  for (const auto& d : data) {
+    shards.emplace_back(d);
+  }
+  for (const auto& p : parity) {
+    shards.emplace_back(p);
+  }
+  shards[0] = std::nullopt;
+  shards[1] = std::nullopt;
+  shards[4] = std::nullopt;  // 3 erasures > m = 2
+  EXPECT_FALSE(rs.Reconstruct(shards).has_value());
+}
+
+TEST(ReedSolomonTest, SplitJoinRoundTrip) {
+  ReedSolomon rs(5, 2);
+  std::string content = "PAST stores k complete copies of a file; erasure coding trades "
+                        "storage overhead for reconstruction cost.";
+  auto data = rs.Split(content);
+  ASSERT_EQ(data.size(), 5u);
+  EXPECT_EQ(ReedSolomon::Join(data, content.size()), content);
+}
+
+TEST(ReedSolomonTest, FullPipelineFileRecovery) {
+  ReedSolomon rs(6, 3);
+  std::string content(10000, '\0');
+  Rng rng(153);
+  for (auto& c : content) {
+    c = static_cast<char>(rng.NextBelow(256));
+  }
+  auto data = rs.Split(content);
+  auto parity = rs.Encode(data);
+  std::vector<std::optional<std::vector<uint8_t>>> shards;
+  for (const auto& d : data) {
+    shards.emplace_back(d);
+  }
+  for (const auto& p : parity) {
+    shards.emplace_back(p);
+  }
+  // Lose three data shards.
+  shards[0] = std::nullopt;
+  shards[2] = std::nullopt;
+  shards[5] = std::nullopt;
+  auto rebuilt = rs.Reconstruct(shards);
+  ASSERT_TRUE(rebuilt.has_value());
+  EXPECT_EQ(ReedSolomon::Join(*rebuilt, content.size()), content);
+}
+
+TEST(ReedSolomonTest, StorageOverheadFormula) {
+  // k=5 replication costs 5x; RS(5,3) tolerating 3 losses costs 1.6x.
+  EXPECT_DOUBLE_EQ(ReedSolomon::StorageOverhead(5, 3), 1.6);
+  EXPECT_DOUBLE_EQ(ReedSolomon::StorageOverhead(1, 4), 5.0);
+}
+
+TEST(ReedSolomonTest, InvalidParametersThrow) {
+  EXPECT_THROW(ReedSolomon(0, 2), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(200, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.h"
+
+namespace past {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAfter(30, [&] { order.push_back(3); });
+  q.ScheduleAfter(10, [&] { order.push_back(1); });
+  q.ScheduleAfter(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAfter(5, [&] { order.push_back(1); });
+  q.ScheduleAfter(5, [&] { order.push_back(2); });
+  q.ScheduleAfter(5, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAfter(10, [&] { ++ran; });
+  q.ScheduleAfter(20, [&] { ++ran; });
+  q.ScheduleAfter(30, [&] { ++ran; });
+  EXPECT_EQ(q.RunUntil(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now(), 20u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  int ran = 0;
+  auto id = q.ScheduleAfter(10, [&] { ++ran; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // double-cancel
+  q.RunAll();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.ScheduleAfter(10, [&] {
+    times.push_back(q.now());
+    q.ScheduleAfter(5, [&] { times.push_back(q.now()); });
+  });
+  q.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(EventQueueTest, ScheduleAtPastClampsToNow) {
+  EventQueue q;
+  q.ScheduleAfter(50, [] {});
+  q.RunAll();
+  SimTime fired = 0;
+  q.ScheduleAt(10, [&] { fired = q.now(); });  // in the past
+  q.RunAll();
+  EXPECT_EQ(fired, 50u);
+}
+
+TEST(EventQueueTest, StepExecutesOne) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAfter(1, [&] { ++ran; });
+  q.ScheduleAfter(2, [&] { ++ran; });
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+}
+
+TEST(EventQueueTest, KeepAlivePatternRepeatingTimer) {
+  // The pattern Pastry's keep-alive uses: a self-rescheduling timer.
+  EventQueue q;
+  int rounds = 0;
+  std::function<void()> tick = [&] {
+    ++rounds;
+    if (rounds < 5) {
+      q.ScheduleAfter(100, tick);
+    }
+  };
+  q.ScheduleAfter(100, tick);
+  q.RunUntil(1000);
+  EXPECT_EQ(rounds, 5);
+  EXPECT_EQ(q.now(), 1000u);
+}
+
+}  // namespace
+}  // namespace past

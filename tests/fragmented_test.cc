@@ -1,0 +1,130 @@
+// Erasure-coded storage on PAST (paper section 3.6 extension).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/past/fragmented.h"
+
+namespace past {
+namespace {
+
+class FragmentedStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PastConfig config;
+    config.k = 2;  // the erasure code supplies the redundancy
+    config.enable_maintenance = false;
+    deployment_ = BuildDeployment(60, 10'000'000, config, 210);
+    client_ = std::make_unique<PastClient>(*deployment_.network, deployment_.node_ids[0],
+                                           1ull << 45, 211);
+  }
+
+  std::string MakeContent(size_t size) {
+    std::string content(size, '\0');
+    Rng rng(212);
+    for (auto& c : content) {
+      c = static_cast<char>(rng.NextBelow(256));
+    }
+    return content;
+  }
+
+  TestDeployment deployment_;
+  std::unique_ptr<PastClient> client_;
+};
+
+TEST_F(FragmentedStoreTest, InsertAndRetrieveRoundTrip) {
+  FragmentedStore store(*client_, /*data=*/5, /*parity=*/3);
+  std::string content = MakeContent(40000);
+  auto manifest = store.Insert("video.mpg", content);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->fragments.size(), 8u);
+
+  FragmentedRetrieveResult r = store.Retrieve(*manifest);
+  ASSERT_TRUE(r.reconstructed);
+  EXPECT_EQ(r.content, content);
+  EXPECT_EQ(r.fragments_fetched, 5);
+  EXPECT_EQ(r.fragments_missing, 0);
+}
+
+TEST_F(FragmentedStoreTest, SurvivesLossOfParityManyFragments) {
+  FragmentedStore store(*client_, 5, 3);
+  std::string content = MakeContent(20000);
+  auto manifest = store.Insert("resilient.dat", content);
+  ASSERT_TRUE(manifest.has_value());
+
+  // Reclaim (destroy) 3 fragments — the tolerance limit.
+  for (int i = 0; i < 3; ++i) {
+    client_->Reclaim(manifest->fragments[static_cast<size_t>(i)]);
+  }
+  FragmentedRetrieveResult r = store.Retrieve(*manifest);
+  ASSERT_TRUE(r.reconstructed);
+  EXPECT_EQ(r.content, content);
+  EXPECT_EQ(r.fragments_missing, 3);
+}
+
+TEST_F(FragmentedStoreTest, FailsBeyondTolerance) {
+  FragmentedStore store(*client_, 4, 2);
+  std::string content = MakeContent(10000);
+  auto manifest = store.Insert("fragile.dat", content);
+  ASSERT_TRUE(manifest.has_value());
+  for (int i = 0; i < 3; ++i) {  // one more than m = 2
+    client_->Reclaim(manifest->fragments[static_cast<size_t>(i)]);
+  }
+  FragmentedRetrieveResult r = store.Retrieve(*manifest);
+  EXPECT_FALSE(r.reconstructed);
+  EXPECT_EQ(r.fragments_missing, 3);
+}
+
+TEST_F(FragmentedStoreTest, ReclaimFreesAllFragments) {
+  FragmentedStore store(*client_, 4, 2);
+  auto manifest = store.Insert("temp.dat", MakeContent(5000));
+  ASSERT_TRUE(manifest.has_value());
+  double util_before = deployment_.network->utilization();
+  EXPECT_GT(util_before, 0.0);
+  store.Reclaim(*manifest);
+  EXPECT_LT(deployment_.network->utilization(), util_before);
+  FragmentedRetrieveResult r = store.Retrieve(*manifest);
+  EXPECT_FALSE(r.reconstructed);
+}
+
+TEST_F(FragmentedStoreTest, StorageOverheadBeatsReplication) {
+  FragmentedStore store(*client_, 8, 4);
+  // RS(8,4) with k=2 fragments: 1.5 * 2 = 3x, tolerating 4 fragment losses;
+  // plain k=5 replication costs 5x tolerating 4 node losses.
+  EXPECT_DOUBLE_EQ(store.StorageOverhead(2), 3.0);
+  EXPECT_LT(store.StorageOverhead(2), 5.0);
+}
+
+TEST_F(FragmentedStoreTest, EmptyFileRoundTrips) {
+  FragmentedStore store(*client_, 3, 2);
+  auto manifest = store.Insert("empty.txt", "");
+  ASSERT_TRUE(manifest.has_value());
+  FragmentedRetrieveResult r = store.Retrieve(*manifest);
+  ASSERT_TRUE(r.reconstructed);
+  EXPECT_EQ(r.content, "");
+}
+
+TEST_F(FragmentedStoreTest, SurvivesNodeFailuresWithoutMaintenance) {
+  // Even with replica maintenance off and k=2, the erasure coding rides out
+  // node failures as long as <= m fragments lose both replicas.
+  FragmentedStore store(*client_, 5, 3);
+  std::string content = MakeContent(30000);
+  auto manifest = store.Insert("hardy.dat", content);
+  ASSERT_TRUE(manifest.has_value());
+
+  // Fail a handful of nodes.
+  PastNetwork& network = *deployment_.network;
+  Rng rng(213);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<NodeId> live = network.overlay().live_nodes();
+    network.FailStorageNode(live[rng.NextBelow(live.size())]);
+  }
+  FragmentedRetrieveResult r = store.Retrieve(*manifest);
+  if (r.reconstructed) {
+    EXPECT_EQ(r.content, content);
+  } else {
+    EXPECT_GT(r.fragments_missing, 3);
+  }
+}
+
+}  // namespace
+}  // namespace past

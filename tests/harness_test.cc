@@ -1,0 +1,145 @@
+// End-to-end harness tests: a miniature version of the paper's experiments
+// must show the qualitative shapes the full benches reproduce.
+#include <gtest/gtest.h>
+
+#include "src/harness/cli.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table_printer.h"
+
+namespace past {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.num_nodes = 60;
+  config.catalog_size = 0;  // auto: 800 files per node
+  config.curve_samples = 20;
+  config.seed = 170;
+  return config;
+}
+
+TEST(HarnessTest, StorageExperimentReachesHighUtilization) {
+  ExperimentConfig config = SmallConfig();
+  ExperimentResult result = RunExperiment(config);
+  EXPECT_EQ(result.files_attempted, 48000u);
+  EXPECT_GT(result.success_ratio, 0.80);
+  EXPECT_GT(result.final_utilization, 0.80);
+  EXPECT_FALSE(result.curve.empty());
+  // Utilization is monotonically nondecreasing along the curve.
+  for (size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GE(result.curve[i].utilization + 1e-9, result.curve[i - 1].utilization);
+  }
+}
+
+TEST(HarnessTest, NoDiversionBaselineIsWorse) {
+  ExperimentConfig with = SmallConfig();
+  ExperimentResult diverted = RunExperiment(with);
+
+  ExperimentConfig without = SmallConfig();
+  without.t_pri = 1.0;
+  without.t_div = 0.0;
+  without.replica_diversion = false;
+  without.file_diversion = false;
+  ExperimentResult baseline = RunExperiment(without);
+
+  // The paper's headline: without diversion, far more failures and much
+  // lower final utilization (51.1% fail / 60.8% util at paper scale).
+  EXPECT_GT(baseline.failure_ratio, diverted.failure_ratio);
+  EXPECT_LT(baseline.final_utilization, diverted.final_utilization);
+}
+
+TEST(HarnessTest, FailuresAreBiasedTowardLargeFiles) {
+  ExperimentConfig config = SmallConfig();
+  ExperimentResult result = RunExperiment(config);
+  if (result.failures.size() < 10) {
+    GTEST_SKIP() << "too few failures to compare";
+  }
+  double failed_mean = 0.0;
+  for (const FailureRecord& f : result.failures) {
+    failed_mean += static_cast<double>(f.size);
+  }
+  failed_mean /= static_cast<double>(result.failures.size());
+  EXPECT_GT(failed_mean, result.mean_file_size);
+}
+
+TEST(HarnessTest, CachingExperimentProducesHitsAndFewerHops) {
+  ExperimentConfig cached = SmallConfig();
+  cached.catalog_size = 3000;
+  cached.total_references = 30000;
+  cached.cache_mode = CacheMode::kGreedyDualSize;
+  ExperimentResult with_cache = RunExperiment(cached);
+
+  ExperimentConfig uncached = cached;
+  uncached.cache_mode = CacheMode::kNone;
+  ExperimentResult without_cache = RunExperiment(uncached);
+
+  EXPECT_GT(with_cache.lookups, 0u);
+  EXPECT_GT(with_cache.global_cache_hit_rate, 0.1);
+  EXPECT_EQ(without_cache.global_cache_hit_rate, 0.0);
+  EXPECT_LT(with_cache.avg_lookup_hops, without_cache.avg_lookup_hops);
+}
+
+TEST(HarnessTest, FilesystemWorkloadRuns) {
+  // Figure 7's workload: much heavier-tailed file sizes; the shape claims
+  // (high utilization, failures biased to large files) must hold here too.
+  ExperimentConfig config = SmallConfig();
+  config.workload = WorkloadKind::kFilesystem;
+  config.num_nodes = 50;
+  config.catalog_size = 20000;
+  ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.mean_file_size, 40000.0);  // fs trace mean ~88 KB
+  EXPECT_GT(result.final_utilization, 0.70);
+  EXPECT_GT(result.success_ratio, 0.80);
+  if (result.failures.size() >= 10) {
+    double failed_mean = 0.0;
+    for (const FailureRecord& f : result.failures) {
+      failed_mean += static_cast<double>(f.size);
+    }
+    failed_mean /= static_cast<double>(result.failures.size());
+    EXPECT_GT(failed_mean, result.mean_file_size);
+  }
+}
+
+TEST(HarnessTest, DemandFactorControlsSaturation) {
+  // With demand well below capacity the trace cannot saturate the system
+  // and nothing should fail.
+  ExperimentConfig config = SmallConfig();
+  config.num_nodes = 40;
+  config.catalog_size = 10000;
+  config.demand_factor = 0.5;  // only half the capacity demanded
+  ExperimentResult result = RunExperiment(config);
+  EXPECT_LT(result.final_utilization, 0.60);
+  EXPECT_GT(result.success_ratio, 0.995);
+}
+
+TEST(HarnessTest, DeterministicAcrossRuns) {
+  ExperimentConfig config = SmallConfig();
+  config.num_nodes = 40;
+  config.catalog_size = 2000;
+  ExperimentResult a = RunExperiment(config);
+  ExperimentResult b = RunExperiment(config);
+  EXPECT_EQ(a.files_inserted, b.files_inserted);
+  EXPECT_DOUBLE_EQ(a.final_utilization, b.final_utilization);
+}
+
+TEST(CommandLineTest, ParsesFlags) {
+  const char* argv[] = {"bench", "--nodes", "500", "--tpri", "0.2", "--paper-scale",
+                        "--dist", "d3"};
+  CommandLine cli(8, const_cast<char**>(argv));
+  EXPECT_EQ(cli.GetInt("--nodes", 100), 500);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("--tpri", 0.1), 0.2);
+  EXPECT_TRUE(cli.Has("--paper-scale"));
+  EXPECT_FALSE(cli.Has("--csv"));
+  EXPECT_EQ(cli.GetString("--dist", "d1"), "d3");
+  EXPECT_EQ(cli.GetInt("--missing", 7), 7);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Pct(0.123), "12.3%");
+  EXPECT_EQ(TablePrinter::Pct(0.5, 0), "50%");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Int(42), "42");
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,116 @@
+// Timed keep-alive integration (paper: unresponsiveness period T) and
+// routing-table repair tests.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/pastry/keepalive.h"
+
+namespace past {
+namespace {
+
+TEST(KeepAliveDriverTest, DetectsSilentFailureWithinOnePeriod) {
+  PastryConfig config;
+  PastryNetwork network(config, 200);
+  network.BuildInitialNetwork(60);
+  EventQueue queue;
+  KeepAliveDriver driver(queue, network, /*period=*/1000);
+
+  std::vector<NodeId> nodes = network.live_nodes();
+  queue.RunUntil(500);  // mid-period
+  network.FailNodeSilently(nodes[7]);
+
+  // The failure happened at t=500; the next probe round is at t=1000.
+  queue.RunUntil(999);
+  EXPECT_EQ(driver.failures_detected(), 0u);
+  queue.RunUntil(1000);
+  EXPECT_EQ(driver.failures_detected(), 1u);
+  EXPECT_EQ(network.CountLeafSetViolations(), 0u);
+}
+
+TEST(KeepAliveDriverTest, PeriodicRoundsKeepRunning) {
+  PastryConfig config;
+  PastryNetwork network(config, 201);
+  network.BuildInitialNetwork(30);
+  EventQueue queue;
+  KeepAliveDriver driver(queue, network, 100);
+  queue.RunUntil(1050);
+  EXPECT_EQ(driver.rounds_run(), 10u);
+}
+
+TEST(KeepAliveDriverTest, StopCancelsFutureRounds) {
+  PastryConfig config;
+  PastryNetwork network(config, 202);
+  network.BuildInitialNetwork(30);
+  EventQueue queue;
+  KeepAliveDriver driver(queue, network, 100);
+  queue.RunUntil(250);
+  EXPECT_EQ(driver.rounds_run(), 2u);
+  driver.Stop();
+  queue.RunUntil(2000);
+  EXPECT_EQ(driver.rounds_run(), 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(KeepAliveDriverTest, ManySilentFailuresRepairedOverTime) {
+  PastryConfig config;
+  PastryNetwork network(config, 203);
+  network.BuildInitialNetwork(100);
+  EventQueue queue;
+  KeepAliveDriver driver(queue, network, 1000);
+  Rng rng(204);
+  // One silent failure per period, for 20 periods.
+  for (int i = 0; i < 20; ++i) {
+    std::vector<NodeId> nodes = network.live_nodes();
+    network.FailNodeSilently(nodes[rng.NextBelow(nodes.size())]);
+    queue.RunUntil(queue.now() + 1000);
+  }
+  EXPECT_EQ(driver.failures_detected(), 20u);
+  EXPECT_EQ(network.live_count(), 80u);
+  EXPECT_EQ(network.CountLeafSetViolations(), 0u);
+}
+
+TEST(RoutingTableRepairTest, SweepRefillsSlotsAfterFailures) {
+  PastryConfig config;
+  PastryNetwork network(config, 205);
+  network.BuildInitialNetwork(200);
+  Rng rng(206);
+
+  // Count populated routing-table slots before and after failures.
+  auto populated = [&] {
+    size_t total = 0;
+    for (const NodeId& id : network.live_nodes()) {
+      total += network.node(id)->routing_table().size();
+    }
+    return total;
+  };
+
+  for (int i = 0; i < 40; ++i) {
+    std::vector<NodeId> nodes = network.live_nodes();
+    network.FailNode(nodes[rng.NextBelow(nodes.size())]);
+  }
+  size_t after_failures = populated();
+  size_t repaired = network.RepairRoutingTables();
+  EXPECT_GT(repaired, 0u);
+  EXPECT_GT(populated(), after_failures);
+
+  // Routing still lands on the ground-truth closest node afterwards.
+  std::vector<NodeId> nodes = network.live_nodes();
+  for (int i = 0; i < 100; ++i) {
+    NodeId key(rng.NextU64(), rng.NextU64());
+    EXPECT_EQ(network.Route(nodes[rng.NextBelow(nodes.size())], key).destination(),
+              network.ClosestLive(key));
+  }
+}
+
+TEST(RoutingTableRepairTest, SweepIsIdempotentOnStableNetwork) {
+  PastryConfig config;
+  PastryNetwork network(config, 207);
+  network.BuildInitialNetwork(100);
+  network.RepairRoutingTables();  // first sweep may fill gaps from joins
+  // A second sweep right away should find (almost) nothing new.
+  size_t second = network.RepairRoutingTables();
+  EXPECT_EQ(second, 0u);
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,103 @@
+// Tests for the simulation-grade RSA layer and modular arithmetic.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/keys.h"
+
+namespace past {
+namespace {
+
+TEST(ModArithTest, ModMul) {
+  EXPECT_EQ(ModMul(7, 9, 5), 3u);
+  // Values that would overflow 64-bit multiplication.
+  uint64_t big = 0xFFFFFFFFFFFFFFC5ULL;
+  EXPECT_EQ(ModMul(big - 1, big - 1, big), 1u);
+}
+
+TEST(ModArithTest, ModPow) {
+  EXPECT_EQ(ModPow(2, 10, 1000), 24u);
+  EXPECT_EQ(ModPow(3, 0, 7), 1u);
+  // Fermat: a^(p-1) = 1 mod p.
+  uint64_t p = 1000000007ULL;
+  EXPECT_EQ(ModPow(12345, p - 1, p), 1u);
+}
+
+TEST(PrimalityTest, SmallNumbers) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(91));  // 7 * 13
+}
+
+TEST(PrimalityTest, KnownLargePrimes) {
+  EXPECT_TRUE(IsPrime(1000000007ULL));
+  EXPECT_TRUE(IsPrime(2147483647ULL));  // 2^31 - 1, Mersenne
+  EXPECT_FALSE(IsPrime(2147483647ULL * 3));
+  // Carmichael number 561 = 3*11*17 must be rejected.
+  EXPECT_FALSE(IsPrime(561));
+}
+
+TEST(KeyPairTest, SignVerifyRoundTrip) {
+  Rng rng(42);
+  KeyPair keys = KeyPair::Generate(rng);
+  Signature sig = keys.Sign("hello past");
+  EXPECT_TRUE(KeyPair::Verify(keys.public_key(), "hello past", sig));
+}
+
+TEST(KeyPairTest, TamperedMessageFails) {
+  Rng rng(43);
+  KeyPair keys = KeyPair::Generate(rng);
+  Signature sig = keys.Sign("original");
+  EXPECT_FALSE(KeyPair::Verify(keys.public_key(), "tampered", sig));
+}
+
+TEST(KeyPairTest, TamperedSignatureFails) {
+  Rng rng(44);
+  KeyPair keys = KeyPair::Generate(rng);
+  Signature sig = keys.Sign("message");
+  sig.value ^= 1;
+  EXPECT_FALSE(KeyPair::Verify(keys.public_key(), "message", sig));
+}
+
+TEST(KeyPairTest, WrongKeyFails) {
+  Rng rng(45);
+  KeyPair a = KeyPair::Generate(rng);
+  KeyPair b = KeyPair::Generate(rng);
+  Signature sig = a.Sign("message");
+  EXPECT_FALSE(KeyPair::Verify(b.public_key(), "message", sig));
+}
+
+TEST(KeyPairTest, DistinctKeysGenerated) {
+  Rng rng(46);
+  KeyPair a = KeyPair::Generate(rng);
+  KeyPair b = KeyPair::Generate(rng);
+  EXPECT_NE(a.public_key().modulus, b.public_key().modulus);
+}
+
+TEST(KeyPairTest, EmptyKeyNeverVerifies) {
+  PublicKey empty;
+  EXPECT_FALSE(KeyPair::Verify(empty, "anything", Signature{123}));
+}
+
+// Property sweep: many keys, many messages.
+class KeyPairPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KeyPairPropertyTest, RoundTripAndTamperDetection) {
+  Rng rng(GetParam());
+  KeyPair keys = KeyPair::Generate(rng);
+  for (int i = 0; i < 10; ++i) {
+    std::string msg = "message-" + std::to_string(i);
+    Signature sig = keys.Sign(msg);
+    EXPECT_TRUE(KeyPair::Verify(keys.public_key(), msg, sig));
+    EXPECT_FALSE(KeyPair::Verify(keys.public_key(), msg + "x", sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyPairPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace past

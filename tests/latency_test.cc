@@ -1,0 +1,40 @@
+// LatencyModel unit tests (section 5.2's absolute datapoint).
+#include <gtest/gtest.h>
+
+#include "src/net/latency_model.h"
+
+namespace past {
+namespace {
+
+TEST(LatencyModelTest, PaperDatapoint) {
+  // 1 KB file, one hop away, LAN: ~25 ms.
+  LatencyModel lan = LatencyModel::Lan();
+  double ms = lan.FetchLatencyMs(1, 0.0, 1024);
+  EXPECT_GT(ms, 20.0);
+  EXPECT_LT(ms, 30.0);
+}
+
+TEST(LatencyModelTest, ZeroHopIsTransferOnly) {
+  LatencyModel lan = LatencyModel::Lan();
+  EXPECT_DOUBLE_EQ(lan.FetchLatencyMs(0, 0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(lan.FetchLatencyMs(0, 0.0, 12500), 10.0);
+}
+
+TEST(LatencyModelTest, LatencyIncreasesWithHopsDistanceAndSize) {
+  LatencyModel wan = LatencyModel::Wan();
+  double base = wan.FetchLatencyMs(2, 0.5, 1024);
+  EXPECT_GT(wan.FetchLatencyMs(3, 0.5, 1024), base);
+  EXPECT_GT(wan.FetchLatencyMs(2, 0.9, 1024), base);
+  EXPECT_GT(wan.FetchLatencyMs(2, 0.5, 1 << 20), base);
+}
+
+TEST(LatencyModelTest, WanChargesPropagation) {
+  LatencyModel lan = LatencyModel::Lan();
+  LatencyModel wan = LatencyModel::Wan();
+  // Same route, nonzero distance: WAN pays the propagation term, LAN not.
+  EXPECT_DOUBLE_EQ(lan.FetchLatencyMs(1, 0.7, 0) - lan.FetchLatencyMs(1, 0.0, 0), 0.0);
+  EXPECT_GT(wan.FetchLatencyMs(1, 0.7, 0), wan.FetchLatencyMs(1, 0.0, 0));
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,137 @@
+// Randomized routing around malicious nodes (paper section 2.3): a bad node
+// accepts messages and drops them; deterministic routes through it fail
+// repeatedly, randomized retries eventually evade it.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/harness/experiment.h"
+#include "src/past/client.h"
+#include "src/pastry/network.h"
+
+namespace past {
+namespace {
+
+// Finds (origin, key, culprit) such that the deterministic route from origin
+// to key passes through `culprit` as an intermediate node.
+struct Scenario {
+  NodeId origin;
+  NodeId key;
+  NodeId culprit;
+  bool found = false;
+};
+
+Scenario FindRouteWithIntermediate(PastryNetwork& network, Rng& rng) {
+  std::vector<NodeId> nodes = network.live_nodes();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    NodeId key(rng.NextU64(), rng.NextU64());
+    NodeId origin = nodes[rng.NextBelow(nodes.size())];
+    RouteResult route = network.Route(origin, key);
+    if (route.path.size() >= 3) {
+      return {origin, key, route.path[1], true};
+    }
+  }
+  return {};
+}
+
+TEST(MaliciousRoutingTest, DeterministicRoutesFailRepeatedly) {
+  PastryConfig config;  // route_randomization = 0
+  PastryNetwork network(config, 240);
+  network.BuildInitialNetwork(400);
+  Rng rng(241);
+  Scenario s = FindRouteWithIntermediate(network, rng);
+  ASSERT_TRUE(s.found);
+  network.SetMalicious(s.culprit, true);
+  // Every retry takes the same path and dies at the same node.
+  for (int i = 0; i < 10; ++i) {
+    RouteResult route = network.Route(s.origin, s.key);
+    EXPECT_FALSE(route.delivered);
+    EXPECT_EQ(route.path.back(), s.culprit);
+  }
+}
+
+TEST(MaliciousRoutingTest, RandomizedRoutingEvadesBadNode) {
+  PastryConfig config;
+  config.route_randomization = 0.5;
+  PastryNetwork network(config, 242);
+  network.BuildInitialNetwork(400);
+  Rng rng(243);
+  Scenario s = FindRouteWithIntermediate(network, rng);
+  ASSERT_TRUE(s.found);
+  network.SetMalicious(s.culprit, true);
+  // The client may have to issue several requests, but one of them avoids
+  // the bad node (paper section 2.3).
+  bool succeeded = false;
+  for (int i = 0; i < 50 && !succeeded; ++i) {
+    RouteResult route = network.Route(s.origin, s.key);
+    if (route.delivered) {
+      succeeded = true;
+      EXPECT_EQ(route.destination(), network.ClosestLive(s.key));
+    }
+  }
+  EXPECT_TRUE(succeeded);
+}
+
+TEST(MaliciousRoutingTest, UnmarkingRestoresDelivery) {
+  PastryConfig config;
+  PastryNetwork network(config, 244);
+  network.BuildInitialNetwork(200);
+  Rng rng(245);
+  Scenario s = FindRouteWithIntermediate(network, rng);
+  ASSERT_TRUE(s.found);
+  network.SetMalicious(s.culprit, true);
+  EXPECT_FALSE(network.Route(s.origin, s.key).delivered);
+  network.SetMalicious(s.culprit, false);
+  EXPECT_TRUE(network.Route(s.origin, s.key).delivered);
+}
+
+TEST(MaliciousRoutingTest, LookupFailsCleanlyThroughBadNode) {
+  PastConfig config;
+  TestDeployment deployment = BuildDeployment(200, 10'000'000, config, 246);
+  PastNetwork& network = *deployment.network;
+  PastClient client(network, deployment.node_ids[0], 1ull << 40, 247);
+  ClientInsertResult inserted = client.Insert("guarded.bin", 1000);
+  ASSERT_TRUE(inserted.stored);
+
+  // Make the first hop of the lookup route malicious.
+  RouteResult probe =
+      network.overlay().Route(deployment.node_ids[0], inserted.file_id.ToRoutingKey());
+  if (probe.path.size() < 3) {
+    GTEST_SKIP() << "route too short to have an intermediate";
+  }
+  network.overlay().SetMalicious(probe.path[1], true);
+  LookupResult r = client.Lookup(inserted.file_id);
+  EXPECT_FALSE(r.found);
+
+  // From a different access node, the lookup works.
+  client.set_access_node(deployment.node_ids[deployment.node_ids.size() / 2]);
+  EXPECT_TRUE(client.Lookup(inserted.file_id).found);
+}
+
+TEST(MaliciousRoutingTest, WidespreadCorruptionDegradesService) {
+  // The paper's worst case: many corrupted nodes cause routing failures.
+  PastryConfig config;
+  PastryNetwork network(config, 248);
+  network.BuildInitialNetwork(300);
+  Rng rng(249);
+  std::vector<NodeId> nodes = network.live_nodes();
+  for (size_t i = 0; i < nodes.size() / 3; ++i) {
+    network.SetMalicious(nodes[rng.NextBelow(nodes.size())], true);
+  }
+  int failures = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    NodeId key(rng.NextU64(), rng.NextU64());
+    NodeId origin;
+    do {
+      origin = nodes[rng.NextBelow(nodes.size())];
+    } while (network.IsMalicious(origin));
+    if (!network.Route(origin, key).delivered) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, trials / 10);  // substantial degradation...
+  EXPECT_LT(failures, trials);       // ...but not total loss
+}
+
+}  // namespace
+}  // namespace past

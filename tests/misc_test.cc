@@ -1,0 +1,54 @@
+// Tests for small supporting pieces: transport statistics and logging.
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/net/transport_stats.h"
+
+namespace past {
+namespace {
+
+TEST(TransportStatsTest, AccumulatesAndResets) {
+  TransportStats stats;
+  stats.RecordHop(0.25);
+  stats.RecordHop(0.5);
+  stats.RecordMessage(128);
+  stats.RecordMessage(64);
+  stats.RecordRpc();
+  EXPECT_EQ(stats.hops(), 2u);
+  EXPECT_DOUBLE_EQ(stats.total_distance(), 0.75);
+  EXPECT_EQ(stats.messages(), 2u);
+  EXPECT_EQ(stats.bytes_sent(), 192u);
+  EXPECT_EQ(stats.rpcs(), 1u);
+  stats.Reset();
+  EXPECT_EQ(stats.hops(), 0u);
+  EXPECT_EQ(stats.messages(), 0u);
+  EXPECT_DOUBLE_EQ(stats.total_distance(), 0.0);
+}
+
+TEST(LoggingTest, LevelGatingSuppressesBelowThreshold) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // The stream expression must not even be evaluated when suppressed.
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  PAST_LOG(kDebug) << expensive();
+  PAST_LOG(kInfo) << expensive();
+  PAST_LOG(kWarning) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  PAST_LOG(kError) << "one visible error (expected in test output): " << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning), static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError), static_cast<int>(LogLevel::kOff));
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/node_store.h"
+
+namespace past {
+namespace {
+
+FileId MakeFileId(uint8_t tag) {
+  std::array<uint8_t, 20> bytes{};
+  bytes[0] = tag;
+  return FileId(bytes);
+}
+
+TEST(NodeStoreTest, StoreAndRetrieve) {
+  NodeStore store(1000);
+  FileCertificateRef cert = std::make_shared<const FileCertificate>();
+  EXPECT_TRUE(store.StoreReplica(MakeFileId(1), ReplicaKind::kPrimary, 400, cert));
+  EXPECT_TRUE(store.HasReplica(MakeFileId(1)));
+  EXPECT_EQ(store.used(), 400u);
+  EXPECT_EQ(store.free_bytes(), 600u);
+  const ReplicaEntry* entry = store.GetReplica(MakeFileId(1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->size, 400u);
+  EXPECT_EQ(entry->kind, ReplicaKind::kPrimary);
+}
+
+TEST(NodeStoreTest, RejectsOverflow) {
+  NodeStore store(1000);
+  FileCertificateRef cert = std::make_shared<const FileCertificate>();
+  EXPECT_FALSE(store.StoreReplica(MakeFileId(1), ReplicaKind::kPrimary, 1001, cert));
+  EXPECT_TRUE(store.StoreReplica(MakeFileId(1), ReplicaKind::kPrimary, 1000, cert));
+  EXPECT_FALSE(store.StoreReplica(MakeFileId(2), ReplicaKind::kPrimary, 1, cert));
+}
+
+TEST(NodeStoreTest, DuplicateFileIdRejected) {
+  NodeStore store(1000);
+  FileCertificateRef cert = std::make_shared<const FileCertificate>();
+  EXPECT_TRUE(store.StoreReplica(MakeFileId(1), ReplicaKind::kPrimary, 100, cert));
+  EXPECT_FALSE(store.StoreReplica(MakeFileId(1), ReplicaKind::kPrimary, 100, cert));
+  EXPECT_EQ(store.used(), 100u);
+}
+
+TEST(NodeStoreTest, RemoveFreesSpace) {
+  NodeStore store(1000);
+  FileCertificateRef cert = std::make_shared<const FileCertificate>();
+  store.StoreReplica(MakeFileId(1), ReplicaKind::kPrimary, 100, cert);
+  auto removed = store.RemoveReplica(MakeFileId(1));
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 100u);
+  EXPECT_EQ(store.used(), 0u);
+  EXPECT_FALSE(store.RemoveReplica(MakeFileId(1)).has_value());
+}
+
+TEST(NodeStoreTest, CountsPrimaryAndDiverted) {
+  NodeStore store(1000);
+  FileCertificateRef cert = std::make_shared<const FileCertificate>();
+  store.StoreReplica(MakeFileId(1), ReplicaKind::kPrimary, 100, cert);
+  store.StoreReplica(MakeFileId(2), ReplicaKind::kDiverted, 100, cert);
+  store.StoreReplica(MakeFileId(3), ReplicaKind::kDiverted, 100, cert);
+  EXPECT_EQ(store.replica_count(), 3u);
+  EXPECT_EQ(store.primary_count(), 1u);
+  EXPECT_EQ(store.diverted_count(), 2u);
+  store.RemoveReplica(MakeFileId(2));
+  EXPECT_EQ(store.diverted_count(), 1u);
+}
+
+TEST(NodeStoreTest, SetReplicaKindRebalancesCounters) {
+  NodeStore store(1000);
+  FileCertificateRef cert = std::make_shared<const FileCertificate>();
+  store.StoreReplica(MakeFileId(1), ReplicaKind::kDiverted, 100, cert);
+  EXPECT_TRUE(store.SetReplicaKind(MakeFileId(1), ReplicaKind::kPrimary));
+  EXPECT_EQ(store.primary_count(), 1u);
+  EXPECT_EQ(store.diverted_count(), 0u);
+  EXPECT_FALSE(store.SetReplicaKind(MakeFileId(9), ReplicaKind::kPrimary));
+}
+
+TEST(NodeStoreTest, PointerLifecycle) {
+  NodeStore store(1000);
+  NodeId holder(7, 7);
+  store.InstallPointer(MakeFileId(1), holder, PointerRole::kDiverter, 256);
+  const DiversionPointer* ptr = store.GetPointer(MakeFileId(1));
+  ASSERT_NE(ptr, nullptr);
+  EXPECT_EQ(ptr->holder, holder);
+  EXPECT_EQ(ptr->role, PointerRole::kDiverter);
+  EXPECT_EQ(ptr->size, 256u);
+  // Pointers occupy no storage space.
+  EXPECT_EQ(store.used(), 0u);
+  EXPECT_TRUE(store.RemovePointer(MakeFileId(1)));
+  EXPECT_FALSE(store.RemovePointer(MakeFileId(1)));
+  EXPECT_EQ(store.GetPointer(MakeFileId(1)), nullptr);
+}
+
+TEST(NodeStoreTest, ZeroByteFilesAccepted) {
+  // The NLANR trace contains 0-byte files; they must store cleanly.
+  NodeStore store(10);
+  FileCertificateRef cert = std::make_shared<const FileCertificate>();
+  EXPECT_TRUE(store.StoreReplica(MakeFileId(1), ReplicaKind::kPrimary, 0, cert));
+  EXPECT_EQ(store.used(), 0u);
+  EXPECT_TRUE(store.HasReplica(MakeFileId(1)));
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,142 @@
+// Insert-path tests: replica placement, receipts, certificates, duplicate
+// rejection, quota enforcement (paper sections 2.2, 3.3).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/past/client.h"
+
+namespace past {
+namespace {
+
+class PastInsertTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PastConfig config;
+    config.k = 5;
+    deployment_ = BuildDeployment(/*num_nodes=*/80, /*capacity_per_node=*/10'000'000, config,
+                                  /*seed=*/50);
+  }
+
+  PastNetwork& network() { return *deployment_.network; }
+  NodeId AnyNode() { return deployment_.node_ids.front(); }
+
+  TestDeployment deployment_;
+};
+
+TEST_F(PastInsertTest, InsertStoresKReplicasOnKClosestNodes) {
+  PastClient client(network(), AnyNode(), 1ull << 40, 51);
+  ClientInsertResult r = client.Insert("hello.txt", 5000);
+  ASSERT_TRUE(r.stored);
+  EXPECT_EQ(r.diversions, 0);
+
+  // Exactly k live replicas, on exactly the k numerically closest nodes.
+  EXPECT_EQ(network().CountLiveReplicas(r.file_id), 5u);
+  NodeId key = r.file_id.ToRoutingKey();
+  for (const NodeId& id : network().overlay().KClosestLive(key, 5)) {
+    const PastNode* node = network().storage_node(id);
+    ASSERT_NE(node, nullptr);
+    EXPECT_TRUE(node->store().HasReplica(r.file_id)) << id.ToHex();
+    EXPECT_EQ(node->store().GetReplica(r.file_id)->kind, ReplicaKind::kPrimary);
+  }
+  EXPECT_EQ(network().CountStorageInvariantViolations({r.file_id}), 0u);
+}
+
+TEST_F(PastInsertTest, StoreReceiptsVerify) {
+  PastClient client(network(), AnyNode(), 1ull << 40, 52);
+  // Drive the network API directly to inspect raw receipts.
+  auto cert = client.card().IssueFileCertificate("direct.bin", 7, 1234, 5,
+                                                 Sha1::Hash("direct"), 1);
+  ASSERT_TRUE(cert.has_value());
+  InsertResult result = network().Insert(AnyNode(), *cert, 1234);
+  ASSERT_EQ(result.status, InsertStatus::kStored);
+  ASSERT_EQ(result.receipts.size(), 5u);
+  for (const StoreReceipt& receipt : result.receipts) {
+    EXPECT_TRUE(receipt.Verify());
+    EXPECT_EQ(receipt.file_id, cert->file_id);
+  }
+}
+
+TEST_F(PastInsertTest, BadCertificateRejected) {
+  PastClient client(network(), AnyNode(), 1ull << 40, 53);
+  auto cert = client.card().IssueFileCertificate("tampered.bin", 7, 1234, 5,
+                                                 Sha1::Hash("x"), 1);
+  ASSERT_TRUE(cert.has_value());
+  cert->replication_factor = 3;  // invalidates the signature
+  InsertResult result = network().Insert(AnyNode(), *cert, 1234);
+  EXPECT_EQ(result.status, InsertStatus::kBadCertificate);
+  EXPECT_EQ(network().CountLiveReplicas(cert->file_id), 0u);
+}
+
+TEST_F(PastInsertTest, DuplicateFileIdRejected) {
+  PastClient client(network(), AnyNode(), 1ull << 40, 54);
+  auto cert = client.card().IssueFileCertificate("dup.bin", 7, 100, 5, Sha1::Hash("d"), 1);
+  ASSERT_TRUE(cert.has_value());
+  ASSERT_EQ(network().Insert(AnyNode(), *cert, 100).status, InsertStatus::kStored);
+  EXPECT_EQ(network().Insert(AnyNode(), *cert, 100).status, InsertStatus::kDuplicateFileId);
+  EXPECT_EQ(network().CountLiveReplicas(cert->file_id), 5u);
+}
+
+TEST_F(PastInsertTest, QuotaBlocksOverdraft) {
+  // Quota covers one 100-byte file at k=5 (500 bytes), not two.
+  PastClient client(network(), AnyNode(), 600, 55);
+  EXPECT_TRUE(client.Insert("one.bin", 100).stored);
+  ClientInsertResult r = client.Insert("two.bin", 100);
+  EXPECT_FALSE(r.stored);
+  EXPECT_TRUE(r.quota_exceeded);
+}
+
+TEST_F(PastInsertTest, QuotaRestoredByReclaim) {
+  PastClient client(network(), AnyNode(), 600, 56);
+  ClientInsertResult r = client.Insert("one.bin", 100);
+  ASSERT_TRUE(r.stored);
+  EXPECT_EQ(client.card().quota_remaining(), 100u);
+  ReclaimResult reclaimed = client.Reclaim(r.file_id);
+  EXPECT_TRUE(reclaimed.accepted);
+  EXPECT_EQ(reclaimed.replicas_reclaimed, 5u);
+  EXPECT_EQ(client.card().quota_remaining(), 600u);
+  EXPECT_TRUE(client.Insert("two.bin", 100).stored);
+}
+
+TEST_F(PastInsertTest, UtilizationTracksStoredBytes) {
+  EXPECT_DOUBLE_EQ(network().utilization(), 0.0);
+  PastClient client(network(), AnyNode(), 1ull << 40, 57);
+  ASSERT_TRUE(client.Insert("a.bin", 100000).stored);
+  double expected = 100000.0 * 5 / static_cast<double>(network().total_capacity());
+  EXPECT_NEAR(network().utilization(), expected, 1e-12);
+}
+
+TEST_F(PastInsertTest, ManyInsertsAllPlacedCorrectly) {
+  PastClient client(network(), AnyNode(), 1ull << 40, 58);
+  std::vector<FileId> files;
+  for (int i = 0; i < 200; ++i) {
+    ClientInsertResult r = client.Insert("bulk-" + std::to_string(i), 2000 + i);
+    ASSERT_TRUE(r.stored) << i;
+    files.push_back(r.file_id);
+  }
+  EXPECT_EQ(network().CountStorageInvariantViolations(files), 0u);
+  // Statistical balance: every node should hold some replicas (200 files x 5
+  // replicas over 80 nodes = 12.5 average).
+  PastNetwork::ReplicaCensus census = network().CountReplicas();
+  EXPECT_EQ(census.replicas, 1000u);
+}
+
+TEST_F(PastInsertTest, InsertFromEveryOriginWorks) {
+  PastClient client(network(), AnyNode(), 1ull << 40, 59);
+  for (size_t i = 0; i < deployment_.node_ids.size(); i += 7) {
+    client.set_access_node(deployment_.node_ids[i]);
+    ASSERT_TRUE(client.Insert("origin-" + std::to_string(i), 512).stored);
+  }
+}
+
+TEST(PastInsertSmallNetworkTest, KLargerThanNetworkStoresOnAll) {
+  PastConfig config;
+  config.k = 5;
+  TestDeployment deployment = BuildDeployment(3, 1'000'000, config, 60);
+  PastClient client(*deployment.network, deployment.node_ids[0], 1ull << 40, 61);
+  ClientInsertResult r = client.Insert("small-net.bin", 100);
+  ASSERT_TRUE(r.stored);
+  EXPECT_EQ(deployment.network->CountLiveReplicas(r.file_id), 3u);
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,109 @@
+// Reclaim tests: owner verification, space accounting, weak semantics
+// (paper section 2.2).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/past/client.h"
+
+namespace past {
+namespace {
+
+class PastReclaimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PastConfig config;
+    deployment_ = BuildDeployment(80, 10'000'000, config, 90);
+  }
+  PastNetwork& network() { return *deployment_.network; }
+  TestDeployment deployment_;
+};
+
+TEST_F(PastReclaimTest, ReclaimRemovesAllReplicas) {
+  PastClient client(network(), deployment_.node_ids[0], 1ull << 40, 91);
+  ClientInsertResult inserted = client.Insert("temp.bin", 3000);
+  ASSERT_TRUE(inserted.stored);
+  ASSERT_EQ(network().CountLiveReplicas(inserted.file_id), 5u);
+
+  ReclaimResult r = client.Reclaim(inserted.file_id);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.replicas_reclaimed, 5u);
+  EXPECT_EQ(r.bytes_reclaimed, 15000u);
+  EXPECT_EQ(network().CountLiveReplicas(inserted.file_id), 0u);
+  EXPECT_DOUBLE_EQ(network().utilization(), 0.0);
+
+  // After reclaim, lookups are no longer guaranteed to succeed.
+  EXPECT_FALSE(client.Lookup(inserted.file_id).found);
+}
+
+TEST_F(PastReclaimTest, ReclaimReceiptsVerify) {
+  PastClient client(network(), deployment_.node_ids[0], 1ull << 40, 92);
+  ClientInsertResult inserted = client.Insert("temp.bin", 1000);
+  ASSERT_TRUE(inserted.stored);
+  ReclaimResult r = client.Reclaim(inserted.file_id);
+  ASSERT_EQ(r.receipts.size(), 5u);
+  for (const ReclaimReceipt& receipt : r.receipts) {
+    EXPECT_TRUE(receipt.Verify());
+    EXPECT_EQ(receipt.reclaimed_bytes, 1000u);
+  }
+}
+
+TEST_F(PastReclaimTest, NonOwnerCannotReclaim) {
+  PastClient owner(network(), deployment_.node_ids[0], 1ull << 40, 93);
+  PastClient attacker(network(), deployment_.node_ids[1], 1ull << 40, 94);
+  ClientInsertResult inserted = owner.Insert("private.bin", 2000);
+  ASSERT_TRUE(inserted.stored);
+
+  ReclaimResult r = attacker.Reclaim(inserted.file_id);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.replicas_reclaimed, 0u);
+  EXPECT_EQ(network().CountLiveReplicas(inserted.file_id), 5u);
+  EXPECT_TRUE(owner.Lookup(inserted.file_id).found);
+}
+
+TEST_F(PastReclaimTest, ForgedCertificateRejected) {
+  PastClient owner(network(), deployment_.node_ids[0], 1ull << 40, 95);
+  ClientInsertResult inserted = owner.Insert("keep.bin", 500);
+  ASSERT_TRUE(inserted.stored);
+  ReclaimCertificate forged = owner.card().IssueReclaimCertificate(inserted.file_id, 1);
+  forged.date ^= 1;  // breaks the signature
+  ReclaimResult r = network().Reclaim(deployment_.node_ids[0], forged);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(network().CountLiveReplicas(inserted.file_id), 5u);
+}
+
+TEST_F(PastReclaimTest, ReclaimUnknownFileIsAcceptedNoop) {
+  PastClient client(network(), deployment_.node_ids[0], 1ull << 40, 96);
+  FileId bogus;
+  ASSERT_TRUE(FileId::FromHex("ffeeddccbbaa99887766554433221100ffeeddcc", &bogus));
+  ReclaimResult r = client.Reclaim(bogus);
+  EXPECT_TRUE(r.accepted);  // certificate fine, just nothing stored
+  EXPECT_EQ(r.replicas_reclaimed, 0u);
+}
+
+TEST_F(PastReclaimTest, WeakSemanticsCachedCopiesMaySurvive) {
+  // Reclaim is not delete: cached copies are not hunted down (section 2.2).
+  PastConfig config;
+  config.cache_mode = CacheMode::kGreedyDualSize;
+  TestDeployment deployment = BuildDeployment(80, 10'000'000, config, 97);
+  PastNetwork& network = *deployment.network;
+  PastClient client(network, deployment.node_ids[0], 1ull << 40, 98);
+  ClientInsertResult inserted = client.Insert("cached.bin", 1500);
+  ASSERT_TRUE(inserted.stored);
+  // Warm caches via lookups from several origins.
+  for (size_t i = 0; i < deployment.node_ids.size(); i += 4) {
+    network.Lookup(deployment.node_ids[i], inserted.file_id);
+  }
+  ReclaimResult r = client.Reclaim(inserted.file_id);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(network.CountLiveReplicas(inserted.file_id), 0u);
+  // A later lookup may still be served from a cache — the weak reclaim
+  // guarantee. (It may also miss; both are legal. We only assert that no
+  // *replica* serves it.)
+  LookupResult after = client.Lookup(inserted.file_id);
+  if (after.found) {
+    EXPECT_TRUE(after.served_from_cache);
+  }
+}
+
+}  // namespace
+}  // namespace past

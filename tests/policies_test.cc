@@ -1,0 +1,70 @@
+// Tests for the t_pri / t_div admission thresholds (paper section 3.3.1).
+#include <gtest/gtest.h>
+
+#include "src/storage/policies.h"
+
+namespace past {
+namespace {
+
+TEST(StoragePolicyTest, AcceptsSmallFilesAtLowUtilization) {
+  StoragePolicy policy;  // t_pri = 0.1, t_div = 0.05
+  // 10,517-byte average file against a nearly empty 27 MB node.
+  EXPECT_TRUE(policy.AcceptPrimary(10517, 27000000));
+  EXPECT_TRUE(policy.AcceptDiverted(10517, 27000000));
+}
+
+TEST(StoragePolicyTest, RejectsWhenFractionExceedsThreshold) {
+  StoragePolicy policy;
+  // file/free = 0.2 > t_pri = 0.1.
+  EXPECT_FALSE(policy.AcceptPrimary(200, 1000));
+  // exactly at the threshold is accepted (S_D/F_N > t rejects).
+  EXPECT_TRUE(policy.AcceptPrimary(100, 1000));
+  EXPECT_FALSE(policy.AcceptPrimary(101, 1000));
+}
+
+TEST(StoragePolicyTest, DivertedIsStricterThanPrimary) {
+  StoragePolicy policy;
+  // 8% of free space: fine for a primary (10%), too much for diverted (5%).
+  EXPECT_TRUE(policy.AcceptPrimary(80, 1000));
+  EXPECT_FALSE(policy.AcceptDiverted(80, 1000));
+}
+
+TEST(StoragePolicyTest, NeverAcceptsWhatCannotFit) {
+  StoragePolicy policy;
+  policy.t_pri = 1.0;  // even with a permissive threshold
+  EXPECT_FALSE(policy.AcceptPrimary(1001, 1000));
+  EXPECT_TRUE(policy.AcceptPrimary(1000, 1000));
+}
+
+TEST(StoragePolicyTest, ZeroFreeSpaceRejectsEverything) {
+  StoragePolicy policy;
+  EXPECT_FALSE(policy.AcceptPrimary(1, 0));
+  EXPECT_FALSE(policy.AcceptDiverted(1, 0));
+}
+
+TEST(StoragePolicyTest, ZeroSizeAlwaysFits) {
+  StoragePolicy policy;
+  EXPECT_TRUE(policy.AcceptPrimary(0, 1000));
+}
+
+TEST(StoragePolicyTest, BaselineConfigDisablesDiversion) {
+  // The paper's no-diversion baseline: t_pri = 1 accepts anything that fits,
+  // t_div = 0 rejects every diverted replica.
+  StoragePolicy policy;
+  policy.t_pri = 1.0;
+  policy.t_div = 0.0;
+  EXPECT_TRUE(policy.AcceptPrimary(999, 1000));
+  EXPECT_FALSE(policy.AcceptDiverted(1, 1000));
+}
+
+TEST(StoragePolicyTest, ThresholdShrinksEffectiveMaxFileWithUtilization) {
+  StoragePolicy policy;
+  // As free space shrinks, the largest acceptable file shrinks with it:
+  // the size threshold above which files get rejected decreases.
+  EXPECT_TRUE(policy.AcceptPrimary(1000, 10000));
+  EXPECT_FALSE(policy.AcceptPrimary(1000, 5000));
+  EXPECT_TRUE(policy.AcceptPrimary(500, 5000));
+}
+
+}  // namespace
+}  // namespace past

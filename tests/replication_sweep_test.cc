@@ -1,0 +1,92 @@
+// Parameterized sweep over the replication factor k: the placement
+// invariant, lookup success, and reclaim accounting must hold for every k
+// in [1, l/2 + 1] (the paper's constraint on k).
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/past/client.h"
+
+namespace past {
+namespace {
+
+class ReplicationSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ReplicationSweepTest, PlacementLookupReclaimHoldForEveryK) {
+  const uint32_t k = GetParam();
+  PastConfig config;
+  config.k = k;
+  TestDeployment deployment = BuildDeployment(60, 20'000'000, config, 500 + k);
+  PastNetwork& network = *deployment.network;
+  PastClient client(network, deployment.node_ids[0], 1ull << 45, 600 + k);
+
+  std::vector<FileId> files;
+  for (int i = 0; i < 50; ++i) {
+    ClientInsertResult r = client.Insert("k" + std::to_string(k) + "-" + std::to_string(i),
+                                         1000 + static_cast<uint64_t>(i));
+    ASSERT_TRUE(r.stored) << "k=" << k << " i=" << i;
+    files.push_back(r.file_id);
+
+    // Exactly k replicas, on exactly the k numerically closest nodes.
+    EXPECT_EQ(network.CountLiveReplicas(r.file_id), k);
+    for (const NodeId& id : network.overlay().KClosestLive(r.file_id.ToRoutingKey(), k)) {
+      const PastNode* node = network.storage_node(id);
+      ASSERT_NE(node, nullptr);
+      EXPECT_TRUE(node->store().HasReplica(r.file_id));
+    }
+  }
+  EXPECT_EQ(network.CountStorageInvariantViolations(files), 0u);
+
+  // Quota debits scale with k.
+  uint64_t used = (1ull << 45) - client.card().quota_remaining();
+  uint64_t expected = 0;
+  for (int i = 0; i < 50; ++i) {
+    expected += (1000 + static_cast<uint64_t>(i)) * k;
+  }
+  EXPECT_EQ(used, expected);
+
+  // Every file retrievable; reclaim drops exactly k replicas each.
+  for (const FileId& f : files) {
+    EXPECT_TRUE(client.Lookup(f).found);
+  }
+  ReclaimResult reclaimed = client.Reclaim(files[0]);
+  EXPECT_EQ(reclaimed.replicas_reclaimed, k);
+  EXPECT_EQ(network.CountLiveReplicas(files[0]), 0u);
+}
+
+TEST_P(ReplicationSweepTest, SurvivesKMinusOneFailures) {
+  const uint32_t k = GetParam();
+  if (k < 2) {
+    GTEST_SKIP() << "needs k >= 2";
+  }
+  PastConfig config;
+  config.k = k;
+  config.enable_maintenance = true;
+  TestDeployment deployment = BuildDeployment(50, 50'000'000, config, 700 + k);
+  PastNetwork& network = *deployment.network;
+  PastClient client(network, deployment.node_ids[0], 1ull << 45, 800 + k);
+  ClientInsertResult r = client.Insert("survivor", 5000);
+  ASSERT_TRUE(r.stored);
+
+  // Fail k-1 replica holders one at a time; maintenance restores each time.
+  for (uint32_t round = 0; round + 1 < k; ++round) {
+    NodeId victim;
+    bool found = false;
+    for (const NodeId& id : network.overlay().live_nodes()) {
+      const PastNode* node = network.storage_node(id);
+      if (node != nullptr && node->store().HasReplica(r.file_id)) {
+        victim = id;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+    network.FailStorageNode(victim);
+    EXPECT_TRUE(client.Lookup(r.file_id).found) << "k=" << k << " round=" << round;
+  }
+  EXPECT_GE(network.CountLiveReplicas(r.file_id), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, ReplicationSweepTest, ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,61 @@
+// SHA-1 against the FIPS 180-1 reference vectors.
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha1.h"
+
+namespace past {
+namespace {
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha1::Hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha1::Hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, LongerVector) {
+  EXPECT_EQ(DigestToHex(Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(DigestToHex(Sha1::Hash(input)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string data = "The quick brown fox jumps over the lazy dog";
+  Sha1 ctx;
+  for (char c : data) {
+    ctx.Update(&c, 1);
+  }
+  EXPECT_EQ(ctx.Final(), Sha1::Hash(data));
+}
+
+TEST(Sha1Test, IncrementalBlockBoundaries) {
+  // Exercise buffering across the 64-byte block boundary.
+  std::string data(200, 'x');
+  for (size_t split = 1; split < 130; split += 7) {
+    Sha1 ctx;
+    ctx.Update(data.data(), split);
+    ctx.Update(data.data() + split, data.size() - split);
+    EXPECT_EQ(ctx.Final(), Sha1::Hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha1Test, ResetReusesContext) {
+  Sha1 ctx;
+  ctx.Update("garbage");
+  (void)ctx.Final();
+  ctx.Reset();
+  ctx.Update("abc");
+  EXPECT_EQ(DigestToHex(ctx.Final()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha1::Hash("file-a"), Sha1::Hash("file-b"));
+}
+
+}  // namespace
+}  // namespace past

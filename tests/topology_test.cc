@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/net/topology.h"
+
+namespace past {
+namespace {
+
+TEST(TorusDistanceTest, BasicAndWraparound) {
+  EXPECT_DOUBLE_EQ(TorusDistance({0.0, 0.0}, {0.3, 0.4}), 0.5);
+  // Wraparound: 0.05 and 0.95 are 0.1 apart on the torus.
+  EXPECT_NEAR(TorusDistance({0.05, 0.5}, {0.95, 0.5}), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(TorusDistance({0.2, 0.2}, {0.2, 0.2}), 0.0);
+}
+
+TEST(TorusDistanceTest, MaximumIsHalfDiagonal) {
+  // No two points can be farther than sqrt(0.5^2 + 0.5^2).
+  double max = TorusDistance({0.0, 0.0}, {0.5, 0.5});
+  EXPECT_NEAR(max, std::sqrt(0.5), 1e-12);
+}
+
+TEST(TopologyTest, PlaceAndDistance) {
+  Topology topo(1);
+  NodeId a(1, 0), b(2, 0);
+  topo.PlaceUniform(a);
+  topo.PlaceUniform(b);
+  EXPECT_TRUE(topo.Contains(a));
+  double d = topo.Distance(a, b);
+  EXPECT_GE(d, 0.0);
+  EXPECT_DOUBLE_EQ(d, topo.Distance(b, a));
+}
+
+TEST(TopologyTest, ClusteredPlacementIsNearCenter) {
+  Topology topo(2);
+  Coordinate center{0.5, 0.5};
+  double total = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    NodeId id(static_cast<uint64_t>(i), 1);
+    Coordinate c = topo.PlaceNear(id, center, 0.02);
+    total += TorusDistance(c, center);
+  }
+  // Mean distance of a 2-D Gaussian with sigma 0.02 is ~0.025.
+  EXPECT_LT(total / 100.0, 0.08);
+}
+
+TEST(TopologyTest, NearestToFindsClosest) {
+  Topology topo(3);
+  NodeId near(1, 1), far(2, 2);
+  topo.PlaceNear(near, {0.1, 0.1}, 0.0);
+  topo.PlaceNear(far, {0.9, 0.9}, 0.0);
+  EXPECT_EQ(topo.NearestTo({0.12, 0.12}), near);
+  EXPECT_EQ(topo.NearestTo({0.88, 0.88}), far);
+}
+
+TEST(TopologyTest, RemoveForgetsNode) {
+  Topology topo(4);
+  NodeId a(1, 1);
+  topo.PlaceUniform(a);
+  topo.Remove(a);
+  EXPECT_FALSE(topo.Contains(a));
+  EXPECT_THROW(topo.LocationOf(a), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace past

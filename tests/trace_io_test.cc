@@ -1,0 +1,96 @@
+// Trace serialization round-trip and corruption tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/workload/trace_generator.h"
+#include "src/workload/trace_io.h"
+
+namespace past {
+namespace {
+
+Trace SampleTrace() {
+  WebTraceConfig config;
+  config.catalog_size = 500;
+  config.total_references = 3000;
+  config.seed = 260;
+  return GenerateWebTrace(config);
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  Trace original = SampleTrace();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(original, buffer));
+  auto loaded = ReadTrace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_clients, original.num_clients);
+  EXPECT_EQ(loaded->num_clusters, original.num_clusters);
+  EXPECT_EQ(loaded->file_sizes, original.file_sizes);
+  ASSERT_EQ(loaded->events.size(), original.events.size());
+  for (size_t i = 0; i < original.events.size(); ++i) {
+    EXPECT_EQ(loaded->events[i].op, original.events[i].op);
+    EXPECT_EQ(loaded->events[i].file_index, original.events[i].file_index);
+    EXPECT_EQ(loaded->events[i].client, original.events[i].client);
+  }
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Trace original = SampleTrace();
+  std::string path = ::testing::TempDir() + "/trace_io_test.bin";
+  ASSERT_TRUE(WriteTraceFile(original, path));
+  auto loaded = ReadTraceFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->events.size(), original.events.size());
+  EXPECT_EQ(loaded->TotalUniqueBytes(), original.TotalUniqueBytes());
+}
+
+TEST(TraceIoTest, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOTATRACE and some other bytes";
+  EXPECT_FALSE(ReadTrace(buffer).has_value());
+}
+
+TEST(TraceIoTest, TruncationRejected) {
+  Trace original = SampleTrace();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(original, buffer));
+  std::string bytes = buffer.str();
+  for (size_t cut : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 3}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(ReadTrace(truncated).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(TraceIoTest, OutOfRangeFileIndexRejected) {
+  Trace tiny;
+  tiny.num_clients = 2;
+  tiny.num_clusters = 1;
+  tiny.file_sizes = {100};
+  tiny.events = {{TraceOp::kInsert, 0, 0}};
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(tiny, buffer));
+  std::string bytes = buffer.str();
+  // The event's file_index lives 9 bytes from the end; bump it out of range.
+  bytes[bytes.size() - 8] = 0x7;
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(ReadTrace(corrupted).has_value());
+}
+
+TEST(TraceIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/path/trace.bin").has_value());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.num_clients = 1;
+  empty.num_clusters = 1;
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(empty, buffer));
+  auto loaded = ReadTrace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->file_sizes.empty());
+  EXPECT_TRUE(loaded->events.empty());
+}
+
+}  // namespace
+}  // namespace past
