@@ -8,12 +8,26 @@
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/harness/cli.h"
 #include "src/harness/experiment.h"
 #include "src/harness/table_printer.h"
 
 namespace past {
+
+// Validates `config`, printing every problem; exits with status 2 when
+// invalid so a bad flag combination fails loudly instead of mid-run.
+inline void ValidateOrDie(const ExperimentConfig& config) {
+  std::vector<std::string> errors = config.Validate();
+  if (errors.empty()) {
+    return;
+  }
+  for (const std::string& error : errors) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+  }
+  std::exit(2);
+}
 
 inline ExperimentConfig BenchConfig(const CommandLine& cli) {
   ExperimentConfig config;
@@ -30,6 +44,12 @@ inline ExperimentConfig BenchConfig(const CommandLine& cli) {
   config.t_pri = cli.GetDouble("--tpri", 0.1);
   config.t_div = cli.GetDouble("--tdiv", 0.05);
   config.demand_factor = cli.GetDouble("--demand", 1.53);
+  // Observability: dump the aggregated metrics registry / per-op JSONL trace
+  // at end of run. With several RunExperiment calls per bench, each run
+  // overwrites the file, so the dump reflects the final configuration.
+  config.metrics_json_path = cli.GetString("--metrics-json", "");
+  config.trace_jsonl_path = cli.GetString("--trace-jsonl", "");
+  ValidateOrDie(config);
   return config;
 }
 

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
       for (int i = 0; i < 10; ++i) {
         NodeId origin = nodes[rng.NextBelow(nodes.size())];
         LookupResult r = network.Lookup(origin, f);
-        if (r.found) {
+        if (r.found()) {
           latencies.push_back(cfg.model.FetchLatencyMs(r.hops, r.distance, r.file_size));
         }
       }

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
                network.overlay().topology().Distance(origin, b);
       });
       LookupResult r = network.Lookup(origin, ins.file_id);
-      if (!r.found) {
+      if (!r.found()) {
         continue;
       }
       ++total;

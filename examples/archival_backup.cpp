@@ -58,14 +58,14 @@ int main() {
     network.FailStorageNode(live[live.size() / 2]);
   }
   std::printf("15 nodes failed; %llu replicas re-created by maintenance\n",
-              static_cast<unsigned long long>(network.counters().replicas_recreated));
+              static_cast<unsigned long long>(network.CountersSnapshot().replicas_recreated));
 
   // Restore: every file must still be retrievable, from any access point.
   size_t restored = 0;
   uint64_t restored_bytes = 0;
   for (const ArchivedFile& f : archive) {
     LookupResult r = archiver.Lookup(f.id);
-    if (r.found && r.file_size == f.size) {
+    if (r.found() && r.file_size == f.size) {
       ++restored;
       restored_bytes += r.file_size;
     } else {

@@ -60,7 +60,7 @@ int main() {
     size_t retrievable = 0;
     client.set_access_node(network.overlay().live_nodes().front());
     for (const FileId& f : files) {
-      if (client.Lookup(f).found) {
+      if (client.Lookup(f).found()) {
         ++retrievable;
       }
     }
@@ -69,7 +69,7 @@ int main() {
                 network.overlay().live_count(), retrievable, files.size(), violations);
   }
 
-  const PastCounters& counters = network.counters();
+  const PastCounters& counters = network.CountersSnapshot();
   std::printf("\nmaintenance re-created %llu replicas, installed %llu pointers; "
               "%llu files lost\n",
               static_cast<unsigned long long>(counters.replicas_recreated),

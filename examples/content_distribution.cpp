@@ -47,7 +47,7 @@ RunStats Run(past::CacheMode mode) {
   for (int wave = 0; wave < waves; ++wave) {
     for (size_t i = 0; i < nodes.size(); i += 4) {
       LookupResult r = network.Lookup(nodes[i], published.file_id);
-      if (!r.found) {
+      if (!r.found()) {
         continue;
       }
       ++served_by[r.served_by.ToHex().substr(0, 8)];
@@ -65,7 +65,7 @@ RunStats Run(past::CacheMode mode) {
   RunStats stats;
   stats.avg_hops_first_wave = first_wave_hops / std::max(first_wave_count, 1);
   stats.avg_hops_last_wave = last_wave_hops / std::max(last_wave_count, 1);
-  const PastCounters& counters = network.counters();
+  const PastCounters& counters = network.CountersSnapshot();
   stats.cache_hit_rate = counters.lookups_found == 0
                              ? 0.0
                              : static_cast<double>(counters.lookups_from_cache) /

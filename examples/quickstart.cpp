@@ -47,7 +47,7 @@ int main() {
 
   // 4. Look the file up; Pastry routes to a nearby replica.
   LookupResult found = client.Lookup(inserted.file_id);
-  std::printf("lookup: found=%d size=%llu hops=%d served_by=%s%s\n", found.found,
+  std::printf("lookup: found=%d size=%llu hops=%d served_by=%s%s\n", found.found(),
               static_cast<unsigned long long>(found.file_size), found.hops,
               found.served_by.ToHex().substr(0, 8).c_str(),
               found.served_from_cache ? " (cache)" : "");

@@ -5,12 +5,31 @@ namespace past {
 FileCache::FileCache(std::unique_ptr<EvictionPolicy> policy, double c_fraction)
     : policy_(std::move(policy)), c_fraction_(c_fraction) {}
 
+void FileCache::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_hits_ = metric_misses_ = metric_insertions_ = metric_evictions_ = nullptr;
+    return;
+  }
+  metric_hits_ = &registry->GetCounter("node.cache.hits");
+  metric_misses_ = &registry->GetCounter("node.cache.misses");
+  metric_insertions_ = &registry->GetCounter("node.cache.insertions");
+  metric_evictions_ = &registry->GetCounter("node.cache.evictions");
+  // Replay anything tallied before binding so registry and fields agree.
+  metric_hits_->Inc(hits_);
+  metric_misses_->Inc(misses_);
+  metric_insertions_->Inc(insertions_);
+  metric_evictions_->Inc(evictions_);
+}
+
 void FileCache::EvictEntry(const FileId& id) {
   auto it = entries_.find(id);
   if (it != entries_.end()) {
     used_ -= it->second.size;
     entries_.erase(it);
     ++evictions_;
+    if (metric_evictions_ != nullptr) {
+      metric_evictions_->Inc();
+    }
   }
 }
 
@@ -35,6 +54,9 @@ bool FileCache::Insert(const FileId& id, uint64_t size, uint64_t budget, Content
   used_ += size;
   policy_->OnInsert(id, size);
   ++insertions_;
+  if (metric_insertions_ != nullptr) {
+    metric_insertions_->Inc();
+  }
   return true;
 }
 
@@ -42,12 +64,18 @@ bool FileCache::Lookup(const FileId& id, bool touch) {
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     ++misses_;
+    if (metric_misses_ != nullptr) {
+      metric_misses_->Inc();
+    }
     return false;
   }
   if (touch) {
     policy_->OnHit(id, it->second.size);
   }
   ++hits_;
+  if (metric_hits_ != nullptr) {
+    metric_hits_->Inc();
+  }
   return true;
 }
 

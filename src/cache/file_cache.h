@@ -16,6 +16,7 @@
 
 #include "src/cache/eviction_policy.h"
 #include "src/common/file_id.h"
+#include "src/obs/metrics.h"
 
 namespace past {
 
@@ -57,6 +58,11 @@ class FileCache {
   uint64_t insertions() const { return insertions_; }
   uint64_t evictions() const { return evictions_; }
 
+  // Registers this cache's tallies ("node.cache.*") in `registry`; every
+  // subsequent hit / miss / insertion / eviction increments the registry
+  // counters alongside the local fields. Pass nullptr to unbind.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Entry {
     uint64_t size = 0;
@@ -74,6 +80,11 @@ class FileCache {
   uint64_t misses_ = 0;
   uint64_t insertions_ = 0;
   uint64_t evictions_ = 0;
+  // Hot-path handles into the bound registry (null when unbound).
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_insertions_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
 };
 
 }  // namespace past

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/logging.h"
 
 namespace past {
 namespace {
@@ -27,7 +31,66 @@ Trace MakeTrace(const ExperimentConfig& config) {
 
 }  // namespace
 
+std::vector<std::string> ExperimentConfig::Validate() const {
+  std::vector<std::string> errors;
+  auto fail = [&](const std::string& message) { errors.push_back(message); };
+
+  if (num_nodes == 0) {
+    fail("num_nodes must be positive");
+  }
+  if (leaf_set_size < 2 || leaf_set_size % 2 != 0) {
+    fail("leaf_set_size must be a positive even number (got " +
+         std::to_string(leaf_set_size) + ")");
+  }
+  if (b < 1 || b > 8) {
+    fail("b must be in [1, 8] (got " + std::to_string(b) + ")");
+  }
+  if (k == 0) {
+    fail("k must be positive");
+  } else if (static_cast<int>(k) > leaf_set_size / 2 + 1) {
+    // The insert protocol computes the k closest from one leaf set, which is
+    // only sound when k <= l/2 + 1 (paper section 2.2).
+    fail("k must satisfy k <= leaf_set_size/2 + 1 (got k=" + std::to_string(k) +
+         ", leaf_set_size=" + std::to_string(leaf_set_size) + ")");
+  }
+  if (t_pri <= 0.0 || t_pri > 1.0) {
+    fail("t_pri must be in (0, 1]");
+  }
+  if (t_div < 0.0 || t_div > 1.0) {
+    fail("t_div must be in [0, 1]");
+  }
+  if (replica_diversion && t_div > t_pri) {
+    // t_div is the threshold applied to diverted replicas, meant to be at
+    // most as permissive as t_pri (paper section 3.3.1; Table 4's most
+    // permissive setting is t_div == t_pri). A larger t_div would accept
+    // diverted replicas that the primary itself would have refused.
+    fail("t_div must not exceed t_pri when replica diversion is on (got t_div=" +
+         std::to_string(t_div) + " > t_pri=" + std::to_string(t_pri) + ")");
+  }
+  if (cache_mode != CacheMode::kNone && (cache_fraction_c <= 0.0 || cache_fraction_c > 1.0)) {
+    fail("cache_fraction_c must be in (0, 1]");
+  }
+  if (demand_factor <= 0.0) {
+    fail("demand_factor must be positive");
+  }
+  if (curve_samples == 0) {
+    fail("curve_samples must be positive");
+  }
+  return errors;
+}
+
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  std::vector<std::string> errors = config.Validate();
+  if (!errors.empty()) {
+    std::ostringstream joined;
+    joined << "invalid ExperimentConfig:";
+    for (const std::string& error : errors) {
+      PAST_LOG(kError) << "ExperimentConfig: " << error;
+      joined << " " << error << ";";
+    }
+    throw std::invalid_argument(joined.str());
+  }
+
   ExperimentResult result;
   Trace trace = MakeTrace(config);
 
@@ -76,6 +139,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   pastry_config.leaf_set_size = config.leaf_set_size;
 
   PastNetwork network(past_config, pastry_config, config.seed);
+
+  std::shared_ptr<obs::JsonlTraceSink> trace_sink;
+  if (!config.trace_jsonl_path.empty()) {
+    trace_sink = std::make_shared<obs::JsonlTraceSink>(config.trace_jsonl_path);
+    if (!trace_sink->ok()) {
+      PAST_LOG(kWarning) << "cannot open trace JSONL path " << config.trace_jsonl_path;
+    }
+    network.set_trace_sink(trace_sink);
+  }
 
   uint32_t num_clusters = std::max<uint32_t>(trace.num_clusters, 1);
   std::vector<Coordinate> centers(num_clusters);
@@ -173,7 +245,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         continue;  // never stored (failed insert); nothing to look up
       }
       LookupResult r = client.Lookup(file_ids[event.file_index]);
-      if (r.found) {
+      if (r.status == LookupStatus::kFound) {
         ++window_lookups;
         window_hops += static_cast<uint64_t>(r.hops);
         if (r.served_from_cache) {
@@ -202,7 +274,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
           : static_cast<double>(census.diverted) / static_cast<double>(census.replicas);
   result.final_utilization = network.utilization();
 
-  const PastCounters& counters = network.counters();
+  const PastCounters counters = network.CountersSnapshot();
   result.lookups = counters.lookups_found;
   result.global_cache_hit_rate =
       counters.lookups_found == 0
@@ -213,6 +285,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                                ? 0.0
                                : static_cast<double>(counters.lookup_hops_total) /
                                      static_cast<double>(counters.lookups_found);
+
+  result.metrics = network.SnapshotMetrics();
+  if (trace_sink != nullptr) {
+    trace_sink->Flush();
+  }
+  if (!config.metrics_json_path.empty() &&
+      !obs::WriteMetricsJson(config.metrics_json_path, result.metrics)) {
+    PAST_LOG(kError) << "failed to write metrics JSON to " << config.metrics_json_path;
+  }
   return result;
 }
 

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/past/client.h"
 #include "src/past/past_network.h"
 #include "src/workload/capacity.h"
@@ -54,6 +56,19 @@ struct ExperimentConfig {
   uint64_t seed = 42;
   // Number of points sampled along the utilization axis.
   size_t curve_samples = 120;
+
+  // Observability outputs. When non-empty, `metrics_json_path` receives the
+  // full aggregated registry (network + per-node scopes) as JSON at end of
+  // run, and `trace_jsonl_path` receives one JSON line per insert / lookup /
+  // reclaim / maintenance operation.
+  std::string metrics_json_path;
+  std::string trace_jsonl_path;
+
+  // Checks parameter consistency (thresholds, replication factor vs. leaf
+  // set, cache fraction, scale knobs). Returns human-readable errors; empty
+  // means the config is runnable. RunExperiment and the bench binaries call
+  // this before building anything.
+  std::vector<std::string> Validate() const;
 };
 
 // One point of a utilization-indexed curve (Figures 2-5, 8).
@@ -106,10 +121,17 @@ struct ExperimentResult {
   uint64_t total_unique_bytes = 0;
   uint64_t total_capacity = 0;
   double mean_file_size = 0.0;
+
+  // Full aggregated metrics registry at end of run (network scope, client
+  // tallies, per-node store/cache scopes, transport stats). The headline
+  // numbers above are derivable from it; it is also what --metrics-json
+  // dumps.
+  obs::MetricsSnapshot metrics;
 };
 
 // Runs a full experiment: build network, generate trace, auto-scale node
 // capacities to the configured demand factor, play the trace, sample curves.
+// Throws std::invalid_argument when config.Validate() reports errors.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
 // Fixture shared by examples and tests that want a live network without the

@@ -7,6 +7,9 @@
 #define SRC_NET_TRANSPORT_STATS_H_
 
 #include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
 
 namespace past {
 
@@ -29,6 +32,17 @@ class TransportStats {
   uint64_t rpcs() const { return rpcs_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   double total_distance() const { return total_distance_; }
+
+  // Registers the current tallies in `snapshot` under `prefix` (e.g. "net."
+  // → "net.hops"). Gauge semantics (Set, not Inc) keep the export idempotent
+  // so it can run on every snapshot.
+  void ExportTo(obs::MetricsSnapshot& snapshot, const std::string& prefix) const {
+    snapshot.gauges[prefix + "hops"] = static_cast<double>(hops_);
+    snapshot.gauges[prefix + "messages"] = static_cast<double>(messages_);
+    snapshot.gauges[prefix + "rpcs"] = static_cast<double>(rpcs_);
+    snapshot.gauges[prefix + "bytes_sent"] = static_cast<double>(bytes_sent_);
+    snapshot.gauges[prefix + "distance_total"] = total_distance_;
+  }
 
  private:
   uint64_t hops_ = 0;

@@ -1,0 +1,63 @@
+#include "src/obs/trace.h"
+
+#include <sstream>
+
+namespace past {
+namespace obs {
+
+const char* TraceOpKindName(TraceOpKind kind) {
+  switch (kind) {
+    case TraceOpKind::kInsert:
+      return "insert";
+    case TraceOpKind::kLookup:
+      return "lookup";
+    case TraceOpKind::kReclaim:
+      return "reclaim";
+    case TraceOpKind::kMaintenance:
+      return "maintenance";
+  }
+  return "unknown";
+}
+
+std::string OpTraceJson(const OpTrace& event) {
+  std::ostringstream out;
+  out << "{\"op\": \"" << TraceOpKindName(event.kind) << "\", \"seq\": " << event.seq
+      << ", \"file_id\": \"" << event.file_id << "\", \"node\": \"" << event.node
+      << "\", \"status\": \"" << event.status << "\", \"size\": " << event.size
+      << ", \"hops\": " << event.hops << ", \"distance\": " << event.distance
+      << ", \"from_cache\": " << (event.from_cache ? "true" : "false")
+      << ", \"diverted\": " << (event.diverted ? "true" : "false") << "}";
+  return out.str();
+}
+
+RingBufferTraceSink::RingBufferTraceSink(size_t capacity) : capacity_(capacity) {}
+
+void RingBufferTraceSink::Record(const OpTrace& event) {
+  ++recorded_;
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path, std::ios::trunc) {}
+
+void JsonlTraceSink::Record(const OpTrace& event) {
+  if (out_) {
+    out_ << OpTraceJson(event) << '\n';
+  }
+}
+
+void JsonlTraceSink::Flush() {
+  if (out_) {
+    out_.flush();
+  }
+}
+
+}  // namespace obs
+}  // namespace past

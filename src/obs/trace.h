@@ -1,0 +1,86 @@
+// Structured operation tracing for insert / lookup / reclaim / maintenance.
+//
+// Each completed operation emits one OpTrace record into a pluggable sink:
+// kNull (default, zero overhead beyond one branch), a bounded ring buffer
+// (tests, interactive inspection), or a JSONL file (offline analysis — one
+// JSON object per line). Records carry pre-rendered ids (hex strings) so the
+// obs layer stays free of protocol-type dependencies.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <string>
+
+namespace past {
+namespace obs {
+
+enum class TraceOpKind { kInsert, kLookup, kReclaim, kMaintenance };
+
+const char* TraceOpKindName(TraceOpKind kind);
+
+struct OpTrace {
+  TraceOpKind kind = TraceOpKind::kInsert;
+  uint64_t seq = 0;       // assigned by the emitting component, monotone per run
+  std::string file_id;    // hex fileId ("" for maintenance sweeps)
+  std::string node;       // hex of the serving / root node ("" if none)
+  std::string status;     // outcome label ("stored", "no_space", "found", ...)
+  uint64_t size = 0;      // file bytes involved
+  int hops = 0;           // routing hops taken
+  double distance = 0.0;  // proximity distance traversed
+  bool from_cache = false;
+  bool diverted = false;  // replica diversion (insert) / pointer hop (lookup)
+};
+
+// One OpTrace rendered as a single-line JSON object (no trailing newline).
+std::string OpTraceJson(const OpTrace& event);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Record(const OpTrace& event) = 0;
+  virtual void Flush() {}
+};
+
+// Swallows everything; lets emitters call an always-valid sink.
+class NullTraceSink : public TraceSink {
+ public:
+  void Record(const OpTrace&) override {}
+};
+
+// Keeps the most recent `capacity` events; older ones are dropped (counted).
+class RingBufferTraceSink : public TraceSink {
+ public:
+  explicit RingBufferTraceSink(size_t capacity);
+
+  void Record(const OpTrace& event) override;
+
+  const std::deque<OpTrace>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t recorded() const { return recorded_; }
+
+ private:
+  size_t capacity_;
+  std::deque<OpTrace> events_;
+  uint64_t dropped_ = 0;
+  uint64_t recorded_ = 0;
+};
+
+// Appends one JSON object per event to `path` (truncated on open).
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  void Record(const OpTrace& event) override;
+  void Flush() override;
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace obs
+}  // namespace past
+
+#endif  // SRC_OBS_TRACE_H_

@@ -23,6 +23,25 @@ ClientInsertResult PastClient::InsertContent(const std::string& name,
 ClientInsertResult PastClient::DoInsert(const std::string& name, uint64_t size,
                                         const Sha1Digest& content_hash, FileContentRef content) {
   ClientInsertResult result;
+  // Client-level tallies: one "file" per DoInsert call, however many
+  // re-salted network attempts it takes. The harness derives its headline
+  // failure ratio from these.
+  obs::MetricsRegistry& metrics = network_.metrics();
+  metrics.GetCounter("client.files_attempted").Inc();
+  auto finish = [&]() -> ClientInsertResult& {
+    if (result.stored) {
+      metrics.GetCounter("client.files_stored").Inc();
+      if (result.diversions >= 1) {
+        metrics.GetCounter("client.files_diverted").Inc();
+        metrics.GetHistogram("client.file_diversions_per_file",
+                             obs::LinearBuckets(0.0, 1.0, 8))
+            .Observe(static_cast<double>(result.diversions));
+      }
+    } else {
+      metrics.GetCounter("client.files_failed").Inc();
+    }
+    return result;
+  };
   int max_attempts = network_.config().enable_file_diversion
                          ? network_.config().max_insert_attempts
                          : 1;
@@ -32,7 +51,7 @@ ClientInsertResult PastClient::DoInsert(const std::string& name, uint64_t size,
                                                   content_hash, ++clock_);
     if (!certificate) {
       result.quota_exceeded = true;
-      return result;
+      return finish();
     }
     ++result.attempts;
     InsertResult outcome = network_.Insert(access_node_, *certificate, size, content);
@@ -48,7 +67,7 @@ ClientInsertResult PastClient::DoInsert(const std::string& name, uint64_t size,
       result.stored = verified == outcome.receipts.size() && verified > 0;
       result.file_id = certificate->file_id;
       result.diversions = result.attempts - 1;
-      return result;
+      return finish();
     }
     // Negative ack: refund the quota debit and re-salt (file diversion).
     card_.RefundInsert(size, network_.config().k);
@@ -57,7 +76,7 @@ ClientInsertResult PastClient::DoInsert(const std::string& name, uint64_t size,
     }
   }
   result.diversions = result.attempts - 1;
-  return result;
+  return finish();
 }
 
 LookupResult PastClient::Lookup(const FileId& file_id) {

@@ -52,7 +52,7 @@ FragmentedRetrieveResult FragmentedStore::Retrieve(const FragmentManifest& manif
   for (size_t i = 0; i < manifest.fragments.size() && fetched < n; ++i) {
     LookupResult r = client_.Lookup(manifest.fragments[i]);
     result.total_hops += r.hops;
-    if (r.found && r.content != nullptr) {
+    if (r.found() && r.content != nullptr) {
       shards[i] = std::vector<uint8_t>(r.content->begin(), r.content->end());
       ++fetched;
     } else {

@@ -12,6 +12,74 @@ PastNetwork::PastNetwork(const PastConfig& config, const PastryConfig& pastry_co
     : config_(config), pastry_config_(pastry_config), pastry_(pastry_config, seed),
       rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
   pastry_.AddObserver(this);
+  ins_.insert_attempts = &metrics_.GetCounter("past.insert.attempts");
+  ins_.insert_failures = &metrics_.GetCounter("past.insert.failures");
+  ins_.replicas_stored = &metrics_.GetGauge("past.replicas.stored");
+  ins_.replicas_diverted = &metrics_.GetGauge("past.replicas.diverted");
+  ins_.lookups = &metrics_.GetCounter("past.lookup.requests");
+  ins_.lookups_found = &metrics_.GetCounter("past.lookup.found");
+  ins_.lookups_from_cache = &metrics_.GetCounter("past.lookup.cache_hits");
+  ins_.lookup_pointer_hops = &metrics_.GetCounter("past.lookup.pointer_hops");
+  ins_.replicas_recreated = &metrics_.GetCounter("past.maintenance.replicas_recreated");
+  ins_.maintenance_pointers = &metrics_.GetCounter("past.maintenance.pointers_installed");
+  ins_.files_lost = &metrics_.GetCounter("past.maintenance.files_lost");
+  ins_.insert_size =
+      &metrics_.GetHistogram("past.insert.file_size_bytes", obs::FileSizeBuckets());
+  ins_.insert_hops = &metrics_.GetHistogram("past.insert.hops", obs::HopBuckets());
+  ins_.lookup_hops = &metrics_.GetHistogram("past.lookup.hops", obs::HopBuckets());
+  ins_.lookup_distance =
+      &metrics_.GetHistogram("past.lookup.distance", obs::DistanceBuckets());
+}
+
+void PastNetwork::EmitTrace(obs::OpTrace event) {
+  if (trace_sink_ == nullptr) {
+    return;
+  }
+  event.seq = trace_seq_++;
+  trace_sink_->Record(event);
+}
+
+PastCounters PastNetwork::CountersSnapshot() const {
+  PastCounters c;
+  c.insert_attempts = ins_.insert_attempts->value();
+  c.insert_attempts_failed = ins_.insert_failures->value();
+  c.replicas_stored_total = static_cast<uint64_t>(ins_.replicas_stored->value());
+  c.replicas_diverted_total = static_cast<uint64_t>(ins_.replicas_diverted->value());
+  c.lookups = ins_.lookups->value();
+  c.lookups_found = ins_.lookups_found->value();
+  c.lookups_from_cache = ins_.lookups_from_cache->value();
+  c.lookup_hops_total = static_cast<uint64_t>(ins_.lookup_hops->sum());
+  c.lookup_distance_total = ins_.lookup_distance->sum();
+  c.replicas_recreated = ins_.replicas_recreated->value();
+  c.maintenance_pointers_installed = ins_.maintenance_pointers->value();
+  c.files_lost = ins_.files_lost->value();
+  return c;
+}
+
+obs::MetricsSnapshot PastNetwork::SnapshotMetrics() const {
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  snapshot.gauges["past.utilization"] = utilization();
+  snapshot.gauges["past.capacity_bytes"] = static_cast<double>(total_capacity_);
+  snapshot.gauges["past.stored_bytes"] = static_cast<double>(total_stored_);
+  snapshot.gauges["past.nodes_live"] = static_cast<double>(pastry_.live_count());
+  pastry_.stats().ExportTo(snapshot, "net.");
+  for (const auto& [id, node] : nodes_) {
+    if (!pastry_.IsAlive(id)) {
+      continue;
+    }
+    node->RefreshGauges();
+    snapshot.Merge(node->metrics().Snapshot());
+  }
+  return snapshot;
+}
+
+obs::MetricsSnapshot PastNetwork::NodeMetrics(const NodeId& id) const {
+  const PastNode* node = storage_node(id);
+  if (node == nullptr) {
+    return {};
+  }
+  node->RefreshGauges();
+  return node->metrics().Snapshot();
 }
 
 PastNetwork::~PastNetwork() { pastry_.RemoveObserver(this); }
@@ -63,6 +131,7 @@ PastNetwork::AdmissionOutcome PastNetwork::AddStorageNodeWithAdmission(
     }
   }
   AdmissionControl control;
+  control.metrics = &metrics_;
   AdmissionResult result = control.Evaluate(advertised_capacity, leaf_capacities);
   outcome.decision = result.decision;
   switch (result.decision) {
@@ -183,9 +252,9 @@ void PastNetwork::RollbackInsert(const FileId& file_id,
     const ReplicaEntry* entry = pn->store().GetReplica(file_id);
     if (entry != nullptr) {
       if (entry->kind == ReplicaKind::kDiverted) {
-        --counters_.replicas_diverted_total;
+        ins_.replicas_diverted->Sub(1);
       }
-      --counters_.replicas_stored_total;
+      ins_.replicas_stored->Sub(1);
       total_stored_ -= entry->size;
       pn->RemoveReplica(file_id);
     }
@@ -208,11 +277,30 @@ void PastNetwork::CacheAlongPath(const std::vector<NodeId>& path, const FileId& 
 InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& certificate,
                                  uint64_t size, FileContentRef content) {
   InsertResult result;
-  ++counters_.insert_attempts;
+  ins_.insert_attempts->Inc();
+  ins_.insert_size->Observe(static_cast<double>(size));
 
   const FileId& file_id = certificate.file_id;
   NodeId key = file_id.ToRoutingKey();
   size_t k = config_.k;
+
+  // One trace record per attempt, emitted on every exit path.
+  obs::OpTrace trace;
+  trace.kind = obs::TraceOpKind::kInsert;
+  trace.file_id = file_id.ToHex();
+  trace.size = size;
+  auto finish = [&](InsertStatus status) {
+    result.status = status;
+    if (status != InsertStatus::kStored) {
+      ins_.insert_failures->Inc();
+    }
+    ins_.insert_hops->Observe(static_cast<double>(result.route_hops));
+    trace.status = ToString(status);
+    trace.hops = result.route_hops;
+    trace.diverted = result.replicas_diverted > 0;
+    EmitTrace(std::move(trace));
+    return result;
+  };
 
   // Route toward the fileId; the first node that finds itself among the k
   // numerically closest takes responsibility (paper section 2.2).
@@ -220,13 +308,12 @@ InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& ce
       origin, key, [&](const NodeId& n) { return IsAmongKClosest(n, key, k); });
   result.route_hops = route.hops();
   NodeId root = route.destination();
+  trace.node = root.ToHex();
 
   // A malicious node swallowed the request: the attempt fails and the
   // client's re-salted retry takes a different route (section 2.3).
   if (!route.delivered) {
-    result.status = InsertStatus::kNoSpace;
-    ++counters_.insert_attempts_failed;
-    return result;
+    return finish(InsertStatus::kNoSpace);
   }
 
   // The root verifies the file certificate — and, when the bytes travel with
@@ -234,16 +321,12 @@ InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& ce
   // responsibility (paper section 2.2).
   if (!certificate.VerifySignature() ||
       (content != nullptr && !certificate.VerifyContent(*content))) {
-    result.status = InsertStatus::kBadCertificate;
-    ++counters_.insert_attempts_failed;
-    return result;
+    return finish(InsertStatus::kBadCertificate);
   }
 
   std::vector<NodeId> k_closest = KClosestFromLeafSet(root, key, k);
   if (k_closest.empty()) {
-    result.status = InsertStatus::kNoSpace;
-    ++counters_.insert_attempts_failed;
-    return result;
+    return finish(InsertStatus::kNoSpace);
   }
 
   // fileId collision: a file with this id already exists — reject the later
@@ -252,9 +335,7 @@ InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& ce
     const PastNode* pn = storage_node(t);
     if (pn != nullptr &&
         (pn->store().HasReplica(file_id) || pn->store().GetPointer(file_id) != nullptr)) {
-      result.status = InsertStatus::kDuplicateFileId;
-      ++counters_.insert_attempts_failed;
-      return result;
+      return finish(InsertStatus::kDuplicateFileId);
     }
   }
 
@@ -279,7 +360,7 @@ InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& ce
         pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, cert_ref, content)) {
       created.push_back({t, /*is_pointer=*/false});
       total_stored_ += size;
-      ++counters_.replicas_stored_total;
+      ins_.replicas_stored->Add(1);
       ++result.replicas_stored;
       result.receipts.push_back(pn->MakeStoreReceipt(file_id));
       continue;
@@ -294,8 +375,8 @@ InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& ce
             b->StoreReplica(file_id, ReplicaKind::kDiverted, size, cert_ref, content)) {
           created.push_back({*target, /*is_pointer=*/false});
           total_stored_ += size;
-          ++counters_.replicas_stored_total;
-          ++counters_.replicas_diverted_total;
+          ins_.replicas_stored->Add(1);
+          ins_.replicas_diverted->Add(1);
           ++result.replicas_stored;
           ++result.replicas_diverted;
           // Node A keeps a pointer to B and issues the store receipt as
@@ -323,21 +404,33 @@ InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& ce
     result.replicas_stored = 0;
     result.replicas_diverted = 0;
     result.receipts.clear();
-    result.status = InsertStatus::kNoSpace;
-    ++counters_.insert_attempts_failed;
-    return result;
+    return finish(InsertStatus::kNoSpace);
   }
 
-  result.status = InsertStatus::kStored;
   any_file_inserted_ = true;
   CacheAlongPath(route.path, file_id, size, content);
-  return result;
+  return finish(InsertStatus::kStored);
 }
 
 LookupResult PastNetwork::Lookup(const NodeId& origin, const FileId& file_id) {
   LookupResult result;
-  ++counters_.lookups;
+  ins_.lookups->Inc();
   NodeId key = file_id.ToRoutingKey();
+
+  obs::OpTrace trace;
+  trace.kind = obs::TraceOpKind::kLookup;
+  trace.file_id = file_id.ToHex();
+  auto finish = [&]() {
+    trace.status = ToString(result.status);
+    trace.node = result.served_by.ToHex();
+    trace.size = result.file_size;
+    trace.hops = result.hops;
+    trace.distance = result.distance;
+    trace.from_cache = result.served_from_cache;
+    trace.diverted = result.via_diversion_pointer;
+    EmitTrace(std::move(trace));
+    return result;
+  };
 
   NodeId served;
   bool from_cache = false;
@@ -363,7 +456,7 @@ LookupResult PastNetwork::Lookup(const NodeId& origin, const FileId& file_id) {
   result.hops = route.hops();
   result.distance = route.distance;
   if (!route.delivered) {
-    return result;  // swallowed by a malicious node: lookup fails, retry
+    return finish();  // swallowed by a malicious node: lookup fails, retry
   }
   bool found = route.stopped_early;
 
@@ -381,6 +474,7 @@ LookupResult PastNetwork::Lookup(const NodeId& origin, const FileId& file_id) {
         from_cache = false;
         found = true;
         result.via_diversion_pointer = true;
+        ins_.lookup_pointer_hops->Inc();
         double d = pastry_.topology().Distance(dest, ptr->holder);
         pastry_.stats().RecordHop(d);
         result.hops += 1;
@@ -406,10 +500,10 @@ LookupResult PastNetwork::Lookup(const NodeId& origin, const FileId& file_id) {
   }
 
   if (!found) {
-    return result;
+    return finish();
   }
 
-  result.found = true;
+  result.status = LookupStatus::kFound;
   result.served_from_cache = from_cache;
   result.served_by = served;
   PastNode* server = storage_node(served);
@@ -421,14 +515,14 @@ LookupResult PastNetwork::Lookup(const NodeId& origin, const FileId& file_id) {
     result.file_size = entry == nullptr ? 0 : entry->size;
     result.content = entry == nullptr ? nullptr : entry->content;
   }
-  ++counters_.lookups_found;
+  ins_.lookups_found->Inc();
   if (from_cache) {
-    ++counters_.lookups_from_cache;
+    ins_.lookups_from_cache->Inc();
   }
-  counters_.lookup_hops_total += static_cast<uint64_t>(result.hops);
-  counters_.lookup_distance_total += result.distance;
+  ins_.lookup_hops->Observe(static_cast<double>(result.hops));
+  ins_.lookup_distance->Observe(result.distance);
   CacheAlongPath(route.path, file_id, result.file_size, result.content);
-  return result;
+  return finish();
 }
 
 ReclaimResult PastNetwork::Reclaim(const NodeId& origin, const ReclaimCertificate& certificate) {
@@ -437,16 +531,34 @@ ReclaimResult PastNetwork::Reclaim(const NodeId& origin, const ReclaimCertificat
   NodeId key = file_id.ToRoutingKey();
   size_t k = config_.k;
 
-  if (!certificate.VerifySignature()) {
+  obs::OpTrace trace;
+  trace.kind = obs::TraceOpKind::kReclaim;
+  trace.file_id = file_id.ToHex();
+  metrics_.GetCounter("past.reclaim.requests").Inc();
+  auto finish = [&](ReclaimStatus status) {
+    result.status = status;
+    if (status == ReclaimStatus::kReclaimed) {
+      metrics_.GetCounter("past.reclaim.reclaimed").Inc();
+      metrics_.GetCounter("past.reclaim.bytes").Inc(result.bytes_reclaimed);
+    }
+    trace.status = ToString(status);
+    trace.size = result.bytes_reclaimed;
+    EmitTrace(std::move(trace));
     return result;
+  };
+
+  if (!certificate.VerifySignature()) {
+    return finish(ReclaimStatus::kBadCertificate);
   }
-  result.accepted = true;
 
   RouteResult route = pastry_.Route(
       origin, key, [&](const NodeId& n) { return IsAmongKClosest(n, key, k); });
   NodeId root = route.destination();
+  trace.node = root.ToHex();
+  trace.hops = route.hops();
   std::vector<NodeId> k_plus_one = KClosestFromLeafSet(root, key, k + 1);
 
+  bool owner_mismatch = false;
   auto reclaim_at = [&](const NodeId& node_id) {
     PastNode* pn = storage_node(node_id);
     if (pn == nullptr) {
@@ -456,16 +568,16 @@ ReclaimResult PastNetwork::Reclaim(const NodeId& origin, const ReclaimCertificat
     if (entry != nullptr) {
       // Only the file's legitimate owner may reclaim it.
       if (!(entry->certificate->owner == certificate.owner)) {
-        result.accepted = false;
+        owner_mismatch = true;
         return;
       }
       uint64_t size = entry->size;
       bool diverted = entry->kind == ReplicaKind::kDiverted;
       pn->RemoveReplica(file_id);
       total_stored_ -= size;
-      --counters_.replicas_stored_total;
+      ins_.replicas_stored->Sub(1);
       if (diverted) {
-        --counters_.replicas_diverted_total;
+        ins_.replicas_diverted->Sub(1);
       }
       ++result.replicas_reclaimed;
       result.bytes_reclaimed += size;
@@ -488,7 +600,11 @@ ReclaimResult PastNetwork::Reclaim(const NodeId& origin, const ReclaimCertificat
     }
     reclaim_at(t);
   }
-  return result;
+  if (owner_mismatch) {
+    return finish(ReclaimStatus::kNotOwner);
+  }
+  return finish(result.replicas_reclaimed > 0 ? ReclaimStatus::kReclaimed
+                                              : ReclaimStatus::kNotFound);
 }
 
 double PastNetwork::utilization() const {
@@ -565,8 +681,8 @@ void PastNetwork::OnNodeFailed(const NodeId& id) {
   if (it != nodes_.end()) {
     total_capacity_ -= it->second->store().capacity();
     total_stored_ -= it->second->store().used();
-    counters_.replicas_stored_total -= it->second->store().replica_count();
-    counters_.replicas_diverted_total -= it->second->store().diverted_count();
+    ins_.replicas_stored->Sub(static_cast<double>(it->second->store().replica_count()));
+    ins_.replicas_diverted->Sub(static_cast<double>(it->second->store().diverted_count()));
     nodes_.erase(it);
   }
   if (!config_.enable_maintenance || !any_file_inserted_) {
@@ -642,7 +758,12 @@ void PastNetwork::RepairFile(const FileId& file_id) {
   if (holders.empty()) {
     // All k replicas (and any diverted copies) vanished inside one recovery
     // period — the file is lost. Drop dangling pointers.
-    ++counters_.files_lost;
+    ins_.files_lost->Inc();
+    obs::OpTrace lost;
+    lost.kind = obs::TraceOpKind::kMaintenance;
+    lost.file_id = file_id.ToHex();
+    lost.status = "file_lost";
+    EmitTrace(std::move(lost));
     for (const NodeId& n : k_closest) {
       PastNode* pn = storage_node(n);
       if (pn != nullptr) {
@@ -682,8 +803,8 @@ void PastNetwork::RepairFile(const FileId& file_id) {
     if (pn->WouldAcceptPrimary(size) &&
         pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate, content)) {
       total_stored_ += size;
-      ++counters_.replicas_stored_total;
-      ++counters_.replicas_recreated;
+      ins_.replicas_stored->Add(1);
+      ins_.replicas_recreated->Inc();
       if (std::find(holders.begin(), holders.end(), t) == holders.end()) {
         holders.push_back(t);
       }
@@ -699,7 +820,7 @@ void PastNetwork::RepairFile(const FileId& file_id) {
       }
     }
     pn->store().InstallPointer(file_id, target, PointerRole::kDiverter, size);
-    ++counters_.maintenance_pointers_installed;
+    ins_.maintenance_pointers->Inc();
   }
 
   // Pass 2: restore the replication level to k when space allows. First try
@@ -720,8 +841,8 @@ void PastNetwork::RepairFile(const FileId& file_id) {
         pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate, content)) {
       pn->store().RemovePointer(file_id);
       total_stored_ += size;
-      ++counters_.replicas_stored_total;
-      ++counters_.replicas_recreated;
+      ins_.replicas_stored->Add(1);
+      ins_.replicas_recreated->Inc();
       ++live;
       holders.push_back(t);
     }
@@ -742,9 +863,9 @@ void PastNetwork::RepairFile(const FileId& file_id) {
     if (b != nullptr && b->WouldAcceptDiverted(size) &&
         b->StoreReplica(file_id, ReplicaKind::kDiverted, size, certificate, content)) {
       total_stored_ += size;
-      ++counters_.replicas_stored_total;
-      ++counters_.replicas_diverted_total;
-      ++counters_.replicas_recreated;
+      ins_.replicas_stored->Add(1);
+      ins_.replicas_diverted->Add(1);
+      ins_.replicas_recreated->Inc();
       pn->store().InstallPointer(file_id, *target, PointerRole::kDiverter, size);
       ++live;
       holders.push_back(*target);

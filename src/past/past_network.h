@@ -12,6 +12,8 @@
 
 #include "src/common/file_id.h"
 #include "src/common/node_id.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/past/config.h"
 #include "src/past/past_node.h"
 #include "src/past/results.h"
@@ -20,7 +22,10 @@
 
 namespace past {
 
-// Global operation counters for the experiment harness.
+// Legacy value-type view of the network-level operation tallies. The live
+// data now lives in the metrics registry; this struct is built on demand by
+// PastNetwork::CountersSnapshot() so the existing harness and tests keep
+// working unchanged.
 struct PastCounters {
   // Insert attempts at the network level (each re-salt counts as one).
   uint64_t insert_attempts = 0;
@@ -50,8 +55,29 @@ class PastNetwork : public MembershipObserver {
 
   const PastConfig& config() const { return config_; }
   PastryNetwork& overlay() { return pastry_; }
-  PastCounters& counters() { return counters_; }
-  const PastCounters& counters() const { return counters_; }
+
+  // --- observability ---
+
+  // The network-scoped metrics registry. Clients and the harness register
+  // their own tallies here; all internal increments go through it too.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Read-only value snapshot of the legacy counters, derived from the
+  // registry. (The old mutable `PastCounters& counters()` accessor is gone.)
+  PastCounters CountersSnapshot() const;
+
+  // Network-wide aggregate: the network registry merged with every live
+  // node's per-node registry (store/cache tallies) and the transport stats.
+  obs::MetricsSnapshot SnapshotMetrics() const;
+
+  // Per-node scope, refreshed before return; nullptr for unknown nodes.
+  obs::MetricsSnapshot NodeMetrics(const NodeId& id) const;
+
+  // Structured op tracing. The sink receives one record per completed
+  // insert / lookup / reclaim / file-repair; null disables tracing.
+  void set_trace_sink(std::shared_ptr<obs::TraceSink> sink) { trace_sink_ = std::move(sink); }
+  obs::TraceSink* trace_sink() const { return trace_sink_.get(); }
 
   // --- membership ---
 
@@ -157,12 +183,39 @@ class PastNetwork : public MembershipObserver {
   void RestoreInvariants(const std::vector<NodeId>& region);
   void RepairFile(const FileId& file_id);
 
+  // Emits `event` into the trace sink, stamping the sequence number.
+  void EmitTrace(obs::OpTrace event);
+
   PastConfig config_;
   PastryConfig pastry_config_;
   PastryNetwork pastry_;
   Rng rng_;
   std::unordered_map<NodeId, std::unique_ptr<PastNode>, NodeIdHash> nodes_;
-  PastCounters counters_;
+
+  obs::MetricsRegistry metrics_;
+  std::shared_ptr<obs::TraceSink> trace_sink_;
+  uint64_t trace_seq_ = 0;
+  // Hot-path instrument handles (created once in the constructor; registry
+  // references are stable for its lifetime).
+  struct Instruments {
+    obs::Counter* insert_attempts = nullptr;
+    obs::Counter* insert_failures = nullptr;
+    obs::Gauge* replicas_stored = nullptr;
+    obs::Gauge* replicas_diverted = nullptr;
+    obs::Counter* lookups = nullptr;
+    obs::Counter* lookups_found = nullptr;
+    obs::Counter* lookups_from_cache = nullptr;
+    obs::Counter* lookup_pointer_hops = nullptr;
+    obs::Counter* replicas_recreated = nullptr;
+    obs::Counter* maintenance_pointers = nullptr;
+    obs::Counter* files_lost = nullptr;
+    obs::HistogramMetric* insert_size = nullptr;
+    obs::HistogramMetric* insert_hops = nullptr;
+    obs::HistogramMetric* lookup_hops = nullptr;
+    obs::HistogramMetric* lookup_distance = nullptr;
+  };
+  Instruments ins_;
+
   uint64_t total_capacity_ = 0;
   uint64_t total_stored_ = 0;
   bool any_file_inserted_ = false;

@@ -25,7 +25,29 @@ PastNode::PastNode(const NodeId& id, const PastConfig& config, uint64_t capacity
       config_(config),
       store_(capacity_bytes),
       cache_(MakeCache(config)),
-      card_(rng, /*quota_bytes=*/0) {}
+      card_(rng, /*quota_bytes=*/0) {
+  // The cache counters exist (at zero) even with caching off, so metrics
+  // dumps have the same schema in every mode.
+  metrics_.GetCounter("node.cache.hits");
+  metrics_.GetCounter("node.cache.misses");
+  metrics_.GetCounter("node.cache.insertions");
+  metrics_.GetCounter("node.cache.evictions");
+  if (cache_ != nullptr) {
+    cache_->BindMetrics(&metrics_);
+  }
+}
+
+void PastNode::RefreshGauges() const {
+  metrics_.GetGauge("node.store.capacity_bytes").Set(static_cast<double>(store_.capacity()));
+  metrics_.GetGauge("node.store.used_bytes").Set(static_cast<double>(store_.used()));
+  metrics_.GetGauge("node.store.replicas").Set(static_cast<double>(store_.replica_count()));
+  metrics_.GetGauge("node.store.diverted").Set(static_cast<double>(store_.diverted_count()));
+  metrics_.GetGauge("node.store.pointers").Set(static_cast<double>(store_.pointers().size()));
+  if (cache_ != nullptr) {
+    metrics_.GetGauge("node.cache.used_bytes").Set(static_cast<double>(cache_->used()));
+    metrics_.GetGauge("node.cache.entries").Set(static_cast<double>(cache_->count()));
+  }
+}
 
 bool PastNode::WouldAcceptPrimary(uint64_t size) const {
   return config_.policy.AcceptPrimary(size, store_.free_bytes());

@@ -10,6 +10,7 @@
 #include "src/common/node_id.h"
 #include "src/common/rng.h"
 #include "src/crypto/smartcard.h"
+#include "src/obs/metrics.h"
 #include "src/past/config.h"
 #include "src/storage/node_store.h"
 
@@ -28,6 +29,13 @@ class PastNode {
   const FileCache* cache() const { return cache_.get(); }
 
   Smartcard& card() { return card_; }
+
+  // Node-scoped metrics ("node.*" names). The cache records its tallies here
+  // live; store occupancy gauges are synced by RefreshGauges() so a snapshot
+  // is cheap and always consistent with the store. Network-wide aggregation
+  // (PastNetwork::SnapshotMetrics) merges these registries across live nodes.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+  void RefreshGauges() const;
 
   // Policy checks (S_D / F_N thresholds of section 3.3.1).
   bool WouldAcceptPrimary(uint64_t size) const;
@@ -55,6 +63,9 @@ class PastNode {
   NodeId id_;
   const PastConfig& config_;
   NodeStore store_;
+  // Mutable so read-side snapshots (const network traversals) can sync the
+  // occupancy gauges before serializing.
+  mutable obs::MetricsRegistry metrics_;
   std::unique_ptr<FileCache> cache_;
   Smartcard card_;
 };

@@ -1,4 +1,8 @@
 // Result types for the PAST client-visible operations.
+//
+// All three operations report their outcome the same way: a status enum is
+// the source of truth, and the legacy boolean views (`found()`,
+// `accepted()`) are derived accessors kept for migration.
 #ifndef SRC_PAST_RESULTS_H_
 #define SRC_PAST_RESULTS_H_
 
@@ -21,8 +25,27 @@ enum class InsertStatus {
   kBadCertificate,  // certificate failed verification at the root
 };
 
+enum class LookupStatus {
+  kFound,
+  kNotFound,
+};
+
+enum class ReclaimStatus {
+  kReclaimed,       // owner verified, >= 1 replica dropped, receipts returned
+  kNotFound,        // certificate fine but no replica was stored under the id
+  kBadCertificate,  // reclaim certificate failed signature verification
+  kNotOwner,        // a storing node's file certificate names a different owner
+};
+
+const char* ToString(InsertStatus status);
+const char* ToString(LookupStatus status);
+const char* ToString(ReclaimStatus status);
+
 struct InsertResult {
   InsertStatus status = InsertStatus::kNoSpace;
+
+  bool stored() const { return status == InsertStatus::kStored; }
+
   // Replicas actually created (== k on success).
   uint32_t replicas_stored = 0;
   // How many of those were diverted into the leaf set.
@@ -33,7 +56,11 @@ struct InsertResult {
 };
 
 struct LookupResult {
-  bool found = false;
+  LookupStatus status = LookupStatus::kNotFound;
+
+  // Derived accessor (migration shim for the old `bool found` field).
+  bool found() const { return status == LookupStatus::kFound; }
+
   // True when a cached copy (not one of the k replicas) served the request.
   bool served_from_cache = false;
   // True when the serving replica was a diverted one reached via pointer
@@ -51,11 +78,56 @@ struct LookupResult {
 };
 
 struct ReclaimResult {
-  bool accepted = false;  // certificate verified at the storing nodes
+  ReclaimStatus status = ReclaimStatus::kNotFound;
+
+  // Derived accessor (migration shim for the old `bool accepted` field):
+  // the certificates all verified, whether or not anything was stored.
+  bool accepted() const {
+    return status == ReclaimStatus::kReclaimed || status == ReclaimStatus::kNotFound;
+  }
+
   uint32_t replicas_reclaimed = 0;
   uint64_t bytes_reclaimed = 0;
   std::vector<ReclaimReceipt> receipts;
 };
+
+inline const char* ToString(InsertStatus status) {
+  switch (status) {
+    case InsertStatus::kStored:
+      return "stored";
+    case InsertStatus::kNoSpace:
+      return "no_space";
+    case InsertStatus::kDuplicateFileId:
+      return "duplicate_file_id";
+    case InsertStatus::kBadCertificate:
+      return "bad_certificate";
+  }
+  return "unknown";
+}
+
+inline const char* ToString(LookupStatus status) {
+  switch (status) {
+    case LookupStatus::kFound:
+      return "found";
+    case LookupStatus::kNotFound:
+      return "not_found";
+  }
+  return "unknown";
+}
+
+inline const char* ToString(ReclaimStatus status) {
+  switch (status) {
+    case ReclaimStatus::kReclaimed:
+      return "reclaimed";
+    case ReclaimStatus::kNotFound:
+      return "not_found";
+    case ReclaimStatus::kBadCertificate:
+      return "bad_certificate";
+    case ReclaimStatus::kNotOwner:
+      return "not_owner";
+  }
+  return "unknown";
+}
 
 }  // namespace past
 

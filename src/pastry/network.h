@@ -61,6 +61,7 @@ class PastryNetwork {
   const PastryConfig& config() const { return config_; }
   Topology& topology() { return topology_; }
   TransportStats& stats() { return stats_; }
+  const TransportStats& stats() const { return stats_; }
   Rng& rng() { return rng_; }
 
   // --- membership ---

@@ -4,27 +4,49 @@
 #include <numeric>
 
 namespace past {
+namespace {
+
+AdmissionResult Tally(obs::MetricsRegistry* metrics, AdmissionResult result) {
+  if (metrics != nullptr) {
+    switch (result.decision) {
+      case AdmissionDecision::kAccept:
+        metrics->GetCounter("storage.admission.accepted").Inc();
+        break;
+      case AdmissionDecision::kReject:
+        metrics->GetCounter("storage.admission.rejected").Inc();
+        break;
+      case AdmissionDecision::kSplit:
+        metrics->GetCounter("storage.admission.split").Inc();
+        metrics->GetCounter("storage.admission.split_nodes")
+            .Inc(static_cast<uint64_t>(result.split_count));
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
 
 AdmissionResult AdmissionControl::Evaluate(
     uint64_t advertised_capacity, const std::vector<uint64_t>& leaf_set_capacities) const {
   if (leaf_set_capacities.empty()) {
-    return {AdmissionDecision::kAccept, 1};
+    return Tally(metrics, {AdmissionDecision::kAccept, 1});
   }
   double sum = std::accumulate(leaf_set_capacities.begin(), leaf_set_capacities.end(), 0.0);
   double average = sum / static_cast<double>(leaf_set_capacities.size());
   if (average <= 0.0) {
-    return {AdmissionDecision::kAccept, 1};
+    return Tally(metrics, {AdmissionDecision::kAccept, 1});
   }
   double ratio = static_cast<double>(advertised_capacity) / average;
   if (ratio < min_ratio) {
-    return {AdmissionDecision::kReject, 1};
+    return Tally(metrics, {AdmissionDecision::kReject, 1});
   }
   if (ratio > max_ratio) {
     // Join under enough nodeIds that each logical node is within bounds.
     int count = static_cast<int>(std::ceil(ratio / max_ratio));
-    return {AdmissionDecision::kSplit, count};
+    return Tally(metrics, {AdmissionDecision::kSplit, count});
   }
-  return {AdmissionDecision::kAccept, 1};
+  return Tally(metrics, {AdmissionDecision::kAccept, 1});
 }
 
 }  // namespace past

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace past {
 
 enum class AdmissionDecision {
@@ -31,6 +33,10 @@ struct AdmissionControl {
   double max_ratio = 100.0;  // two orders of magnitude (section 3.2)
   // ... and at least this fraction of it.
   double min_ratio = 0.01;
+
+  // When set, every Evaluate() registers its decision under
+  // "storage.admission.{accepted,rejected,split}" (+ "split_nodes").
+  obs::MetricsRegistry* metrics = nullptr;
 
   AdmissionResult Evaluate(uint64_t advertised_capacity,
                            const std::vector<uint64_t>& leaf_set_capacities) const;

@@ -17,7 +17,7 @@ TEST(ContentTest, LookupReturnsExactBytes) {
   ClientInsertResult inserted = client.InsertContent("exact.bin", body);
   ASSERT_TRUE(inserted.stored);
   LookupResult r = client.Lookup(inserted.file_id);
-  ASSERT_TRUE(r.found);
+  ASSERT_TRUE(r.found());
   ASSERT_NE(r.content, nullptr);
   EXPECT_EQ(*r.content, body);
   EXPECT_EQ(r.file_size, body.size());
@@ -55,7 +55,7 @@ TEST(ContentTest, CacheServesBytesToo) {
   bool saw_cache_hit = false;
   for (size_t i = 0; i < deployment.node_ids.size(); ++i) {
     LookupResult r = network.Lookup(deployment.node_ids[i], inserted.file_id);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.found());
     ASSERT_NE(r.content, nullptr);
     EXPECT_EQ(*r.content, body);
     saw_cache_hit |= r.served_from_cache;
@@ -70,7 +70,7 @@ TEST(ContentTest, SizeOnlyInsertsHaveNoContent) {
   ClientInsertResult inserted = client.Insert("sized.bin", 4096);
   ASSERT_TRUE(inserted.stored);
   LookupResult r = client.Lookup(inserted.file_id);
-  ASSERT_TRUE(r.found);
+  ASSERT_TRUE(r.found());
   EXPECT_EQ(r.content, nullptr);
   EXPECT_EQ(r.file_size, 4096u);
 }

@@ -100,11 +100,11 @@ TEST(MaliciousRoutingTest, LookupFailsCleanlyThroughBadNode) {
   }
   network.overlay().SetMalicious(probe.path[1], true);
   LookupResult r = client.Lookup(inserted.file_id);
-  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.found());
 
   // From a different access node, the lookup works.
   client.set_access_node(deployment.node_ids[deployment.node_ids.size() / 2]);
-  EXPECT_TRUE(client.Lookup(inserted.file_id).found);
+  EXPECT_TRUE(client.Lookup(inserted.file_id).found());
 }
 
 TEST(MaliciousRoutingTest, WidespreadCorruptionDegradesService) {

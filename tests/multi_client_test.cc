@@ -38,7 +38,7 @@ TEST_F(MultiClientTest, SharingByFileIdWorksAcrossClients) {
   ClientInsertResult published = publisher.InsertContent("shared.txt", "public data");
   ASSERT_TRUE(published.stored);
   LookupResult r = reader.Lookup(published.file_id);
-  ASSERT_TRUE(r.found);
+  ASSERT_TRUE(r.found());
   ASSERT_NE(r.content, nullptr);
   EXPECT_EQ(*r.content, "public data");
 }
@@ -76,18 +76,18 @@ TEST_F(MultiClientTest, ManyClientsConcurrentMix) {
   // Every client can read every file.
   for (const auto& [owner, id] : files) {
     int reader = static_cast<int>(rng.NextBelow(clients.size()));
-    EXPECT_TRUE(clients[static_cast<size_t>(reader)]->Lookup(id).found);
+    EXPECT_TRUE(clients[static_cast<size_t>(reader)]->Lookup(id).found());
     (void)owner;
   }
   // Owners reclaim half the files; the rest stay readable.
   for (size_t i = 0; i < files.size(); i += 2) {
-    EXPECT_TRUE(clients[static_cast<size_t>(files[i].first)]->Reclaim(files[i].second).accepted);
+    EXPECT_TRUE(clients[static_cast<size_t>(files[i].first)]->Reclaim(files[i].second).accepted());
   }
   for (size_t i = 1; i < files.size(); i += 2) {
-    EXPECT_TRUE(clients[0]->Lookup(files[i].second).found);
+    EXPECT_TRUE(clients[0]->Lookup(files[i].second).found());
   }
   for (size_t i = 0; i < files.size(); i += 2) {
-    EXPECT_FALSE(clients[0]->Lookup(files[i].second).found);
+    EXPECT_FALSE(clients[0]->Lookup(files[i].second).found());
   }
 }
 
@@ -108,7 +108,7 @@ TEST(MultiClientDivertedReclaimTest, ReclaimRemovesDivertedReplicas) {
       stored.push_back(r.file_id);
     }
   }
-  ASSERT_GT(network.counters().replicas_diverted_total, 0u);
+  ASSERT_GT(network.CountersSnapshot().replicas_diverted_total, 0u);
   for (const FileId& f : stored) {
     client.Reclaim(f);
   }

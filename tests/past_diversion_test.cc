@@ -19,16 +19,16 @@ TEST(PastDiversionTest, ReplicaDiversionKicksInWhenPrimariesFull) {
   PastClient client(network, deployment.node_ids[0], 1ull << 50, 111);
 
   // Saturate the system with files until replica diversion appears.
-  uint64_t diverted_before = network.counters().replicas_diverted_total;
+  uint64_t diverted_before = network.CountersSnapshot().replicas_diverted_total;
   int stored = 0;
-  for (int i = 0; i < 3000 && network.counters().replicas_diverted_total == diverted_before;
+  for (int i = 0; i < 3000 && network.CountersSnapshot().replicas_diverted_total == diverted_before;
        ++i) {
     ClientInsertResult r = client.Insert("fill-" + std::to_string(i), 9000);
     if (r.stored) {
       ++stored;
     }
   }
-  EXPECT_GT(network.counters().replicas_diverted_total, diverted_before)
+  EXPECT_GT(network.CountersSnapshot().replicas_diverted_total, diverted_before)
       << "after " << stored << " stored files";
 }
 
@@ -96,10 +96,10 @@ TEST(PastDiversionTest, LookupReachesDivertedReplicaViaPointer) {
       stored.push_back(r.file_id);
     }
   }
-  ASSERT_GT(network.counters().replicas_diverted_total, 0u);
+  ASSERT_GT(network.CountersSnapshot().replicas_diverted_total, 0u);
   size_t found = 0;
   for (const FileId& f : stored) {
-    if (client.Lookup(f).found) {
+    if (client.Lookup(f).found()) {
       ++found;
     }
   }

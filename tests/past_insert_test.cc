@@ -91,7 +91,7 @@ TEST_F(PastInsertTest, QuotaRestoredByReclaim) {
   ASSERT_TRUE(r.stored);
   EXPECT_EQ(client.card().quota_remaining(), 100u);
   ReclaimResult reclaimed = client.Reclaim(r.file_id);
-  EXPECT_TRUE(reclaimed.accepted);
+  EXPECT_TRUE(reclaimed.accepted());
   EXPECT_EQ(reclaimed.replicas_reclaimed, 5u);
   EXPECT_EQ(client.card().quota_remaining(), 600u);
   EXPECT_TRUE(client.Insert("two.bin", 100).stored);

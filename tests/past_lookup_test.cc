@@ -15,7 +15,7 @@ TEST(PastLookupTest, LookupFindsInsertedFile) {
   ClientInsertResult inserted = client.Insert("doc.pdf", 4096);
   ASSERT_TRUE(inserted.stored);
   LookupResult r = client.Lookup(inserted.file_id);
-  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.found());
   EXPECT_EQ(r.file_size, 4096u);
   EXPECT_FALSE(r.served_from_cache);  // caching disabled in this config
   EXPECT_GE(r.hops, 0);
@@ -28,7 +28,7 @@ TEST(PastLookupTest, MissingFileNotFound) {
   FileId bogus;
   ASSERT_TRUE(FileId::FromHex("00112233445566778899aabbccddeeff00112233", &bogus));
   LookupResult r = client.Lookup(bogus);
-  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.found());
 }
 
 TEST(PastLookupTest, LookupFromReplicaHolderIsZeroHops) {
@@ -40,7 +40,7 @@ TEST(PastLookupTest, LookupFromReplicaHolderIsZeroHops) {
   ASSERT_TRUE(inserted.stored);
   NodeId holder = network.overlay().KClosestLive(inserted.file_id.ToRoutingKey(), 1).front();
   LookupResult r = network.Lookup(holder, inserted.file_id);
-  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.found());
   EXPECT_EQ(r.hops, 0);
   EXPECT_EQ(r.served_by, holder);
 }
@@ -57,7 +57,7 @@ TEST(PastLookupTest, CachingStoresCopiesAlongRoute) {
   // After the insert, the origin node should hold a cached copy (the insert
   // message was routed through it), so a lookup from there is a cache hit.
   LookupResult r = client.Lookup(inserted.file_id);
-  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.found());
   EXPECT_TRUE(r.served_from_cache);
   EXPECT_EQ(r.hops, 0);
 }
@@ -78,7 +78,7 @@ TEST(PastLookupTest, RepeatedLookupsReduceAverageHops) {
   int count = 0;
   for (size_t i = 1; i < deployment.node_ids.size(); i += 3) {
     LookupResult r = network.Lookup(deployment.node_ids[i], inserted.file_id);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.found());
     if (first_hops < 0) {
       first_hops = r.hops;
     }
@@ -86,7 +86,7 @@ TEST(PastLookupTest, RepeatedLookupsReduceAverageHops) {
     ++count;
   }
   EXPECT_LE(total / count, static_cast<double>(first_hops) + 0.5);
-  EXPECT_GT(network.counters().lookups_from_cache, 0u);
+  EXPECT_GT(network.CountersSnapshot().lookups_from_cache, 0u);
 }
 
 TEST(PastLookupTest, NoCacheModeNeverServesFromCache) {
@@ -99,10 +99,10 @@ TEST(PastLookupTest, NoCacheModeNeverServesFromCache) {
   ASSERT_TRUE(inserted.stored);
   for (size_t i = 0; i < deployment.node_ids.size(); i += 5) {
     LookupResult r = network.Lookup(deployment.node_ids[i], inserted.file_id);
-    ASSERT_TRUE(r.found);
+    ASSERT_TRUE(r.found());
     EXPECT_FALSE(r.served_from_cache);
   }
-  EXPECT_EQ(network.counters().lookups_from_cache, 0u);
+  EXPECT_EQ(network.CountersSnapshot().lookups_from_cache, 0u);
 }
 
 TEST(PastLookupTest, LookupCountsTracked) {
@@ -113,10 +113,10 @@ TEST(PastLookupTest, LookupCountsTracked) {
   ClientInsertResult inserted = client.Insert("counted.bin", 100);
   ASSERT_TRUE(inserted.stored);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(client.Lookup(inserted.file_id).found);
+    ASSERT_TRUE(client.Lookup(inserted.file_id).found());
   }
-  EXPECT_EQ(network.counters().lookups, 10u);
-  EXPECT_EQ(network.counters().lookups_found, 10u);
+  EXPECT_EQ(network.CountersSnapshot().lookups, 10u);
+  EXPECT_EQ(network.CountersSnapshot().lookups_found, 10u);
 }
 
 }  // namespace

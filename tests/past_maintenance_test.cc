@@ -38,7 +38,7 @@ TEST_F(PastMaintenanceTest, InvariantHoldsAfterSingleFailure) {
   for (const FileId& f : files_) {
     EXPECT_GE(network().CountLiveReplicas(f), 5u) << f.ToHex();
   }
-  EXPECT_EQ(network().counters().files_lost, 0u);
+  EXPECT_EQ(network().CountersSnapshot().files_lost, 0u);
 }
 
 TEST_F(PastMaintenanceTest, InvariantHoldsAfterJoin) {
@@ -61,10 +61,10 @@ TEST_F(PastMaintenanceTest, InvariantHoldsUnderMixedChurn) {
     }
   }
   EXPECT_EQ(network().CountStorageInvariantViolations(files_), 0u);
-  EXPECT_EQ(network().counters().files_lost, 0u);
+  EXPECT_EQ(network().CountersSnapshot().files_lost, 0u);
   // All files still retrievable.
   for (const FileId& f : files_) {
-    EXPECT_TRUE(client_->Lookup(f).found) << f.ToHex();
+    EXPECT_TRUE(client_->Lookup(f).found()) << f.ToHex();
   }
 }
 
@@ -87,8 +87,8 @@ TEST_F(PastMaintenanceTest, ReplicasRecreatedAfterHolderFails) {
     network().FailStorageNode(victim);
     EXPECT_GE(network().CountLiveReplicas(target), 5u) << "round " << round;
   }
-  EXPECT_GT(network().counters().replicas_recreated, 0u);
-  EXPECT_TRUE(client_->Lookup(target).found);
+  EXPECT_GT(network().CountersSnapshot().replicas_recreated, 0u);
+  EXPECT_TRUE(client_->Lookup(target).found());
 }
 
 TEST_F(PastMaintenanceTest, FileSurvivesFailuresUpToKMinusOneHolders) {
@@ -106,7 +106,7 @@ TEST_F(PastMaintenanceTest, FileSurvivesFailuresUpToKMinusOneHolders) {
     }
   }
   EXPECT_EQ(killed, 4);
-  EXPECT_TRUE(client_->Lookup(target).found);
+  EXPECT_TRUE(client_->Lookup(target).found());
   EXPECT_GE(network().CountLiveReplicas(target), 5u);
 }
 

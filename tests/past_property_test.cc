@@ -44,13 +44,13 @@ TEST_P(PastPropertyTest, RandomOperationSequencePreservesInvariants) {
       auto it = live_files.begin();
       std::advance(it, static_cast<long>(rng.NextBelow(live_files.size())));
       LookupResult r = client.Lookup(it->second);
-      EXPECT_TRUE(r.found) << it->first;
+      EXPECT_TRUE(r.found()) << it->first;
     } else if (p < 0.8 && !live_files.empty()) {
       // Reclaim a random file.
       auto it = live_files.begin();
       std::advance(it, static_cast<long>(rng.NextBelow(live_files.size())));
       ReclaimResult r = client.Reclaim(it->second);
-      EXPECT_TRUE(r.accepted);
+      EXPECT_TRUE(r.accepted());
       live_files.erase(it);
     } else if (p < 0.9) {
       // A new node joins.
@@ -75,9 +75,9 @@ TEST_P(PastPropertyTest, RandomOperationSequencePreservesInvariants) {
     ids.push_back(id);
   }
   EXPECT_EQ(network.CountStorageInvariantViolations(ids), 0u);
-  EXPECT_EQ(network.counters().files_lost, 0u);
+  EXPECT_EQ(network.CountersSnapshot().files_lost, 0u);
   for (const auto& [name, id] : live_files) {
-    EXPECT_TRUE(client.Lookup(id).found) << name;
+    EXPECT_TRUE(client.Lookup(id).found()) << name;
   }
   // Utilization accounting is exact: the incremental total matches a scan.
   uint64_t scanned = 0;

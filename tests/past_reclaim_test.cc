@@ -25,14 +25,14 @@ TEST_F(PastReclaimTest, ReclaimRemovesAllReplicas) {
   ASSERT_EQ(network().CountLiveReplicas(inserted.file_id), 5u);
 
   ReclaimResult r = client.Reclaim(inserted.file_id);
-  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.status, ReclaimStatus::kReclaimed);
   EXPECT_EQ(r.replicas_reclaimed, 5u);
   EXPECT_EQ(r.bytes_reclaimed, 15000u);
   EXPECT_EQ(network().CountLiveReplicas(inserted.file_id), 0u);
   EXPECT_DOUBLE_EQ(network().utilization(), 0.0);
 
   // After reclaim, lookups are no longer guaranteed to succeed.
-  EXPECT_FALSE(client.Lookup(inserted.file_id).found);
+  EXPECT_FALSE(client.Lookup(inserted.file_id).found());
 }
 
 TEST_F(PastReclaimTest, ReclaimReceiptsVerify) {
@@ -54,10 +54,11 @@ TEST_F(PastReclaimTest, NonOwnerCannotReclaim) {
   ASSERT_TRUE(inserted.stored);
 
   ReclaimResult r = attacker.Reclaim(inserted.file_id);
-  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.status, ReclaimStatus::kNotOwner);
+  EXPECT_FALSE(r.accepted());
   EXPECT_EQ(r.replicas_reclaimed, 0u);
   EXPECT_EQ(network().CountLiveReplicas(inserted.file_id), 5u);
-  EXPECT_TRUE(owner.Lookup(inserted.file_id).found);
+  EXPECT_TRUE(owner.Lookup(inserted.file_id).found());
 }
 
 TEST_F(PastReclaimTest, ForgedCertificateRejected) {
@@ -67,7 +68,8 @@ TEST_F(PastReclaimTest, ForgedCertificateRejected) {
   ReclaimCertificate forged = owner.card().IssueReclaimCertificate(inserted.file_id, 1);
   forged.date ^= 1;  // breaks the signature
   ReclaimResult r = network().Reclaim(deployment_.node_ids[0], forged);
-  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.status, ReclaimStatus::kBadCertificate);
+  EXPECT_FALSE(r.accepted());
   EXPECT_EQ(network().CountLiveReplicas(inserted.file_id), 5u);
 }
 
@@ -76,7 +78,8 @@ TEST_F(PastReclaimTest, ReclaimUnknownFileIsAcceptedNoop) {
   FileId bogus;
   ASSERT_TRUE(FileId::FromHex("ffeeddccbbaa99887766554433221100ffeeddcc", &bogus));
   ReclaimResult r = client.Reclaim(bogus);
-  EXPECT_TRUE(r.accepted);  // certificate fine, just nothing stored
+  EXPECT_EQ(r.status, ReclaimStatus::kNotFound);
+  EXPECT_TRUE(r.accepted());  // certificate fine, just nothing stored
   EXPECT_EQ(r.replicas_reclaimed, 0u);
 }
 
@@ -94,13 +97,13 @@ TEST_F(PastReclaimTest, WeakSemanticsCachedCopiesMaySurvive) {
     network.Lookup(deployment.node_ids[i], inserted.file_id);
   }
   ReclaimResult r = client.Reclaim(inserted.file_id);
-  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.accepted());
   EXPECT_EQ(network.CountLiveReplicas(inserted.file_id), 0u);
   // A later lookup may still be served from a cache — the weak reclaim
   // guarantee. (It may also miss; both are legal. We only assert that no
   // *replica* serves it.)
   LookupResult after = client.Lookup(inserted.file_id);
-  if (after.found) {
+  if (after.found()) {
     EXPECT_TRUE(after.served_from_cache);
   }
 }

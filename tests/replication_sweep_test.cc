@@ -46,7 +46,7 @@ TEST_P(ReplicationSweepTest, PlacementLookupReclaimHoldForEveryK) {
 
   // Every file retrievable; reclaim drops exactly k replicas each.
   for (const FileId& f : files) {
-    EXPECT_TRUE(client.Lookup(f).found);
+    EXPECT_TRUE(client.Lookup(f).found());
   }
   ReclaimResult reclaimed = client.Reclaim(files[0]);
   EXPECT_EQ(reclaimed.replicas_reclaimed, k);
@@ -81,7 +81,7 @@ TEST_P(ReplicationSweepTest, SurvivesKMinusOneFailures) {
     }
     ASSERT_TRUE(found);
     network.FailStorageNode(victim);
-    EXPECT_TRUE(client.Lookup(r.file_id).found) << "k=" << k << " round=" << round;
+    EXPECT_TRUE(client.Lookup(r.file_id).found()) << "k=" << k << " round=" << round;
   }
   EXPECT_GE(network.CountLiveReplicas(r.file_id), k);
 }

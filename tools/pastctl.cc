@@ -145,7 +145,7 @@ void HandleLine(Session& session, const std::string& line) {
       return;
     }
     LookupResult r = it->second->Lookup(file_id);
-    if (!r.found) {
+    if (!r.found()) {
       std::printf("not found\n");
     } else {
       std::printf("ok: %llu bytes in %d hops from %s%s%s\n",
@@ -171,7 +171,7 @@ void HandleLine(Session& session, const std::string& line) {
       return;
     }
     ReclaimResult r = it->second->Reclaim(known->second);
-    std::printf("%s: %u replicas, %llu bytes reclaimed\n", r.accepted ? "ok" : "rejected",
+    std::printf("%s: %u replicas, %llu bytes reclaimed\n", r.accepted() ? "ok" : "rejected",
                 r.replicas_reclaimed, static_cast<unsigned long long>(r.bytes_reclaimed));
     session.files.erase(known);
   } else if (command == "join") {
@@ -204,7 +204,7 @@ void HandleLine(Session& session, const std::string& line) {
     if (!RequireNetwork(session)) {
       return;
     }
-    const PastCounters& c = session.network->counters();
+    const PastCounters& c = session.network->CountersSnapshot();
     PastNetwork::ReplicaCensus census = session.network->CountReplicas();
     std::printf("nodes=%zu utilization=%.2f%% replicas=%llu diverted=%llu lookups=%llu "
                 "cache_hits=%llu recreated=%llu lost=%llu\n",

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validates a --metrics-json dump from the bench/harness binaries.
+
+Checks structural invariants (sections present, histogram buckets sum to the
+recorded count) and that the metric families the experiments depend on —
+insert, lookup, cache, and diversion — actually appear. Exits nonzero with a
+message per problem, so CI can gate on any bench run's dump:
+
+    build/bench/bench_fig8_caching --nodes 100 --metrics-json metrics.json
+    python3 tools/validate_metrics_json.py metrics.json
+"""
+
+import json
+import sys
+
+
+REQUIRED_COUNTERS = [
+    # Insert path.
+    "past.insert.attempts",
+    "client.files_attempted",
+    "client.files_stored",
+    # Lookup path.
+    "past.lookup.requests",
+    "past.lookup.found",
+    # Cache layer (per-node scopes merged into the global snapshot).
+    "node.cache.hits",
+    "node.cache.misses",
+]
+
+REQUIRED_GAUGES = [
+    # Diversion census.
+    "past.replicas.stored",
+    "past.replicas.diverted",
+    "past.utilization",
+]
+
+REQUIRED_HISTOGRAMS = [
+    "past.insert.file_size_bytes",
+    "past.insert.hops",
+    "past.lookup.hops",
+]
+
+
+def validate(doc):
+    errors = []
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            errors.append(f"missing or malformed section: {section!r}")
+    if errors:
+        return errors
+
+    counters = doc["counters"]
+    gauges = doc["gauges"]
+    histograms = doc["histograms"]
+
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            errors.append(f"missing counter: {name!r}")
+        elif not isinstance(counters[name], int) or counters[name] < 0:
+            errors.append(f"counter {name!r} is not a non-negative integer")
+    for name in REQUIRED_GAUGES:
+        if name not in gauges:
+            errors.append(f"missing gauge: {name!r}")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in histograms:
+            errors.append(f"missing histogram: {name!r}")
+
+    for name, hist in histograms.items():
+        bounds = hist.get("upper_bounds")
+        buckets = hist.get("buckets")
+        count = hist.get("count")
+        if not isinstance(bounds, list) or not isinstance(buckets, list):
+            errors.append(f"histogram {name!r}: malformed bounds/buckets")
+            continue
+        if len(buckets) != len(bounds) + 1:
+            errors.append(
+                f"histogram {name!r}: expected {len(bounds) + 1} buckets "
+                f"(bounds + overflow), got {len(buckets)}"
+            )
+        if sorted(bounds) != bounds:
+            errors.append(f"histogram {name!r}: upper_bounds not sorted")
+        if sum(buckets) != count:
+            errors.append(
+                f"histogram {name!r}: buckets sum to {sum(buckets)} "
+                f"but count is {count}"
+            )
+
+    # Cross-family consistency.
+    if not errors:
+        if counters["client.files_stored"] > counters["client.files_attempted"]:
+            errors.append("client.files_stored exceeds client.files_attempted")
+        if counters["past.lookup.found"] > counters["past.lookup.requests"]:
+            errors.append("past.lookup.found exceeds past.lookup.requests")
+        if counters["past.insert.attempts"] == 0:
+            errors.append("past.insert.attempts is zero: run inserted nothing")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <metrics.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot parse {argv[1]}: {err}", file=sys.stderr)
+        return 1
+    errors = validate(doc)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    counters = doc["counters"]
+    print(
+        f"ok: {argv[1]} valid "
+        f"({len(counters)} counters, {len(doc['gauges'])} gauges, "
+        f"{len(doc['histograms'])} histograms; "
+        f"{counters['client.files_stored']}/{counters['client.files_attempted']} "
+        f"files stored)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
