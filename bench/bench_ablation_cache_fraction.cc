@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   base.cache_mode = CacheMode::kGreedyDualSize;
@@ -20,20 +21,28 @@ int main(int argc, char** argv) {
   }
   PrintHeader("Ablation: cache admission fraction c (GD-S)", base);
 
-  TablePrinter table({"c", "Hit rate", "Avg hops", "Final util"});
-  for (double c : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+  const std::vector<double> c_values = {0.001, 0.01, 0.1, 0.5, 1.0};
+  std::vector<ExperimentConfig> configs;
+  for (double c : c_values) {
     ExperimentConfig config = base;
     config.cache_fraction_c = c;
-    ExperimentResult r = RunExperiment(config);
-    table.AddRow({TablePrinter::Num(c, 3), TablePrinter::Num(r.global_cache_hit_rate, 3),
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  TablePrinter table({"c", "Hit rate", "Avg hops", "Final util"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow({TablePrinter::Num(c_values[i], 3),
+                  TablePrinter::Num(r.global_cache_hit_rate, 3),
                   TablePrinter::Num(r.avg_lookup_hops, 3),
                   TablePrinter::Pct(r.final_utilization)});
-    std::fflush(stdout);
   }
   if (cli.Has("--csv")) {
     table.PrintCsv();
   } else {
     table.Print();
   }
+  PrintBenchFooter(stopwatch);
   return 0;
 }

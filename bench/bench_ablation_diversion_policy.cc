@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   PrintHeader("Ablation: replica-diversion target selection policy", base);
@@ -16,23 +17,31 @@ int main(int argc, char** argv) {
     const char* name;
     DiversionSelection selection;
   };
-  TablePrinter table({"Selection", "Success", "Fail", "Replica diversion", "Util"});
-  for (const Policy& p : {Policy{"max-free-space (paper)", DiversionSelection::kMaxFreeSpace},
-                          Policy{"random", DiversionSelection::kRandom},
-                          Policy{"first-fit", DiversionSelection::kFirstFit}}) {
+  const std::vector<Policy> policies = {
+      Policy{"max-free-space (paper)", DiversionSelection::kMaxFreeSpace},
+      Policy{"random", DiversionSelection::kRandom},
+      Policy{"first-fit", DiversionSelection::kFirstFit}};
+  std::vector<ExperimentConfig> configs;
+  for (const Policy& p : policies) {
     ExperimentConfig config = base;
     config.diversion_selection = p.selection;
-    ExperimentResult r = RunExperiment(config);
-    table.AddRow({p.name, TablePrinter::Pct(r.success_ratio, 2),
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  TablePrinter table({"Selection", "Success", "Fail", "Replica diversion", "Util"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow({policies[i].name, TablePrinter::Pct(r.success_ratio, 2),
                   TablePrinter::Pct(r.failure_ratio, 2),
                   TablePrinter::Pct(r.replica_diversion_ratio, 2),
                   TablePrinter::Pct(r.final_utilization)});
-    std::fflush(stdout);
   }
   if (cli.Has("--csv")) {
     table.PrintCsv();
   } else {
     table.Print();
   }
+  PrintBenchFooter(stopwatch);
   return 0;
 }

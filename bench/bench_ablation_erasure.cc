@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   std::printf("# Ablation: replication vs Reed-Solomon erasure coding (section 3.6)\n\n");
 
@@ -80,5 +81,6 @@ int main(int argc, char** argv) {
   std::printf("# trade-off (paper section 3.6): RS cuts the 5x replication overhead to\n"
               "# ~1.5x for the same loss tolerance, at the cost of contacting n nodes\n"
               "# per lookup instead of 1 — worthwhile only for large files.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

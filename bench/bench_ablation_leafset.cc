@@ -5,21 +5,28 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   PrintHeader("Ablation: leaf set size sweep (t_pri=0.1, t_div=0.05, d1)", base);
 
-  TablePrinter table({"l", "Success", "Fail", "File diversion", "Replica diversion", "Util"});
-  for (int l : {8, 16, 32, 48, 64}) {
+  const std::vector<int> l_values = {8, 16, 32, 48, 64};
+  std::vector<ExperimentConfig> configs;
+  for (int l : l_values) {
     ExperimentConfig config = base;
     config.leaf_set_size = l;
-    ExperimentResult r = RunExperiment(config);
-    table.AddRow({std::to_string(l), TablePrinter::Pct(r.success_ratio, 2),
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  TablePrinter table({"l", "Success", "Fail", "File diversion", "Replica diversion", "Util"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow({std::to_string(l_values[i]), TablePrinter::Pct(r.success_ratio, 2),
                   TablePrinter::Pct(r.failure_ratio, 2),
                   TablePrinter::Pct(r.file_diversion_ratio, 2),
                   TablePrinter::Pct(r.replica_diversion_ratio, 2),
                   TablePrinter::Pct(r.final_utilization)});
-    std::fflush(stdout);
   }
   if (cli.Has("--csv")) {
     table.PrintCsv();
@@ -27,5 +34,6 @@ int main(int argc, char** argv) {
     table.Print();
   }
   std::printf("\n# paper: performance improves 16 -> 32, then plateaus beyond 32.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

@@ -7,6 +7,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   PrintHeader("Baseline: no replica/file diversion vs full storage management", base);
@@ -35,5 +36,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# paper: without diversion 51.1%% of inserts fail and utilization\n"
               "# saturates at 60.8%%; with diversion >99%% succeed at >98%% utilization.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

@@ -7,11 +7,15 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "src/harness/cli.h"
 #include "src/harness/experiment.h"
+#include "src/harness/suite.h"
 #include "src/harness/table_printer.h"
 
 namespace past {
@@ -58,6 +62,40 @@ inline void PrintHeader(const char* what, const ExperimentConfig& config) {
   std::printf("# nodes=%zu files=%u k=%u b=%d l=%d seed=%llu\n", config.num_nodes,
               config.catalog_size, config.k, config.b, config.leaf_set_size,
               static_cast<unsigned long long>(config.seed));
+}
+
+// Worker threads for multi-configuration benches (--jobs N). Results are
+// bit-identical for any N: RunExperimentSuite derives each configuration's
+// seed from its index, never from shared RNG state.
+inline SuiteOptions BenchSuiteOptions(const CommandLine& cli) {
+  SuiteOptions options;
+  options.jobs = static_cast<int>(cli.GetInt("--jobs", 1));
+  return options;
+}
+
+// Wall-clock from program start, for the standard bench footer.
+class BenchStopwatch {
+ public:
+  BenchStopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Peak resident set size of this process (Linux reports ru_maxrss in KiB).
+inline double PeakRssMb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+// Every bench binary ends with this line so serial-vs-parallel wins (and
+// memory cost) are visible without parsing any JSON output.
+inline void PrintBenchFooter(const BenchStopwatch& stopwatch) {
+  std::printf("# wall-time %.2f s, peak RSS %.1f MB\n", stopwatch.Seconds(), PeakRssMb());
 }
 
 }  // namespace past

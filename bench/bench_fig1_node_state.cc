@@ -5,7 +5,7 @@
 // 128-bit here, so only the first 8 base-4 digits are shown per entry).
 #include <cstdio>
 
-#include "src/harness/cli.h"
+#include "bench/bench_common.h"
 #include "src/pastry/network.h"
 
 namespace {
@@ -23,6 +23,7 @@ std::string Prefix(const past::NodeId& id, int b, int digits) {
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
 
   PastryConfig config;
@@ -83,5 +84,6 @@ int main(int argc, char** argv) {
   std::printf("\n\n# properties checked: every row-r entry shares exactly r digits with\n");
   std::printf("# the node's id; leaf set = %zu numerically closest neighbors.\n",
               node->leaf_set().All().size());
+  PrintBenchFooter(stopwatch);
   return 0;
 }

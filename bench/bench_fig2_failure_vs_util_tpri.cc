@@ -8,20 +8,28 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   PrintHeader("Figure 2: cumulative failure ratio vs utilization, per t_pri", base);
 
-  std::printf("t_pri,utilization,cumulative_failure_ratio\n");
-  for (double t_pri : {0.05, 0.1, 0.2, 0.5}) {
+  const std::vector<double> tpri_values = {0.05, 0.1, 0.2, 0.5};
+  std::vector<ExperimentConfig> configs;
+  for (double t_pri : tpri_values) {
     ExperimentConfig config = base;
     config.t_pri = t_pri;
     config.t_div = 0.05;
-    ExperimentResult r = RunExperiment(config);
-    for (const CurveSample& s : r.curve) {
-      std::printf("%.2f,%.4f,%.6f\n", t_pri, s.utilization, s.cumulative_failure_ratio);
-    }
-    std::fflush(stdout);
+    configs.push_back(config);
   }
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  std::printf("t_pri,utilization,cumulative_failure_ratio\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    for (const CurveSample& s : results[i].curve) {
+      std::printf("%.2f,%.4f,%.6f\n", tpri_values[i], s.utilization,
+                  s.cumulative_failure_ratio);
+    }
+  }
+  PrintBenchFooter(stopwatch);
   return 0;
 }

@@ -8,20 +8,28 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   PrintHeader("Figure 3: cumulative failure ratio vs utilization, per t_div", base);
 
-  std::printf("t_div,utilization,cumulative_failure_ratio\n");
-  for (double t_div : {0.005, 0.01, 0.05, 0.1}) {
+  const std::vector<double> tdiv_values = {0.005, 0.01, 0.05, 0.1};
+  std::vector<ExperimentConfig> configs;
+  for (double t_div : tdiv_values) {
     ExperimentConfig config = base;
     config.t_pri = 0.1;
     config.t_div = t_div;
-    ExperimentResult r = RunExperiment(config);
-    for (const CurveSample& s : r.curve) {
-      std::printf("%.3f,%.4f,%.6f\n", t_div, s.utilization, s.cumulative_failure_ratio);
-    }
-    std::fflush(stdout);
+    configs.push_back(config);
   }
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  std::printf("t_div,utilization,cumulative_failure_ratio\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    for (const CurveSample& s : results[i].curve) {
+      std::printf("%.3f,%.4f,%.6f\n", tdiv_values[i], s.utilization,
+                  s.cumulative_failure_ratio);
+    }
+  }
+  PrintBenchFooter(stopwatch);
   return 0;
 }

@@ -7,16 +7,18 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig config = BenchConfig(cli);
   PrintHeader("Figure 5: replica diversion ratio vs utilization", config);
 
-  ExperimentResult r = RunExperiment(config);
+  ExperimentResult r = RunExperimentSuite({config}, BenchSuiteOptions(cli)).front();
   std::printf("utilization,replica_diversion_ratio\n");
   for (const CurveSample& s : r.curve) {
     double denom = std::max<uint64_t>(s.replicas_stored, 1);
     std::printf("%.4f,%.6f\n", s.utilization, static_cast<double>(s.replicas_diverted) / denom);
   }
   std::printf("\n# paper: ratio < 0.10 at 80%% utilization, ~0.16 at full saturation.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig config = BenchConfig(cli);
   config.workload = WorkloadKind::kWeb;
@@ -41,5 +42,6 @@ int main(int argc, char** argv) {
               r.final_utilization);
   std::printf("# paper: first average-size rejection at 90.5%% util; failure ratio\n"
               "# <0.05 below 95%% util, reaching ~0.25 at 98%%.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

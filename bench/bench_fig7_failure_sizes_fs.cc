@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig config = BenchConfig(cli);
   config.workload = WorkloadKind::kFilesystem;
@@ -33,5 +34,6 @@ int main(int argc, char** argv) {
               r.mean_file_size, r.failure_ratio, r.final_utilization);
   std::printf("# paper: failure ratio stays below 0.01 for most of the run despite the\n"
               "# much heavier file-size tail.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

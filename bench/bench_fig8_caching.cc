@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   if (cli.Has("--paper-scale")) {
@@ -25,23 +26,31 @@ int main(int argc, char** argv) {
     const char* name;
     CacheMode mode;
   };
-  std::printf("policy,utilization,window_hit_rate,window_avg_hops\n");
-  for (const Mode& m : {Mode{"GD-S", CacheMode::kGreedyDualSize}, Mode{"LRU", CacheMode::kLru},
-                        Mode{"None", CacheMode::kNone}}) {
+  const std::vector<Mode> modes = {Mode{"GD-S", CacheMode::kGreedyDualSize},
+                                   Mode{"LRU", CacheMode::kLru},
+                                   Mode{"None", CacheMode::kNone}};
+  std::vector<ExperimentConfig> configs;
+  for (const Mode& m : modes) {
     ExperimentConfig config = base;
     config.cache_mode = m.mode;
-    ExperimentResult r = RunExperiment(config);
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  std::printf("policy,utilization,window_hit_rate,window_avg_hops\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
     for (const CurveSample& s : r.curve) {
       if (s.window_lookups == 0) {
         continue;
       }
-      std::printf("%s,%.4f,%.4f,%.3f\n", m.name, s.utilization, s.window_hit_rate,
+      std::printf("%s,%.4f,%.4f,%.3f\n", modes[i].name, s.utilization, s.window_hit_rate,
                   s.window_avg_hops);
     }
-    std::printf("# %s overall: hit rate %.3f, avg hops %.3f over %llu lookups\n", m.name,
+    std::printf("# %s overall: hit rate %.3f, avg hops %.3f over %llu lookups\n", modes[i].name,
                 r.global_cache_hit_rate, r.avg_lookup_hops,
                 static_cast<unsigned long long>(r.lookups));
-    std::fflush(stdout);
   }
+  PrintBenchFooter(stopwatch);
   return 0;
 }

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   size_t n = static_cast<size_t>(cli.GetInt("--nodes", 500));
   uint64_t seed = static_cast<uint64_t>(cli.GetInt("--seed", 42));
@@ -76,5 +77,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# caching cuts both the hop count and (on WAN) the propagation term;\n"
               "# the paper notes its 25 ms prototype figure is unoptimized.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

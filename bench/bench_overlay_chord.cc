@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   uint64_t seed = static_cast<uint64_t>(cli.GetInt("--seed", 42));
   const int trials = 1000;
@@ -78,5 +79,6 @@ int main(int argc, char** argv) {
   std::printf("\n# expected: similar O(log N) hop counts; Pastry's total route distance a\n"
               "# fraction of Chord's (locality-aware routing table entries), relative to\n"
               "# the random-pair distance baseline.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   size_t n = static_cast<size_t>(cli.GetInt("--nodes", 1000));
   uint64_t seed = static_cast<uint64_t>(cli.GetInt("--seed", 42));
@@ -94,5 +95,6 @@ int main(int argc, char** argv) {
                 "(paper [27]: 92%%)\n",
                 100.0 * best_two / total);
   }
+  PrintBenchFooter(stopwatch);
   return 0;
 }

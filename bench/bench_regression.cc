@@ -1,0 +1,198 @@
+// Benchmark-regression harness: fixed scaled workloads for the single-run
+// hot paths (routing, insert replay, SHA-1) plus a parallel-sweep wall-time
+// comparison, emitted as a schema-stable JSON report (BENCH_PR2.json) so
+// every PR has a perf trajectory to compare against.
+//
+// Usage:
+//   bench_regression [--smoke] [--jobs N] [--out report.json]
+//
+// --smoke shrinks every workload so the whole run finishes in a few seconds
+// (CI uses it); the full run takes on the order of a minute. Merge a
+// previous report in as the "baseline" section and validate with
+// tools/bench_report.py (--merge-baseline / --check).
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/crypto/sha1.h"
+#include "src/harness/suite.h"
+#include "src/pastry/network.h"
+
+namespace past {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RegressionReport {
+  double sha1_mb_per_sec = 0.0;
+  double routes_per_sec = 0.0;
+  double route_avg_hops = 0.0;
+  double inserts_per_sec = 0.0;
+  double sweep_wall_seconds_jobs1 = 0.0;
+  double sweep_wall_seconds_jobsn = 0.0;
+  double sweep_speedup = 0.0;
+  bool sweep_deterministic = false;
+};
+
+// SHA-1 throughput over 64 KiB blocks (the streaming shape certificates and
+// content hashing use).
+double MeasureSha1(bool smoke) {
+  std::string data(64 * 1024, 'x');
+  double target = smoke ? 0.2 : 1.0;
+  uint64_t bytes = 0;
+  volatile uint8_t sink = 0;
+  double start = Now();
+  double elapsed = 0.0;
+  while (elapsed < target) {
+    for (int i = 0; i < 16; ++i) {
+      Sha1Digest d = Sha1::Hash(data);
+      sink = static_cast<uint8_t>(sink ^ d[0]);
+      bytes += data.size();
+    }
+    elapsed = Now() - start;
+  }
+  return static_cast<double>(bytes) / elapsed / (1024.0 * 1024.0);
+}
+
+// Prefix-routing throughput over a static overlay: random key from a random
+// origin, the per-hop path PAST inserts and lookups ride on.
+void MeasureRouting(bool smoke, RegressionReport* report) {
+  PastryConfig config;
+  PastryNetwork network(config, 42);
+  network.BuildInitialNetwork(smoke ? 150 : 400);
+  std::vector<NodeId> nodes = network.live_nodes();
+  Rng rng(43);
+  size_t iters = smoke ? 4000 : 20000;
+  uint64_t hops = 0;
+  double start = Now();
+  for (size_t i = 0; i < iters; ++i) {
+    NodeId key(rng.NextU64(), rng.NextU64());
+    NodeId origin = nodes[rng.NextBelow(nodes.size())];
+    RouteResult route = network.Route(origin, key);
+    hops += static_cast<uint64_t>(route.hops());
+  }
+  double elapsed = Now() - start;
+  report->routes_per_sec = static_cast<double>(iters) / elapsed;
+  report->route_avg_hops = static_cast<double>(hops) / static_cast<double>(iters);
+}
+
+// End-to-end insert replay (build + trace) at a fixed scaled size; the
+// divisor is attempted inserts so the figure tracks per-insert cost.
+double MeasureInserts(bool smoke) {
+  ExperimentConfig config;
+  config.num_nodes = smoke ? 40 : 100;
+  config.curve_samples = 10;
+  config.seed = 42;
+  double start = Now();
+  ExperimentResult result = RunExperiment(config);
+  double elapsed = Now() - start;
+  return static_cast<double>(result.files_attempted) / elapsed;
+}
+
+// The Table 3 t_pri sweep in miniature, serial vs. parallel, with a
+// bit-identical-results check between the two schedules.
+void MeasureSweep(bool smoke, int jobs, RegressionReport* report) {
+  std::vector<ExperimentConfig> configs;
+  for (double t_pri : {0.5, 0.2, 0.1, 0.05}) {
+    ExperimentConfig config;
+    config.num_nodes = smoke ? 30 : 60;
+    config.curve_samples = 10;
+    config.seed = 42;
+    config.t_pri = t_pri;
+    config.t_div = 0.05;
+    configs.push_back(config);
+  }
+
+  SuiteOptions serial;
+  serial.jobs = 1;
+  double start = Now();
+  std::vector<ExperimentResult> a = RunExperimentSuite(configs, serial);
+  report->sweep_wall_seconds_jobs1 = Now() - start;
+
+  SuiteOptions parallel;
+  parallel.jobs = jobs;
+  start = Now();
+  std::vector<ExperimentResult> b = RunExperimentSuite(configs, parallel);
+  report->sweep_wall_seconds_jobsn = Now() - start;
+  report->sweep_speedup =
+      report->sweep_wall_seconds_jobsn > 0.0
+          ? report->sweep_wall_seconds_jobs1 / report->sweep_wall_seconds_jobsn
+          : 0.0;
+
+  report->sweep_deterministic = a.size() == b.size();
+  for (size_t i = 0; report->sweep_deterministic && i < a.size(); ++i) {
+    report->sweep_deterministic = a[i].files_attempted == b[i].files_attempted &&
+                                  a[i].files_inserted == b[i].files_inserted &&
+                                  a[i].files_failed == b[i].files_failed &&
+                                  a[i].final_utilization == b[i].final_utilization &&
+                                  a[i].replica_diversion_ratio == b[i].replica_diversion_ratio;
+  }
+}
+
+bool WriteReport(const std::string& path, const RegressionReport& r, bool smoke, int jobs) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"past-bench-regression-v1\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(out, "  \"jobs\": %d,\n", jobs);
+  std::fprintf(out, "  \"metrics\": {\n");
+  std::fprintf(out, "    \"sha1_mb_per_sec\": %.3f,\n", r.sha1_mb_per_sec);
+  std::fprintf(out, "    \"routes_per_sec\": %.3f,\n", r.routes_per_sec);
+  std::fprintf(out, "    \"route_avg_hops\": %.4f,\n", r.route_avg_hops);
+  std::fprintf(out, "    \"inserts_per_sec\": %.3f,\n", r.inserts_per_sec);
+  std::fprintf(out, "    \"sweep_wall_seconds_jobs1\": %.4f,\n", r.sweep_wall_seconds_jobs1);
+  std::fprintf(out, "    \"sweep_wall_seconds_jobsn\": %.4f,\n", r.sweep_wall_seconds_jobsn);
+  std::fprintf(out, "    \"sweep_speedup\": %.4f,\n", r.sweep_speedup);
+  std::fprintf(out, "    \"sweep_deterministic\": %s\n", r.sweep_deterministic ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace
+}  // namespace past
+
+int main(int argc, char** argv) {
+  using namespace past;
+  CommandLine cli(argc, argv);
+  BenchStopwatch stopwatch;
+  bool smoke = cli.Has("--smoke");
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  int jobs = static_cast<int>(cli.GetInt("--jobs", hw > 0 ? std::min(hw, 4) : 4));
+  std::string out_path = cli.GetString("--out", "BENCH_PR2.json");
+
+  std::printf("# bench_regression (%s mode, sweep jobs=%d)\n", smoke ? "smoke" : "full", jobs);
+
+  RegressionReport report;
+  report.sha1_mb_per_sec = MeasureSha1(smoke);
+  std::printf("sha1_mb_per_sec        %.1f\n", report.sha1_mb_per_sec);
+  MeasureRouting(smoke, &report);
+  std::printf("routes_per_sec         %.0f (avg hops %.2f)\n", report.routes_per_sec,
+              report.route_avg_hops);
+  report.inserts_per_sec = MeasureInserts(smoke);
+  std::printf("inserts_per_sec        %.0f\n", report.inserts_per_sec);
+  MeasureSweep(smoke, jobs, &report);
+  std::printf("sweep wall jobs=1      %.2f s\n", report.sweep_wall_seconds_jobs1);
+  std::printf("sweep wall jobs=%-2d     %.2f s (speedup %.2fx, %s)\n", jobs,
+              report.sweep_wall_seconds_jobsn, report.sweep_speedup,
+              report.sweep_deterministic ? "bit-identical" : "MISMATCH");
+
+  if (!WriteReport(out_path, report, smoke, jobs)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s\n", out_path.c_str());
+  PrintBenchFooter(stopwatch);
+  return report.sweep_deterministic ? 0 : 3;
+}

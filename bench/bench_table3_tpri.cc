@@ -7,23 +7,30 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   PrintHeader("Table 3: varying t_pri (t_div=0.05)", base);
 
-  TablePrinter table({"t_pri", "Success", "Fail", "File diversion", "Replica diversion",
-                      "Util"});
-  for (double t_pri : {0.5, 0.2, 0.1, 0.05}) {
+  const std::vector<double> tpri_values = {0.5, 0.2, 0.1, 0.05};
+  std::vector<ExperimentConfig> configs;
+  for (double t_pri : tpri_values) {
     ExperimentConfig config = base;
     config.t_pri = t_pri;
     config.t_div = 0.05;
-    ExperimentResult r = RunExperiment(config);
-    table.AddRow({TablePrinter::Num(t_pri, 2), TablePrinter::Pct(r.success_ratio, 2),
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  TablePrinter table({"t_pri", "Success", "Fail", "File diversion", "Replica diversion",
+                      "Util"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow({TablePrinter::Num(tpri_values[i], 2), TablePrinter::Pct(r.success_ratio, 2),
                   TablePrinter::Pct(r.failure_ratio, 2),
                   TablePrinter::Pct(r.file_diversion_ratio, 2),
                   TablePrinter::Pct(r.replica_diversion_ratio, 2),
                   TablePrinter::Pct(r.final_utilization)});
-    std::fflush(stdout);
   }
   if (cli.Has("--csv")) {
     table.PrintCsv();
@@ -32,5 +39,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# paper: t_pri 0.5 -> 88.0%% success / 99.7%% util;\n"
               "#        t_pri 0.05 -> 99.7%% success / 97.4%% util.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

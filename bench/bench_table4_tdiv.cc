@@ -8,23 +8,30 @@
 
 int main(int argc, char** argv) {
   using namespace past;
+  BenchStopwatch stopwatch;
   CommandLine cli(argc, argv);
   ExperimentConfig base = BenchConfig(cli);
   PrintHeader("Table 4: varying t_div (t_pri=0.1)", base);
 
-  TablePrinter table({"t_div", "Success", "Fail", "File diversion", "Replica diversion",
-                      "Util"});
-  for (double t_div : {0.1, 0.05, 0.01, 0.005}) {
+  const std::vector<double> tdiv_values = {0.1, 0.05, 0.01, 0.005};
+  std::vector<ExperimentConfig> configs;
+  for (double t_div : tdiv_values) {
     ExperimentConfig config = base;
     config.t_pri = 0.1;
     config.t_div = t_div;
-    ExperimentResult r = RunExperiment(config);
-    table.AddRow({TablePrinter::Num(t_div, 3), TablePrinter::Pct(r.success_ratio, 2),
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  TablePrinter table({"t_div", "Success", "Fail", "File diversion", "Replica diversion",
+                      "Util"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    table.AddRow({TablePrinter::Num(tdiv_values[i], 3), TablePrinter::Pct(r.success_ratio, 2),
                   TablePrinter::Pct(r.failure_ratio, 2),
                   TablePrinter::Pct(r.file_diversion_ratio, 2),
                   TablePrinter::Pct(r.replica_diversion_ratio, 2),
                   TablePrinter::Pct(r.final_utilization)});
-    std::fflush(stdout);
   }
   if (cli.Has("--csv")) {
     table.PrintCsv();
@@ -33,5 +40,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n# paper: t_div 0.1 -> 93.7%% success / 99.8%% util;\n"
               "#        t_div 0.005 -> 99.6%% success / 90.5%% util.\n");
+  PrintBenchFooter(stopwatch);
   return 0;
 }

@@ -1,11 +1,15 @@
 #include "src/common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace past {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// Atomic so concurrent experiment workers (harness suite) can log while
+// another thread flips the threshold; relaxed is enough — the level is a
+// filter, not a synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,8 +29,8 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace log_internal {
 

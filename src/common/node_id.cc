@@ -2,44 +2,8 @@
 
 namespace past {
 
-int NodeId::Digit(int i, int b) const {
-  int shift = kBits - (i + 1) * b;
-  uint128 mask = (static_cast<uint128>(1) << b) - 1;
-  if (shift >= 0) {
-    return static_cast<int>((value_ >> shift) & mask);
-  }
-  // Partial last digit: pad with zero bits at the bottom.
-  return static_cast<int>((value_ << -shift) & mask);
-}
-
-int NodeId::NumDigits(int b) { return (kBits + b - 1) / b; }
-
-int NodeId::SharedPrefixLength(const NodeId& other, int b) const {
-  int digits = NumDigits(b);
-  for (int i = 0; i < digits; ++i) {
-    if (Digit(i, b) != other.Digit(i, b)) {
-      return i;
-    }
-  }
-  return digits;
-}
-
-uint128 NodeId::RingDistance(const NodeId& other) const {
-  uint128 forward = other.value_ - value_;   // mod 2^128 wrap is automatic
-  uint128 backward = value_ - other.value_;
-  return forward < backward ? forward : backward;
-}
-
-uint128 NodeId::ClockwiseDistance(const NodeId& other) const { return other.value_ - value_; }
-
-bool NodeId::CloserTo(const NodeId& target, const NodeId& other) const {
-  uint128 mine = RingDistance(target);
-  uint128 theirs = other.RingDistance(target);
-  if (mine != theirs) {
-    return mine < theirs;
-  }
-  return value_ < other.value_;
-}
+// Digit/SharedPrefixLength/RingDistance/CloserTo live in the header so the
+// routing hot path can inline them (PR 2); only parsing remains out of line.
 
 bool NodeId::FromHex(const std::string& hex, NodeId* out) {
   uint128 v;

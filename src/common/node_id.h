@@ -28,25 +28,53 @@ class NodeId {
   // The i-th base-2^b digit, counting from the most significant digit
   // (digit 0). `b` must divide 128 evenly in practice (b=4 in the paper);
   // for other values the final partial digit is zero-padded at the bottom.
-  int Digit(int i, int b) const;
+  // Branch-light: the select between the two shifts compiles to a cmov and
+  // is hoisted when `i`/`b` are loop constants.
+  int Digit(int i, int b) const {
+    int shift = kBits - (i + 1) * b;
+    uint128 mask = (static_cast<uint128>(1) << b) - 1;
+    uint128 word = shift >= 0 ? value_ >> shift : value_ << -shift;
+    return static_cast<int>(word & mask);
+  }
 
   // Number of digits an id has under base 2^b (ceil(128/b)).
-  static int NumDigits(int b);
+  static constexpr int NumDigits(int b) { return (kBits + b - 1) / b; }
 
   // Length (in base-2^b digits) of the common prefix with `other`.
-  int SharedPrefixLength(const NodeId& other, int b) const;
+  // O(1): the first differing bit position (clz of the XOR) determines the
+  // first differing digit. The zero-padded tail of a partial last digit is
+  // identical on both sides, so the identity also holds when b does not
+  // divide 128.
+  int SharedPrefixLength(const NodeId& other, int b) const {
+    uint128 diff = value_ ^ other.value_;
+    if (diff == 0) {
+      return NumDigits(b);
+    }
+    return Uint128CountLeadingZeros(diff) / b;
+  }
 
   // Circular distance on the 2^128 ring: min(a-b, b-a) mod 2^128.
   // This is the "numerically closest" metric used for replica placement.
-  uint128 RingDistance(const NodeId& other) const;
+  uint128 RingDistance(const NodeId& other) const {
+    uint128 forward = other.value_ - value_;  // mod 2^128 wrap is automatic
+    uint128 backward = value_ - other.value_;
+    return forward < backward ? forward : backward;
+  }
 
   // Directed clockwise distance from this id to `other` (other - this mod 2^128).
-  uint128 ClockwiseDistance(const NodeId& other) const;
+  uint128 ClockwiseDistance(const NodeId& other) const { return other.value_ - value_; }
 
   // True if this id is numerically closer to `target` than `other` is.
   // Ties are broken toward the numerically smaller candidate id so that
   // "closest node" is always unique.
-  bool CloserTo(const NodeId& target, const NodeId& other) const;
+  bool CloserTo(const NodeId& target, const NodeId& other) const {
+    uint128 mine = RingDistance(target);
+    uint128 theirs = other.RingDistance(target);
+    if (mine != theirs) {
+      return mine < theirs;
+    }
+    return value_ < other.value_;
+  }
 
   std::string ToHex() const { return Uint128ToHex(value_); }
   static bool FromHex(const std::string& hex, NodeId* out);

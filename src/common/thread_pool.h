@@ -1,0 +1,74 @@
+// Fixed-size worker pool with a FIFO task queue and future-based results.
+//
+// The experiment harness runs independent, share-nothing experiments (each
+// owns its network, RNG, and metrics registry), so a plain pool of N workers
+// draining one queue is all the parallelism machinery the sweep benches need
+// (`RunExperimentSuite`). Tasks may be submitted from any thread; results and
+// exceptions propagate through the returned std::future.
+//
+// Destruction semantics: the destructor stops accepting new work, lets the
+// workers drain every task already queued, and joins them — a submitted task
+// is therefore always executed exactly once (its future never becomes a
+// broken promise).
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace past {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  size_t size() const { return workers_.size(); }
+
+  // Number of tasks accepted over the pool's lifetime.
+  uint64_t submitted() const;
+
+  // Enqueues `fn` and returns a future for its result. An exception thrown
+  // by the task is captured and rethrown from future::get(). Throws
+  // std::runtime_error when called after shutdown began (i.e. from a task
+  // racing the destructor's stop flag).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, so the task lives behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  void Enqueue(std::function<void()> wrapped);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  uint64_t submitted_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -21,6 +21,21 @@ constexpr uint128 MakeUint128(uint64_t hi, uint64_t lo) {
 constexpr uint64_t Uint128High64(uint128 v) { return static_cast<uint64_t>(v >> 64); }
 constexpr uint64_t Uint128Low64(uint128 v) { return static_cast<uint64_t>(v); }
 
+// Leading zero count over the full 128 bits (128 for v == 0). One `clz`
+// instruction per 64-bit half; the routing hot path uses this to turn the
+// digit-by-digit shared-prefix scan into a single XOR + clz.
+constexpr int Uint128CountLeadingZeros(uint128 v) {
+  uint64_t hi = Uint128High64(v);
+  if (hi != 0) {
+    return __builtin_clzll(hi);
+  }
+  uint64_t lo = Uint128Low64(v);
+  if (lo != 0) {
+    return 64 + __builtin_clzll(lo);
+  }
+  return 128;
+}
+
 // Formats `v` as a fixed-width 32-character lowercase hex string.
 std::string Uint128ToHex(uint128 v);
 

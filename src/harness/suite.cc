@@ -1,0 +1,72 @@
+#include "src/harness/suite.h"
+
+#include <future>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/thread_pool.h"
+
+namespace past {
+namespace {
+
+void ValidateAll(const std::vector<ExperimentConfig>& configs) {
+  std::ostringstream joined;
+  bool any = false;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    for (const std::string& error : configs[i].Validate()) {
+      joined << (any ? "; " : "") << "config[" << i << "]: " << error;
+      any = true;
+    }
+  }
+  if (any) {
+    throw std::invalid_argument("invalid ExperimentConfig in suite: " + joined.str());
+  }
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> RunExperimentSuite(std::vector<ExperimentConfig> configs,
+                                                 const SuiteOptions& options) {
+  if (options.derive_seeds) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      configs[i].seed += static_cast<uint64_t>(i);
+    }
+  }
+  // Drop duplicate output paths on all but the last config naming them, so
+  // concurrent experiments never write the same file.
+  for (size_t i = 0; i < configs.size(); ++i) {
+    for (size_t j = i + 1; j < configs.size(); ++j) {
+      if (!configs[i].metrics_json_path.empty() &&
+          configs[i].metrics_json_path == configs[j].metrics_json_path) {
+        configs[i].metrics_json_path.clear();
+      }
+      if (!configs[i].trace_jsonl_path.empty() &&
+          configs[i].trace_jsonl_path == configs[j].trace_jsonl_path) {
+        configs[i].trace_jsonl_path.clear();
+      }
+    }
+  }
+  ValidateAll(configs);
+
+  std::vector<ExperimentResult> results(configs.size());
+  if (options.jobs <= 1 || configs.size() <= 1) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      results[i] = RunExperiment(configs[i]);
+    }
+    return results;
+  }
+
+  ThreadPool pool(static_cast<size_t>(options.jobs));
+  std::vector<std::future<ExperimentResult>> futures;
+  futures.reserve(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const ExperimentConfig& config = configs[i];
+    futures.push_back(pool.Submit([&config] { return RunExperiment(config); }));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    results[i] = futures[i].get();  // rethrows any experiment failure
+  }
+  return results;
+}
+
+}  // namespace past

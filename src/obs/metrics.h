@@ -10,12 +10,23 @@
 //
 // The obs layer depends only on the standard library so every other layer
 // (net, cache, storage, past, harness) can link against it.
+//
+// Threading model (harness suite runs experiments concurrently): the design
+// is share-nothing — each experiment owns its registry and never shares it
+// across threads, so the instruments (Counter/Gauge/HistogramMetric) are
+// deliberately not atomic; making them so would tax the single-threaded hot
+// path every experiment runs on. The registry's name → instrument map IS
+// mutex-guarded, so creating/looking up instruments and taking a Snapshot()
+// are safe even if a registry does end up visible to two threads (e.g. a
+// monitor thread snapshotting while an experiment runs); only concurrent
+// Inc/Set/Observe on one *instrument* requires external serialization.
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -107,7 +118,8 @@ struct MetricsSnapshot {
 };
 
 // Name → instrument map. Instruments are created on first access and live as
-// long as the registry; returned references are stable.
+// long as the registry; returned references are stable. Map access is
+// mutex-guarded (see the threading model above); instrument mutation is not.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -127,6 +139,7 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
+  mutable std::mutex mu_;  // guards the three maps, not the instruments
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;

@@ -33,6 +33,7 @@ std::string OpTraceJson(const OpTrace& event) {
 RingBufferTraceSink::RingBufferTraceSink(size_t capacity) : capacity_(capacity) {}
 
 void RingBufferTraceSink::Record(const OpTrace& event) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++recorded_;
   if (capacity_ == 0) {
     ++dropped_;
@@ -45,15 +46,30 @@ void RingBufferTraceSink::Record(const OpTrace& event) {
   events_.push_back(event);
 }
 
+uint64_t RingBufferTraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t RingBufferTraceSink::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
 JsonlTraceSink::JsonlTraceSink(const std::string& path) : out_(path, std::ios::trunc) {}
 
 void JsonlTraceSink::Record(const OpTrace& event) {
+  // Render outside the lock; only the stream write is serialized so lines
+  // from concurrent writers never interleave mid-record.
+  std::string line = OpTraceJson(event);
+  std::lock_guard<std::mutex> lock(mu_);
   if (out_) {
-    out_ << OpTraceJson(event) << '\n';
+    out_ << line << '\n';
   }
 }
 
 void JsonlTraceSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (out_) {
     out_.flush();
   }

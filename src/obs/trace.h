@@ -5,12 +5,19 @@
 // (tests, interactive inspection), or a JSONL file (offline analysis — one
 // JSON object per line). Records carry pre-rendered ids (hex strings) so the
 // obs layer stays free of protocol-type dependencies.
+//
+// Threading: the harness suite runs experiments share-nothing, each with its
+// own sink, but Record()/Flush() on the buffered sinks are mutex-guarded so a
+// sink shared across threads (or inspected while an experiment runs) stays
+// well-formed. RingBufferTraceSink::events() returns the live deque — only
+// read it after the writers are done.
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
 
 #include <cstdint>
 #include <deque>
 #include <fstream>
+#include <mutex>
 #include <string>
 
 namespace past {
@@ -57,10 +64,11 @@ class RingBufferTraceSink : public TraceSink {
   void Record(const OpTrace& event) override;
 
   const std::deque<OpTrace>& events() const { return events_; }
-  uint64_t dropped() const { return dropped_; }
-  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const;
+  uint64_t recorded() const;
 
  private:
+  mutable std::mutex mu_;
   size_t capacity_;
   std::deque<OpTrace> events_;
   uint64_t dropped_ = 0;
@@ -77,6 +85,7 @@ class JsonlTraceSink : public TraceSink {
   void Flush() override;
 
  private:
+  std::mutex mu_;
   std::ofstream out_;
 };
 

@@ -172,23 +172,70 @@ std::vector<NodeId> PastNetwork::KClosestFromLeafSet(const NodeId& root, const N
   if (node == nullptr) {
     return {};
   }
-  std::vector<NodeId> candidates = node->leaf_set().All();
-  candidates.push_back(root);
-  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
-                                  [&](const NodeId& id) { return !pastry_.IsAlive(id); }),
-                   candidates.end());
-  std::sort(candidates.begin(), candidates.end(), [&](const NodeId& a, const NodeId& b) {
-    return a.CloserTo(key, b);
-  });
-  if (candidates.size() > k) {
-    candidates.resize(k);
+  const LeafSet& leaves = node->leaf_set();
+  std::vector<NodeId> candidates;
+  candidates.reserve(leaves.larger().size() + leaves.smaller().size() + 1);
+  for (const NodeId& id : leaves.larger()) {
+    if (pastry_.IsAlive(id)) {
+      candidates.push_back(id);
+    }
   }
+  // The two sides only overlap in networks smaller than the leaf set; the
+  // linear dedup scan is bounded by l/2 and usually finds nothing.
+  for (const NodeId& id : leaves.smaller()) {
+    if (pastry_.IsAlive(id) &&
+        std::find(candidates.begin(), candidates.end(), id) == candidates.end()) {
+      candidates.push_back(id);
+    }
+  }
+  if (pastry_.IsAlive(root)) {
+    candidates.push_back(root);
+  }
+  // Only the first k in closeness order are needed; CloserTo is a strict
+  // total order (ties broken by id), so partial_sort's prefix matches what a
+  // full sort would produce.
+  size_t take = std::min(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + static_cast<ptrdiff_t>(take),
+                    candidates.end(),
+                    [&](const NodeId& a, const NodeId& b) { return a.CloserTo(key, b); });
+  candidates.resize(take);
   return candidates;
 }
 
 bool PastNetwork::IsAmongKClosest(const NodeId& node, const NodeId& key, size_t k) const {
-  std::vector<NodeId> closest = KClosestFromLeafSet(node, key, k);
-  return std::find(closest.begin(), closest.end(), node) != closest.end();
+  // Allocation- and sort-free equivalent of "node appears in
+  // KClosestFromLeafSet(node, key, k)": since CloserTo is a strict total
+  // order, node is among the k closest live candidates iff it is alive and
+  // strictly fewer than k distinct live leaf-set members beat it. This runs
+  // per hop of every insert route, so it is worth the hand-rolled counting.
+  if (!pastry_.IsAlive(node)) {
+    return false;
+  }
+  const PastryNode* pn = pastry_.node(node);
+  if (pn == nullptr) {
+    return false;
+  }
+  const LeafSet& leaves = pn->leaf_set();
+  size_t closer = 0;
+  for (const NodeId& id : leaves.larger()) {
+    if (pastry_.IsAlive(id) && id.CloserTo(key, node)) {
+      if (++closer >= k) {
+        return false;
+      }
+    }
+  }
+  const std::vector<NodeId>& larger = leaves.larger();
+  for (const NodeId& id : leaves.smaller()) {
+    if (std::find(larger.begin(), larger.end(), id) != larger.end()) {
+      continue;  // sides overlap only in tiny networks; avoid double counting
+    }
+    if (pastry_.IsAlive(id) && id.CloserTo(key, node)) {
+      if (++closer >= k) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 std::optional<NodeId> PastNetwork::ChooseDiversionTarget(const NodeId& primary,

@@ -274,10 +274,13 @@ RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const St
   }
   // Hop bound as a safety net; Pastry terminates in ~log_2^b(N) steps.
   int max_hops = 8 * NodeId::NumDigits(config_.b);
+  // Constructed once per route, not once per hop: AliveFn is a std::function
+  // and rebuilding it every hop allocates on the insert/lookup hot path.
+  PastryNode::AliveFn alive = [this](const NodeId& id) { return IsAlive(id); };
+  result.path.reserve(static_cast<size_t>(NodeId::NumDigits(config_.b)) / 2);
   for (int hop = 0; hop < max_hops; ++hop) {
     PastryNode* n = node(current);
-    std::optional<NodeId> next =
-        n->NextHop(key, [this](const NodeId& id) { return IsAlive(id); }, &rng_);
+    std::optional<NodeId> next = n->NextHop(key, alive, &rng_);
     if (!next) {
       return result;  // current node is the destination
     }
@@ -360,16 +363,15 @@ std::vector<NodeId> PastryNetwork::KClosestLive(const NodeId& key, size_t k) con
   };
   retreat_bwd(backward);
 
+  // Because k <= ring size, the two cursors sweep disjoint arcs until the
+  // final take (where they can only meet on the same element, and CloserTo
+  // is strict so the backward copy is taken exactly once). No membership
+  // scan of `out` is needed per step.
+  out.reserve(k);
   while (out.size() < k) {
     const NodeId& f = forward->second;
     const NodeId& b = backward->second;
-    bool f_taken = std::find(out.begin(), out.end(), f) != out.end();
-    bool b_taken = std::find(out.begin(), out.end(), b) != out.end();
-    if (f_taken && b_taken) {
-      break;  // exhausted the ring
-    }
-    bool take_forward = b_taken || (!f_taken && f.CloserTo(key, b));
-    if (take_forward) {
+    if (f.CloserTo(key, b)) {
       out.push_back(f);
       ++forward;
       advance_fwd(forward);

@@ -27,17 +27,25 @@ void PastryNode::Forget(const NodeId& other) {
 }
 
 NodeId PastryNode::ClosestAliveLeaf(const NodeId& key, const AliveFn& alive) {
+  // Scans the two side vectors in place instead of materializing All():
+  // this runs on every final routing hop. Overlapping sides (small networks)
+  // just scan a member twice, which cannot change the arg-min; `dead` stays
+  // unallocated unless a failed member is actually seen.
   NodeId best = id_;
   std::vector<NodeId> dead;
-  for (const NodeId& member : leaf_set_.All()) {
-    if (!alive(member)) {
-      dead.push_back(member);
-      continue;
+  auto scan = [&](const std::vector<NodeId>& side) {
+    for (const NodeId& member : side) {
+      if (!alive(member)) {
+        dead.push_back(member);
+        continue;
+      }
+      if (member.CloserTo(key, best)) {
+        best = member;
+      }
     }
-    if (member.CloserTo(key, best)) {
-      best = member;
-    }
-  }
+  };
+  scan(leaf_set_.larger());
+  scan(leaf_set_.smaller());
   for (const NodeId& d : dead) {
     Forget(d);
   }

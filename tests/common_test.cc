@@ -34,6 +34,40 @@ TEST(Uint128Test, HexParsingRejectsJunk) {
   EXPECT_EQ(v, static_cast<uint128>(0xff));
 }
 
+TEST(Uint128Test, HexParsingEdgeCases) {
+  // A failed parse must not clobber the output.
+  uint128 v = MakeUint128(0xdead, 0xbeef);
+  EXPECT_FALSE(Uint128FromHex("", &v));
+  EXPECT_EQ(v, MakeUint128(0xdead, 0xbeef));
+  // A bare prefix has no digits.
+  EXPECT_FALSE(Uint128FromHex("0x", &v));
+  EXPECT_FALSE(Uint128FromHex("0X", &v));
+  EXPECT_EQ(v, MakeUint128(0xdead, 0xbeef));
+  // The 32-digit limit applies to the digits, not the prefixed length.
+  EXPECT_FALSE(Uint128FromHex("0x" + std::string(33, 'f'), &v));
+  EXPECT_TRUE(Uint128FromHex("0x" + std::string(32, 'f'), &v));
+  EXPECT_EQ(v, ~static_cast<uint128>(0));
+  EXPECT_TRUE(Uint128FromHex(std::string(32, 'f'), &v));
+  EXPECT_EQ(v, ~static_cast<uint128>(0));
+  // Uppercase digits and prefix parse like their lowercase forms.
+  EXPECT_TRUE(Uint128FromHex("0XAB", &v));
+  EXPECT_EQ(v, static_cast<uint128>(0xab));
+  // "0x0x10" must not be treated as a doubly-prefixed number.
+  EXPECT_FALSE(Uint128FromHex("0x0x10", &v));
+}
+
+TEST(Uint128Test, CountLeadingZeros) {
+  EXPECT_EQ(Uint128CountLeadingZeros(0), 128);
+  EXPECT_EQ(Uint128CountLeadingZeros(1), 127);
+  EXPECT_EQ(Uint128CountLeadingZeros(~static_cast<uint128>(0)), 0);
+  for (int bit = 0; bit < 128; ++bit) {
+    uint128 v = static_cast<uint128>(1) << bit;
+    EXPECT_EQ(Uint128CountLeadingZeros(v), 127 - bit) << "bit " << bit;
+    // Low garbage below the top set bit must not change the count.
+    EXPECT_EQ(Uint128CountLeadingZeros(v | (v - 1)), 127 - bit) << "bit " << bit;
+  }
+}
+
 TEST(NodeIdTest, DigitsBase16) {
   // 0x0123... : digit 0 = 0x0, digit 1 = 0x1, ...
   NodeId id(0x0123456789abcdefULL, 0x0000000000000000ULL);
@@ -47,6 +81,80 @@ TEST(NodeIdTest, DigitsBase4) {
   NodeId id(0xC000000000000000ULL, 0);  // top two bits 11
   EXPECT_EQ(id.Digit(0, 2), 3);
   EXPECT_EQ(NodeId::NumDigits(2), 64);
+}
+
+// Straight-line reference implementations of the digit/prefix operations
+// (the pre-optimization loop forms), used to cross-check the clz-based code.
+int ReferenceDigit(const NodeId& id, int i, int b) {
+  int shift = NodeId::kBits - (i + 1) * b;
+  uint128 mask = (static_cast<uint128>(1) << b) - 1;
+  if (shift >= 0) {
+    return static_cast<int>((id.value() >> shift) & mask);
+  }
+  return static_cast<int>((id.value() << -shift) & mask);
+}
+
+int ReferenceSharedPrefixLength(const NodeId& a, const NodeId& b_id, int b) {
+  int digits = NodeId::NumDigits(b);
+  for (int i = 0; i < digits; ++i) {
+    if (ReferenceDigit(a, i, b) != ReferenceDigit(b_id, i, b)) {
+      return i;
+    }
+  }
+  return digits;
+}
+
+TEST(NodeIdTest, BranchlessDigitMatchesReference) {
+  Rng rng(2024);
+  std::vector<NodeId> ids = {NodeId(), NodeId(~static_cast<uint128>(0)),
+                             NodeId(MakeUint128(0x8000000000000000ULL, 0)), NodeId(1, 0),
+                             NodeId(0, 1)};
+  for (int i = 0; i < 50; ++i) {
+    ids.emplace_back(MakeUint128(rng.NextU64(), rng.NextU64()));
+  }
+  for (int b = 1; b <= 4; ++b) {
+    for (const NodeId& id : ids) {
+      for (int i = 0; i < NodeId::NumDigits(b); ++i) {
+        ASSERT_EQ(id.Digit(i, b), ReferenceDigit(id, i, b))
+            << "b=" << b << " i=" << i << " id=" << id.ToHex();
+      }
+    }
+  }
+}
+
+TEST(NodeIdTest, SharedPrefixLengthMatchesReferenceAtEveryBit) {
+  // For every bit position and every b in {1,2,3,4}, flip exactly that bit
+  // and confirm the clz formula agrees with the digit-scan reference —
+  // including b=3, where the last digit is partial (128 = 42*3 + 2).
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    NodeId a(MakeUint128(rng.NextU64(), rng.NextU64()));
+    for (int b = 1; b <= 4; ++b) {
+      ASSERT_EQ(a.SharedPrefixLength(a, b), NodeId::NumDigits(b));
+      for (int bit = 0; bit < 128; ++bit) {
+        NodeId flipped(a.value() ^ (static_cast<uint128>(1) << bit));
+        int expected = ReferenceSharedPrefixLength(a, flipped, b);
+        ASSERT_EQ(a.SharedPrefixLength(flipped, b), expected)
+            << "b=" << b << " bit=" << bit;
+        ASSERT_EQ(expected, (127 - bit) / b);
+      }
+    }
+  }
+}
+
+TEST(NodeIdTest, SharedPrefixLengthMatchesReferenceOnRandomPairs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    NodeId a(MakeUint128(rng.NextU64(), rng.NextU64()));
+    // Mix nearby pairs (long prefixes) with unrelated ones.
+    NodeId b_id = trial % 2 == 0
+                      ? NodeId(a.value() ^ (rng.NextU64() >> (trial % 64)))
+                      : NodeId(MakeUint128(rng.NextU64(), rng.NextU64()));
+    for (int b = 1; b <= 4; ++b) {
+      ASSERT_EQ(a.SharedPrefixLength(b_id, b), ReferenceSharedPrefixLength(a, b_id, b))
+          << "b=" << b << " a=" << a.ToHex() << " b_id=" << b_id.ToHex();
+    }
+  }
 }
 
 TEST(NodeIdTest, SharedPrefixLength) {

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validate and report on bench_regression JSON dumps (BENCH_PR2.json).
+
+Usage:
+  bench_report.py REPORT.json                     # human-readable report
+  bench_report.py --check REPORT.json             # schema + consistency check
+  bench_report.py --check --min-speedup 1.2 R.json  # also require a hot-path win
+  bench_report.py --merge-baseline OLD.json REPORT.json [-o OUT.json]
+                                                  # embed OLD's metrics as the
+                                                  # baseline section of REPORT
+
+A report's "metrics" section is the current measurement; the optional
+"baseline" section holds the pre-change measurement taken with the same
+workloads (typically merged in from a report generated before an
+optimization landed). --check always validates structure; with
+--min-speedup it additionally requires at least one single-run hot-path
+metric (routes_per_sec, sha1_mb_per_sec, inserts_per_sec) to improve by the
+given factor over the baseline.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "past-bench-regression-v1"
+
+METRIC_KEYS = [
+    "sha1_mb_per_sec",
+    "routes_per_sec",
+    "route_avg_hops",
+    "inserts_per_sec",
+    "sweep_wall_seconds_jobs1",
+    "sweep_wall_seconds_jobsn",
+    "sweep_speedup",
+    "sweep_deterministic",
+]
+
+HOT_PATH_KEYS = ["routes_per_sec", "sha1_mb_per_sec", "inserts_per_sec"]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def validate_metrics(metrics, errors, where):
+    for key in METRIC_KEYS:
+        if key not in metrics:
+            errors.append(f"{where}: missing key '{key}'")
+            continue
+        value = metrics[key]
+        if key == "sweep_deterministic":
+            if not isinstance(value, bool):
+                errors.append(f"{where}: '{key}' must be a boolean, got {value!r}")
+        elif not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}: '{key}' must be a number, got {value!r}")
+        elif key != "route_avg_hops" and value < 0:
+            errors.append(f"{where}: '{key}' must be non-negative, got {value}")
+    for key in ("sha1_mb_per_sec", "routes_per_sec", "inserts_per_sec"):
+        if isinstance(metrics.get(key), (int, float)) and metrics.get(key) == 0:
+            errors.append(f"{where}: '{key}' is zero (measurement did not run?)")
+
+
+def check(report, min_speedup):
+    errors = []
+    if report.get("schema") != SCHEMA:
+        errors.append(f"schema must be '{SCHEMA}', got {report.get('schema')!r}")
+    if report.get("mode") not in ("smoke", "full"):
+        errors.append(f"mode must be 'smoke' or 'full', got {report.get('mode')!r}")
+    if not isinstance(report.get("jobs"), int) or report.get("jobs", 0) < 1:
+        errors.append(f"jobs must be a positive integer, got {report.get('jobs')!r}")
+
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("missing 'metrics' object")
+    else:
+        validate_metrics(metrics, errors, "metrics")
+        if metrics.get("sweep_deterministic") is False:
+            errors.append("metrics: sweep results differ between --jobs 1 and --jobs N")
+
+    baseline = report.get("baseline")
+    if baseline is not None:
+        if not isinstance(baseline, dict):
+            errors.append("'baseline' must be an object")
+        else:
+            validate_metrics(baseline, errors, "baseline")
+
+    if min_speedup is not None:
+        if not isinstance(baseline, dict):
+            errors.append(f"--min-speedup {min_speedup} requires a baseline section")
+        elif isinstance(metrics, dict):
+            best_key, best = None, 0.0
+            for key in HOT_PATH_KEYS:
+                old, new = baseline.get(key), metrics.get(key)
+                if isinstance(old, (int, float)) and old > 0 and isinstance(new, (int, float)):
+                    speedup = new / old
+                    if speedup > best:
+                        best_key, best = key, speedup
+            if best < min_speedup:
+                errors.append(
+                    f"no hot-path metric improved by {min_speedup}x over baseline "
+                    f"(best: {best_key} at {best:.3f}x)"
+                )
+            else:
+                print(f"speedup gate passed: {best_key} {best:.2f}x >= {min_speedup}x")
+    return errors
+
+
+def fmt(value):
+    if isinstance(value, bool):
+        return "yes" if value else "NO"
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def print_report(report):
+    metrics = report.get("metrics", {})
+    baseline = report.get("baseline")
+    print(f"bench_regression report ({report.get('mode')} mode, jobs={report.get('jobs')})")
+    header = f"  {'metric':<28}{'current':>14}"
+    if baseline:
+        header += f"{'baseline':>14}{'speedup':>10}"
+    print(header)
+    for key in METRIC_KEYS:
+        line = f"  {key:<28}{fmt(metrics.get(key, '-')):>14}"
+        if baseline:
+            old = baseline.get(key)
+            line += f"{fmt(old) if old is not None else '-':>14}"
+            if (
+                key not in ("sweep_deterministic",)
+                and isinstance(old, (int, float))
+                and not isinstance(old, bool)
+                and old > 0
+                and isinstance(metrics.get(key), (int, float))
+            ):
+                ratio = metrics[key] / old
+                # For wall-times and hops, lower is better: report old/new.
+                if key.startswith("sweep_wall") or key == "route_avg_hops":
+                    ratio = old / metrics[key] if metrics[key] > 0 else 0.0
+                line += f"{ratio:>9.2f}x"
+            else:
+                line += f"{'-':>10}"
+        print(line)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="report JSON file(s)")
+    parser.add_argument("--check", action="store_true", help="validate instead of report")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="with --check: require one hot-path metric >= this factor over baseline",
+    )
+    parser.add_argument(
+        "--merge-baseline",
+        action="store_true",
+        help="treat the first file as the baseline report and embed its metrics "
+        "into the second file's 'baseline' section",
+    )
+    parser.add_argument("-o", "--out", default=None, help="output path for --merge-baseline")
+    args = parser.parse_args()
+
+    if args.merge_baseline:
+        if len(args.files) != 2:
+            parser.error("--merge-baseline needs exactly two files: BASELINE REPORT")
+        baseline_report, report = load(args.files[0]), load(args.files[1])
+        report["baseline"] = baseline_report.get("metrics", {})
+        out = args.out or args.files[1]
+        with open(out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"merged baseline {args.files[0]} into {out}")
+        return 0
+
+    status = 0
+    for path in args.files:
+        try:
+            report = load(path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable: {e}", file=sys.stderr)
+            status = 1
+            continue
+        if args.check:
+            errors = check(report, args.min_speedup)
+            if errors:
+                for error in errors:
+                    print(f"{path}: {error}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"{path}: OK")
+        else:
+            print_report(report)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
