@@ -19,6 +19,7 @@
 #include "src/common/rng.h"
 #include "src/crypto/sha1.h"
 #include "src/harness/suite.h"
+#include "src/past/client.h"
 #include "src/pastry/network.h"
 
 namespace past {
@@ -35,6 +36,7 @@ struct RegressionReport {
   double routes_per_sec = 0.0;
   double route_avg_hops = 0.0;
   double inserts_per_sec = 0.0;
+  double lookups_per_sec = 0.0;
   double sweep_wall_seconds_jobs1 = 0.0;
   double sweep_wall_seconds_jobsn = 0.0;
   double sweep_speedup = 0.0;
@@ -96,6 +98,38 @@ double MeasureInserts(bool smoke) {
   return static_cast<double>(result.files_attempted) / elapsed;
 }
 
+// Client-visible lookup throughput over a warm network: the full
+// route + store-probe + (fabric) message path, measured per completed lookup.
+double MeasureLookups(bool smoke) {
+  PastConfig config;
+  config.enable_maintenance = false;
+  PastryConfig pastry_config;
+  PastNetwork network(config, pastry_config, 42);
+  std::vector<NodeId> nodes;
+  size_t n = smoke ? 40 : 100;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(network.AddStorageNode(1ull << 30));
+  }
+  PastClient client(network, nodes[0], 1ull << 50, 43);
+  std::vector<FileId> files;
+  for (int i = 0; i < 200; ++i) {
+    ClientInsertResult r = client.Insert("reg-" + std::to_string(i), 10'000);
+    if (r.stored) {
+      files.push_back(r.file_id);
+    }
+  }
+  Rng rng(44);
+  size_t iters = smoke ? 5000 : 30000;
+  double start = Now();
+  for (size_t i = 0; i < iters; ++i) {
+    const FileId& f = files[rng.NextBelow(files.size())];
+    const NodeId& origin = nodes[rng.NextBelow(nodes.size())];
+    network.Lookup(origin, f);
+  }
+  double elapsed = Now() - start;
+  return static_cast<double>(iters) / elapsed;
+}
+
 // The Table 3 t_pri sweep in miniature, serial vs. parallel, with a
 // bit-identical-results check between the two schedules.
 void MeasureSweep(bool smoke, int jobs, RegressionReport* report) {
@@ -150,6 +184,7 @@ bool WriteReport(const std::string& path, const RegressionReport& r, bool smoke,
   std::fprintf(out, "    \"routes_per_sec\": %.3f,\n", r.routes_per_sec);
   std::fprintf(out, "    \"route_avg_hops\": %.4f,\n", r.route_avg_hops);
   std::fprintf(out, "    \"inserts_per_sec\": %.3f,\n", r.inserts_per_sec);
+  std::fprintf(out, "    \"lookups_per_sec\": %.3f,\n", r.lookups_per_sec);
   std::fprintf(out, "    \"sweep_wall_seconds_jobs1\": %.4f,\n", r.sweep_wall_seconds_jobs1);
   std::fprintf(out, "    \"sweep_wall_seconds_jobsn\": %.4f,\n", r.sweep_wall_seconds_jobsn);
   std::fprintf(out, "    \"sweep_speedup\": %.4f,\n", r.sweep_speedup);
@@ -170,7 +205,7 @@ int main(int argc, char** argv) {
   bool smoke = cli.Has("--smoke");
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   int jobs = static_cast<int>(cli.GetInt("--jobs", hw > 0 ? std::min(hw, 4) : 4));
-  std::string out_path = cli.GetString("--out", "BENCH_PR2.json");
+  std::string out_path = cli.GetString("--out", "BENCH_PR3.json");
 
   std::printf("# bench_regression (%s mode, sweep jobs=%d)\n", smoke ? "smoke" : "full", jobs);
 
@@ -182,6 +217,8 @@ int main(int argc, char** argv) {
               report.route_avg_hops);
   report.inserts_per_sec = MeasureInserts(smoke);
   std::printf("inserts_per_sec        %.0f\n", report.inserts_per_sec);
+  report.lookups_per_sec = MeasureLookups(smoke);
+  std::printf("lookups_per_sec        %.0f\n", report.lookups_per_sec);
   MeasureSweep(smoke, jobs, &report);
   std::printf("sweep wall jobs=1      %.2f s\n", report.sweep_wall_seconds_jobs1);
   std::printf("sweep wall jobs=%-2d     %.2f s (speedup %.2fx, %s)\n", jobs,

@@ -1,0 +1,79 @@
+// SimTransport: event-queue-scheduled delivery with simulated latency and
+// seeded fault injection.
+//
+// Each Send computes a latency from the LatencyModel and the message's route
+// shape (hops, proximity distance, payload bytes), applies the FaultPlan
+// (drop / duplicate / delay, plus node partitions), and schedules the
+// delivery continuation on the EventQueue. Determinism: for a fixed seed and
+// call sequence, the fault decisions and delivery order are identical run to
+// run — equal-time deliveries execute in FIFO send order (the EventQueue's
+// sequence tie-break).
+#ifndef SRC_NET_SIM_TRANSPORT_H_
+#define SRC_NET_SIM_TRANSPORT_H_
+
+#include <array>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/net/fault_plan.h"
+#include "src/net/latency_model.h"
+#include "src/net/transport.h"
+
+namespace past {
+
+class SimTransport : public Transport {
+ public:
+  struct Options {
+    LatencyModel latency;
+    FaultPlan faults;
+    uint64_t seed = 1;
+  };
+
+  // `queue` drives virtual time; `stats` is the shared ledger (see
+  // Transport). Both must outlive the transport.
+  SimTransport(EventQueue& queue, const Options& options, TransportStats* stats);
+
+  void Send(const Message& msg, DeliverFn on_deliver) override;
+
+  // Runs queue events until no fabric message is in flight. Other timers on
+  // the same queue (keep-alive rounds, ...) that come due earlier execute in
+  // time order along the way — this is a simulation step, not a bypass.
+  void Settle() override;
+
+  SimTime now() const override { return queue_.now(); }
+
+  const Options& options() const { return options_; }
+
+  // --- fault control (tests and experiments poke these mid-run) ---
+
+  // A partitioned node is cut off: every message from or to it is dropped.
+  void Partition(const NodeId& id) { partitioned_.insert(id); }
+  void Heal(const NodeId& id) { partitioned_.erase(id); }
+  bool IsPartitioned(const NodeId& id) const { return partitioned_.count(id) != 0; }
+
+  // Deterministic targeted fault: silently drop the next `count` sends of
+  // `type` (independent of the probabilistic plan). Tests use this to lose
+  // one specific protocol message instead of rolling dice.
+  void DropNext(MessageType type, uint64_t count) {
+    drop_next_[static_cast<size_t>(type)] += count;
+  }
+
+  uint64_t in_flight() const { return in_flight_; }
+  uint64_t delivered() const { return delivered_; }
+
+ private:
+  double LatencyFor(const Message& msg) const;
+  bool ShouldDrop(const Message& msg);
+
+  EventQueue& queue_;
+  Options options_;
+  Rng rng_;
+  uint64_t in_flight_ = 0;
+  uint64_t delivered_ = 0;
+  std::unordered_set<NodeId, NodeIdHash> partitioned_;
+  std::array<uint64_t, kMessageTypeCount> drop_next_{};
+};
+
+}  // namespace past
+
+#endif  // SRC_NET_SIM_TRANSPORT_H_

@@ -1,0 +1,109 @@
+// Transport: the pluggable delivery layer under every PAST/Pastry protocol.
+//
+// The per-operation coordinators (src/past/ops/) express all node-to-node
+// interaction as typed Messages handed to a Transport; the transport decides
+// when (and whether) each message arrives. Two implementations:
+//
+//  * InlineTransport — immediate synchronous delivery. Bit-identical to the
+//    pre-fabric direct-call behavior and the default everywhere: the
+//    delivery continuation runs before Send() returns, no message is ever
+//    dropped, Settle() is a no-op.
+//
+//  * SimTransport (sim_transport.h) — delivery scheduled on the EventQueue
+//    at a latency computed from the LatencyModel and the message's route
+//    shape, with seeded fault injection (drop / duplicate / delay /
+//    partition).
+//
+// Delivery model: Send(msg, on_deliver) queues msg; `on_deliver` runs "at
+// msg.to" when the message arrives — possibly never (drop, partition),
+// possibly twice (duplication). Replies are just more Sends issued from
+// inside a delivery continuation. A coordinator drives an exchange with
+//   Send(...); transport.Settle(); then inspects which replies arrived —
+// a missing reply after Settle() IS the timeout signal, and triggers the
+// coordinator's rollback / retry path.
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <functional>
+
+#include "src/net/message.h"
+#include "src/net/transport_stats.h"
+#include "src/sim/event_queue.h"
+
+namespace past {
+
+// What a delivery continuation sees: the message plus when/how it arrived.
+struct Delivery {
+  const Message& message;
+  // Simulated one-way latency of this delivery in milliseconds (0 under
+  // InlineTransport). Chained exchanges sum these for end-to-end latency.
+  double latency_ms = 0.0;
+  // Virtual arrival time (0 under InlineTransport).
+  SimTime at = 0;
+};
+
+class Transport {
+ public:
+  using DeliverFn = std::function<void(const Delivery&)>;
+
+  // `stats` is shared with the overlay (PastryNetwork::stats()) so fabric
+  // sends and routing hops land in one ledger; must outlive the transport.
+  explicit Transport(TransportStats* stats) : stats_(stats) {}
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual void Send(const Message& msg, DeliverFn on_deliver) = 0;
+
+  // Drains all in-flight messages, including replies their deliveries
+  // trigger. After Settle() returns, any exchange whose reply has not
+  // arrived never will (it was dropped), so the sender may treat it as
+  // timed out.
+  virtual void Settle() {}
+
+  // Virtual clock (0 under InlineTransport).
+  virtual SimTime now() const { return 0; }
+
+  TransportStats& stats() { return *stats_; }
+  const TransportStats& stats() const { return *stats_; }
+
+ protected:
+  // One-stop accounting for a send: the per-type counter always, plus the
+  // legacy message/rpc tallies per the message's cost class.
+  void Account(const Message& msg) {
+    stats_->RecordSend(msg.type);
+    switch (msg.cost) {
+      case MessageCost::kNone:
+        break;
+      case MessageCost::kMessage:
+        stats_->RecordMessage(msg.payload_bytes);
+        break;
+      case MessageCost::kRpc:
+        stats_->RecordRpc();
+        break;
+    }
+  }
+
+  TransportStats* stats_;
+};
+
+// Immediate synchronous delivery: the continuation runs inside Send().
+// Control flow, side-effect order, and stats are exactly those of the
+// pre-fabric direct-call code.
+class InlineTransport : public Transport {
+ public:
+  using Transport::Transport;
+
+  void Send(const Message& msg, DeliverFn on_deliver) override {
+    Account(msg);
+    if (on_deliver) {
+      Delivery delivery{msg, 0.0, 0};
+      on_deliver(delivery);
+    }
+  }
+};
+
+}  // namespace past
+
+#endif  // SRC_NET_TRANSPORT_H_

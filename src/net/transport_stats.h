@@ -6,9 +6,11 @@
 #ifndef SRC_NET_TRANSPORT_STATS_H_
 #define SRC_NET_TRANSPORT_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
+#include "src/net/message.h"
 #include "src/obs/metrics.h"
 
 namespace past {
@@ -25,6 +27,14 @@ class TransportStats {
   }
   void RecordRpc() { ++rpcs_; }
 
+  // Per-type accounting for fabric sends; every Transport::Send lands here
+  // exactly once, independent of the legacy message/rpc classification.
+  void RecordSend(MessageType type) { ++sends_[static_cast<size_t>(type)]; }
+  // Fault-injection accounting (SimTransport only).
+  void RecordDrop() { ++dropped_; }
+  void RecordDuplicate() { ++duplicated_; }
+  void RecordDelay() { ++delayed_; }
+
   void Reset() { *this = TransportStats(); }
 
   uint64_t hops() const { return hops_; }
@@ -32,16 +42,44 @@ class TransportStats {
   uint64_t rpcs() const { return rpcs_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   double total_distance() const { return total_distance_; }
+  uint64_t sends(MessageType type) const { return sends_[static_cast<size_t>(type)]; }
+  uint64_t total_sends() const {
+    uint64_t total = 0;
+    for (uint64_t v : sends_) {
+      total += v;
+    }
+    return total;
+  }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t duplicated() const { return duplicated_; }
+  uint64_t delayed() const { return delayed_; }
 
   // Registers the current tallies in `snapshot` under `prefix` (e.g. "net."
   // → "net.hops"). Gauge semantics (Set, not Inc) keep the export idempotent
-  // so it can run on every snapshot.
+  // so it can run on every snapshot. Per-type send counters are exported
+  // only once any fabric message has flowed, keeping pre-fabric snapshots
+  // unchanged.
   void ExportTo(obs::MetricsSnapshot& snapshot, const std::string& prefix) const {
     snapshot.gauges[prefix + "hops"] = static_cast<double>(hops_);
     snapshot.gauges[prefix + "messages"] = static_cast<double>(messages_);
     snapshot.gauges[prefix + "rpcs"] = static_cast<double>(rpcs_);
     snapshot.gauges[prefix + "bytes_sent"] = static_cast<double>(bytes_sent_);
     snapshot.gauges[prefix + "distance_total"] = total_distance_;
+    for (size_t i = 0; i < kMessageTypeCount; ++i) {
+      if (sends_[i] != 0) {
+        snapshot.gauges[prefix + "msg." + MessageTypeName(static_cast<MessageType>(i))] =
+            static_cast<double>(sends_[i]);
+      }
+    }
+    if (dropped_ != 0) {
+      snapshot.gauges[prefix + "faults.dropped"] = static_cast<double>(dropped_);
+    }
+    if (duplicated_ != 0) {
+      snapshot.gauges[prefix + "faults.duplicated"] = static_cast<double>(duplicated_);
+    }
+    if (delayed_ != 0) {
+      snapshot.gauges[prefix + "faults.delayed"] = static_cast<double>(delayed_);
+    }
   }
 
  private:
@@ -50,6 +88,10 @@ class TransportStats {
   uint64_t rpcs_ = 0;
   uint64_t bytes_sent_ = 0;
   double total_distance_ = 0.0;
+  std::array<uint64_t, kMessageTypeCount> sends_{};
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t delayed_ = 0;
 };
 
 }  // namespace past

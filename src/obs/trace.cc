@@ -26,7 +26,9 @@ std::string OpTraceJson(const OpTrace& event) {
       << "\", \"status\": \"" << event.status << "\", \"size\": " << event.size
       << ", \"hops\": " << event.hops << ", \"distance\": " << event.distance
       << ", \"from_cache\": " << (event.from_cache ? "true" : "false")
-      << ", \"diverted\": " << (event.diverted ? "true" : "false") << "}";
+      << ", \"diverted\": " << (event.diverted ? "true" : "false")
+      << ", \"messages\": " << event.messages << ", \"latency_ms\": " << event.latency_ms
+      << "}";
   return out.str();
 }
 

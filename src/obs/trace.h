@@ -38,6 +38,11 @@ struct OpTrace {
   double distance = 0.0;  // proximity distance traversed
   bool from_cache = false;
   bool diverted = false;  // replica diversion (insert) / pointer hop (lookup)
+  // Message-fabric view of the op: protocol messages put on the transport
+  // and the simulated end-to-end latency they accumulated (0 under
+  // InlineTransport).
+  uint64_t messages = 0;
+  double latency_ms = 0.0;
 };
 
 // One OpTrace rendered as a single-line JSON object (no trailing newline).

@@ -1,0 +1,29 @@
+// InsertOp: the distributed insert protocol (paper sections 2.2, 3.3) as a
+// transport-speaking coordinator.
+//
+// Wire shape: the insert request rides the Pastry route to the root; the
+// root sends one kStoreReplica per member of the k closest; a member that
+// cannot accept issues a kDivertRequest into its leaf set and, on success,
+// a kInstallPointer to the witness; every store exchange ends with an
+// kAck (positive or negative) back to the root. A lost message surfaces as
+// a missing ack after Settle() — the attempt rolls back and returns
+// kTimeout, which the client's re-salt retry path handles exactly like a
+// negative ack.
+#ifndef SRC_PAST_OPS_INSERT_OP_H_
+#define SRC_PAST_OPS_INSERT_OP_H_
+
+#include "src/past/ops/op_base.h"
+
+namespace past {
+
+class InsertOp : public OpBase {
+ public:
+  explicit InsertOp(PastNetwork& net) : OpBase(net) {}
+
+  InsertResult Run(const NodeId& origin, const FileCertificate& certificate, uint64_t size,
+                   FileContentRef content);
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_OPS_INSERT_OP_H_

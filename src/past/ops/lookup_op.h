@@ -1,0 +1,26 @@
+// LookupOp: the lookup protocol (paper sections 2.2, 3.3, 4) as a
+// transport-speaking coordinator.
+//
+// Locating the file reuses Pastry routing (with the replica/cache stop
+// predicate, the diversion-pointer hop, and the k-closest probe fallback);
+// the fetch itself is then a two-message exchange on the fabric: a
+// kLookupRequest riding the located route, and a kFetchReply carrying the
+// file bytes straight back to the origin. Either message lost in transit
+// surfaces as LookupStatus::kTimeout.
+#ifndef SRC_PAST_OPS_LOOKUP_OP_H_
+#define SRC_PAST_OPS_LOOKUP_OP_H_
+
+#include "src/past/ops/op_base.h"
+
+namespace past {
+
+class LookupOp : public OpBase {
+ public:
+  explicit LookupOp(PastNetwork& net) : OpBase(net) {}
+
+  LookupResult Run(const NodeId& origin, const FileId& file_id);
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_OPS_LOOKUP_OP_H_

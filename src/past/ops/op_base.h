@@ -1,0 +1,67 @@
+// Shared machinery for the per-operation protocol coordinators.
+//
+// Each coordinator (InsertOp, LookupOp, ReclaimOp, RepairOp) owns one
+// client-visible operation end to end and expresses every node-to-node
+// interaction as a typed Message handed to the network's Transport. The
+// coordinator never touches remote state directly from its own frame:
+// remote reads/writes happen inside delivery continuations, which run "at"
+// the destination node when (if) the message arrives. Exchanges are driven
+// with Send(...) + transport.Settle(); a reply that has not arrived after
+// Settle() was dropped, and the coordinator treats the exchange as timed
+// out.
+//
+// Lifetime rule for continuations: any state a continuation captures by
+// reference must outlive Settle() — declare per-exchange flags in the
+// coordinator's frame (or the loop iteration driving the exchange), never
+// inside another continuation.
+#ifndef SRC_PAST_OPS_OP_BASE_H_
+#define SRC_PAST_OPS_OP_BASE_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/net/transport.h"
+#include "src/past/past_network.h"
+
+namespace past {
+
+class OpBase {
+ protected:
+  explicit OpBase(PastNetwork& net) : net_(net), transport_(net.transport()) {}
+
+  // Builds a direct (one-hop) message between two nodes, with the proximity
+  // distance looked up from the emulated topology. Endpoints that have left
+  // the topology (failed nodes) get distance 0 — the message is normally
+  // dropped or ignored anyway.
+  Message Direct(MessageType type, const NodeId& from, const NodeId& to, const FileId& file,
+                 uint64_t payload_bytes, MessageCost cost) {
+    Message msg;
+    msg.type = type;
+    msg.from = from;
+    msg.to = to;
+    msg.file = file;
+    msg.payload_bytes = payload_bytes;
+    msg.hops = 1;
+    Topology& topo = net_.pastry_.topology();
+    msg.distance = (topo.Contains(from) && topo.Contains(to)) ? topo.Distance(from, to) : 0.0;
+    msg.cost = cost;
+    return msg;
+  }
+
+  // Counted send: every message this op puts on the fabric (including
+  // replies issued from continuations) lands in messages_, which the op
+  // reports in its trace record.
+  void Send(const Message& msg, Transport::DeliverFn on_deliver) {
+    ++messages_;
+    transport_.Send(msg, std::move(on_deliver));
+  }
+
+  PastNetwork& net_;
+  Transport& transport_;
+  uint64_t messages_ = 0;    // fabric sends issued by this op
+  double latency_ms_ = 0.0;  // simulated end-to-end latency on the client path
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_OPS_OP_BASE_H_

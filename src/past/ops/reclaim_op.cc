@@ -1,0 +1,154 @@
+#include "src/past/ops/reclaim_op.h"
+
+#include <utility>
+#include <vector>
+
+namespace past {
+
+ReclaimResult ReclaimOp::Run(const NodeId& origin, const ReclaimCertificate& certificate) {
+  ReclaimResult result;
+  const FileId& file_id = certificate.file_id;
+  NodeId key = file_id.ToRoutingKey();
+  size_t k = net_.config_.k;
+
+  obs::OpTrace trace;
+  trace.kind = obs::TraceOpKind::kReclaim;
+  trace.file_id = file_id.ToHex();
+  net_.metrics_.GetCounter("past.reclaim.requests").Inc();
+  auto finish = [&](ReclaimStatus status) {
+    result.status = status;
+    if (status == ReclaimStatus::kReclaimed) {
+      net_.metrics_.GetCounter("past.reclaim.reclaimed").Inc();
+      net_.metrics_.GetCounter("past.reclaim.bytes").Inc(result.bytes_reclaimed);
+    }
+    trace.status = ToString(status);
+    trace.size = result.bytes_reclaimed;
+    trace.messages = messages_;
+    trace.latency_ms = latency_ms_;
+    net_.EmitTrace(std::move(trace));
+    return result;
+  };
+
+  if (!certificate.VerifySignature()) {
+    return finish(ReclaimStatus::kBadCertificate);
+  }
+
+  RouteResult route = net_.pastry_.Route(
+      origin, key, [&](const NodeId& n) { return net_.IsAmongKClosest(n, key, k); });
+  NodeId root = route.destination();
+  trace.node = root.ToHex();
+  trace.hops = route.hops();
+
+  // The reclaim certificate rides the route to the root. If it is lost the
+  // operation observes nothing stored — the owner retries.
+  bool request_arrived = false;
+  {
+    Message request;
+    request.type = MessageType::kReclaimRequest;
+    request.from = origin;
+    request.to = root;
+    request.file = file_id;
+    request.payload_bytes = 0;
+    request.hops = route.hops();
+    request.distance = route.distance;
+    request.cost = MessageCost::kNone;
+    Send(request, [&](const Delivery& d) {
+      if (request_arrived) {
+        return;
+      }
+      request_arrived = true;
+      latency_ms_ += d.latency_ms;
+    });
+  }
+  transport_.Settle();
+  if (!request_arrived) {
+    return finish(ReclaimStatus::kNotFound);
+  }
+
+  std::vector<NodeId> k_plus_one = net_.KClosestFromLeafSet(root, key, k + 1);
+
+  bool owner_mismatch = false;
+  auto reclaim_at = [&](const NodeId& node_id) {
+    PastNode* pn = net_.storage_node(node_id);
+    if (pn == nullptr) {
+      return;
+    }
+    const ReplicaEntry* entry = pn->store().GetReplica(file_id);
+    if (entry != nullptr) {
+      // Only the file's legitimate owner may reclaim it.
+      if (!(entry->certificate->owner == certificate.owner)) {
+        owner_mismatch = true;
+        return;
+      }
+      uint64_t size = entry->size;
+      bool diverted = entry->kind == ReplicaKind::kDiverted;
+      pn->RemoveReplica(file_id);
+      net_.total_stored_ -= size;
+      net_.ins_.replicas_stored->Sub(1);
+      if (diverted) {
+        net_.ins_.replicas_diverted->Sub(1);
+      }
+      ++result.replicas_reclaimed;
+      result.bytes_reclaimed += size;
+      result.receipts.push_back(pn->MakeReclaimReceipt(file_id, size));
+    }
+  };
+
+  for (const NodeId& t : k_plus_one) {
+    if (net_.storage_node(t) == nullptr) {
+      continue;
+    }
+    // Per-exchange state: alive until Settle() below.
+    bool handled = false;
+    bool holder_handled = false;
+    bool ack_seen = false;
+
+    Send(Direct(MessageType::kReclaimRequest, root, t, file_id, 0, MessageCost::kNone),
+         [&](const Delivery& d) {
+           if (handled) {
+             return;
+           }
+           handled = true;
+           latency_ms_ += d.latency_ms;
+           PastNode* pn = net_.storage_node(t);
+           if (pn == nullptr) {
+             return;
+           }
+           // Follow diverter pointers to the actual replica holder first.
+           const DiversionPointer* ptr = pn->store().GetPointer(file_id);
+           if (ptr != nullptr) {
+             if (ptr->role == PointerRole::kDiverter && net_.pastry_.IsAlive(ptr->holder)) {
+               NodeId holder = ptr->holder;
+               Send(Direct(MessageType::kReclaimRequest, t, holder, file_id, 0,
+                           MessageCost::kNone),
+                    [&, holder](const Delivery& dh) {
+                      if (holder_handled) {
+                        return;
+                      }
+                      holder_handled = true;
+                      latency_ms_ += dh.latency_ms;
+                      reclaim_at(holder);
+                    });
+             }
+             pn->store().RemovePointer(file_id);
+           }
+           reclaim_at(t);
+           Send(Direct(MessageType::kAck, t, root, file_id, 0, MessageCost::kNone),
+                [&](const Delivery& da) {
+                  if (ack_seen) {
+                    return;
+                  }
+                  ack_seen = true;
+                  latency_ms_ += da.latency_ms;
+                });
+         });
+    transport_.Settle();
+  }
+  if (owner_mismatch) {
+    return finish(ReclaimStatus::kNotOwner);
+  }
+  return finish(result.replicas_reclaimed > 0 ? ReclaimStatus::kReclaimed
+                                              : ReclaimStatus::kNotFound);
+}
+
+}  // namespace past

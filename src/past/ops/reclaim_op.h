@@ -1,0 +1,26 @@
+// ReclaimOp: the reclaim protocol (paper section 2.2) as a
+// transport-speaking coordinator.
+//
+// The reclaim certificate rides the route to the root; the root then sends
+// one kReclaimRequest to each of the k+1 closest nodes. A node holding a
+// diverter pointer forwards the request to the actual replica holder before
+// dropping the pointer; each node acks the root. Lost messages simply leave
+// that node's replica in place — the next reclaim or maintenance round
+// retires it.
+#ifndef SRC_PAST_OPS_RECLAIM_OP_H_
+#define SRC_PAST_OPS_RECLAIM_OP_H_
+
+#include "src/past/ops/op_base.h"
+
+namespace past {
+
+class ReclaimOp : public OpBase {
+ public:
+  explicit ReclaimOp(PastNetwork& net) : OpBase(net) {}
+
+  ReclaimResult Run(const NodeId& origin, const ReclaimCertificate& certificate);
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_OPS_RECLAIM_OP_H_

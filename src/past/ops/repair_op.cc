@@ -1,0 +1,245 @@
+#include "src/past/ops/repair_op.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+namespace past {
+
+void RepairOp::RestoreInvariants(const std::vector<NodeId>& region) {
+  std::unordered_set<FileId, FileIdHash> files;
+  for (const NodeId& id : region) {
+    const PastNode* pn = net_.storage_node(id);
+    if (pn == nullptr) {
+      continue;
+    }
+    for (const auto& [f, entry] : pn->store().replicas()) {
+      (void)entry;
+      files.insert(f);
+    }
+    for (const auto& [f, ptr] : pn->store().pointers()) {
+      (void)ptr;
+      files.insert(f);
+    }
+  }
+  for (const FileId& f : files) {
+    RepairFile(f);
+  }
+}
+
+void RepairOp::RepairFile(const FileId& file_id) {
+  NodeId key = file_id.ToRoutingKey();
+  NodeId root = net_.pastry_.ClosestLive(key);
+  const PastryNode* root_node = net_.pastry_.node(root);
+  if (root_node == nullptr) {
+    return;
+  }
+  std::vector<NodeId> k_closest = net_.KClosestFromLeafSet(root, key, net_.config_.k);
+
+  // Discover live replica holders in the neighborhood: the k closest, the
+  // root's wider leaf set (nodes that recently ceased to be among the k
+  // closest may still hold replicas), and pointer targets.
+  std::vector<NodeId> holders;
+  auto add_holder = [&](const NodeId& n) {
+    if (!net_.pastry_.IsAlive(n)) {
+      return;
+    }
+    const PastNode* pn = net_.storage_node(n);
+    if (pn != nullptr && pn->store().HasReplica(file_id) &&
+        std::find(holders.begin(), holders.end(), n) == holders.end()) {
+      holders.push_back(n);
+    }
+  };
+  for (const NodeId& n : k_closest) {
+    add_holder(n);
+  }
+  for (const NodeId& n : root_node->leaf_set().All()) {
+    add_holder(n);
+  }
+  for (const NodeId& n : k_closest) {
+    const PastNode* pn = net_.storage_node(n);
+    if (pn != nullptr) {
+      const DiversionPointer* ptr = pn->store().GetPointer(file_id);
+      if (ptr != nullptr) {
+        add_holder(ptr->holder);
+      }
+    }
+  }
+
+  if (holders.empty()) {
+    // All k replicas (and any diverted copies) vanished inside one recovery
+    // period — the file is lost. Drop dangling pointers.
+    net_.ins_.files_lost->Inc();
+    obs::OpTrace lost;
+    lost.kind = obs::TraceOpKind::kMaintenance;
+    lost.file_id = file_id.ToHex();
+    lost.status = "file_lost";
+    net_.EmitTrace(std::move(lost));
+    for (const NodeId& n : k_closest) {
+      PastNode* pn = net_.storage_node(n);
+      if (pn != nullptr) {
+        pn->store().RemovePointer(file_id);
+      }
+    }
+    return;
+  }
+
+  const ReplicaEntry* sample = net_.storage_node(holders.front())->store().GetReplica(file_id);
+  uint64_t size = sample->size;
+  FileCertificateRef certificate = sample->certificate;
+  FileContentRef content = sample->content;
+  // The holder that pushes replica data to repair targets.
+  NodeId source = holders.front();
+
+  // Pushes the replica from `source` to `t` as a primary copy; returns true
+  // if `t` accepted and stored it (false on decline or a dropped message).
+  auto push_replica = [&](const NodeId& t) {
+    bool stored = false;
+    bool push_handled = false;
+    Send(Direct(MessageType::kRepairStore, source, t, file_id, size, MessageCost::kNone),
+         [&, t](const Delivery&) {
+           if (push_handled) {
+             return;
+           }
+           push_handled = true;
+           PastNode* pn = net_.storage_node(t);
+           if (pn != nullptr && pn->WouldAcceptPrimary(size) &&
+               pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate, content)) {
+             net_.total_stored_ += size;
+             net_.ins_.replicas_stored->Add(1);
+             net_.ins_.replicas_recreated->Inc();
+             stored = true;
+           }
+         });
+    transport_.Settle();
+    return stored;
+  };
+
+  // Instructs `t` to install a diversion pointer at `target`.
+  auto install_pointer = [&](const NodeId& t, const NodeId& target, bool count_metric) {
+    bool ptr_handled = false;
+    Send(Direct(MessageType::kRepairPointer, root, t, file_id, 0, MessageCost::kNone),
+         [&, t, target, count_metric](const Delivery&) {
+           if (ptr_handled) {
+             return;
+           }
+           ptr_handled = true;
+           PastNode* pn = net_.storage_node(t);
+           if (pn != nullptr) {
+             pn->store().InstallPointer(file_id, target, PointerRole::kDiverter, size);
+             if (count_metric) {
+               net_.ins_.maintenance_pointers->Inc();
+             }
+           }
+         });
+    transport_.Settle();
+  };
+
+  // Pass 1: every one of the k closest must hold the replica or a valid
+  // pointer to a live holder.
+  for (const NodeId& t : k_closest) {
+    PastNode* pn = net_.storage_node(t);
+    if (pn == nullptr) {
+      continue;
+    }
+    if (pn->store().HasReplica(file_id)) {
+      continue;
+    }
+    const DiversionPointer* ptr = pn->store().GetPointer(file_id);
+    if (ptr != nullptr) {
+      bool valid = net_.pastry_.IsAlive(ptr->holder) &&
+                   net_.storage_node(ptr->holder) != nullptr &&
+                   net_.storage_node(ptr->holder)->store().HasReplica(file_id);
+      if (valid) {
+        continue;
+      }
+      pn->store().RemovePointer(file_id);
+    }
+    // Prefer acquiring a real replica; otherwise install a pointer to an
+    // existing holder (semantically identical to replica diversion, paper
+    // section 3.5: the joining node installs a pointer and migrates later).
+    if (push_replica(t)) {
+      if (std::find(holders.begin(), holders.end(), t) == holders.end()) {
+        holders.push_back(t);
+      }
+      continue;
+    }
+    // Point at a holder outside the k closest if possible (that holder plays
+    // the diverted-replica role), else at any holder.
+    NodeId target = holders.front();
+    for (const NodeId& h : holders) {
+      if (std::find(k_closest.begin(), k_closest.end(), h) == k_closest.end()) {
+        target = h;
+        break;
+      }
+    }
+    install_pointer(t, target, /*count_metric=*/true);
+  }
+
+  // Pass 2: restore the replication level to k when space allows. First try
+  // k-closest members without a replica, then diversion into their leaf sets.
+  uint32_t live = static_cast<uint32_t>(holders.size());
+  if (live >= net_.config_.k) {
+    return;
+  }
+  for (const NodeId& t : k_closest) {
+    if (live >= net_.config_.k) {
+      break;
+    }
+    PastNode* pn = net_.storage_node(t);
+    if (pn == nullptr || pn->store().HasReplica(file_id)) {
+      continue;
+    }
+    if (push_replica(t)) {
+      PastNode* stored_node = net_.storage_node(t);
+      if (stored_node != nullptr) {
+        stored_node->store().RemovePointer(file_id);
+      }
+      ++live;
+      holders.push_back(t);
+    }
+  }
+  for (const NodeId& t : k_closest) {
+    if (live >= net_.config_.k) {
+      break;
+    }
+    PastNode* pn = net_.storage_node(t);
+    if (pn == nullptr || pn->store().HasReplica(file_id)) {
+      continue;
+    }
+    std::optional<NodeId> target = net_.ChooseDiversionTarget(t, k_closest, file_id, size);
+    if (!target) {
+      continue;
+    }
+    // Diverted re-creation: push the data to the leaf-set member, then have
+    // the k-closest node point at it.
+    bool stored_at_b = false;
+    bool push_handled = false;
+    Send(Direct(MessageType::kRepairStore, source, *target, file_id, size, MessageCost::kNone),
+         [&](const Delivery&) {
+           if (push_handled) {
+             return;
+           }
+           push_handled = true;
+           PastNode* b = net_.storage_node(*target);
+           if (b != nullptr && b->WouldAcceptDiverted(size) &&
+               b->StoreReplica(file_id, ReplicaKind::kDiverted, size, certificate, content)) {
+             net_.total_stored_ += size;
+             net_.ins_.replicas_stored->Add(1);
+             net_.ins_.replicas_diverted->Add(1);
+             net_.ins_.replicas_recreated->Inc();
+             stored_at_b = true;
+           }
+         });
+    transport_.Settle();
+    if (!stored_at_b) {
+      continue;
+    }
+    install_pointer(t, *target, /*count_metric=*/false);
+    ++live;
+    holders.push_back(*target);
+  }
+}
+
+}  // namespace past

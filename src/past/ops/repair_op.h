@@ -1,0 +1,37 @@
+// RepairOp: replica maintenance (paper section 3.5) as a transport-speaking
+// coordinator.
+//
+// Discovery (which nodes still hold replicas, which pointers are stale) is
+// scan-based, like the pre-fabric code — the keep-alive exchange already
+// carries that information for free in the paper's design. State-changing
+// steps go over the fabric: replica re-creation is a kRepairStore pushed
+// from a surviving holder, replacement diversion pointers are installed by
+// a kRepairPointer from the repair coordinator. A lost repair message
+// leaves the invariant unrestored for this round; the next membership event
+// or keep-alive round retries.
+#ifndef SRC_PAST_OPS_REPAIR_OP_H_
+#define SRC_PAST_OPS_REPAIR_OP_H_
+
+#include <vector>
+
+#include "src/past/ops/op_base.h"
+
+namespace past {
+
+class RepairOp : public OpBase {
+ public:
+  explicit RepairOp(PastNetwork& net) : OpBase(net) {}
+
+  // Re-examines every file tracked by the nodes in `region` (paper: nodes
+  // adjust replicas when their leaf set changes).
+  void RestoreInvariants(const std::vector<NodeId>& region);
+
+  // Restores the storage invariant for one file: each of the k closest
+  // holds a replica or a pointer to a live holder, and the replication
+  // level is brought back to k when space allows.
+  void RepairFile(const FileId& file_id);
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_OPS_REPAIR_OP_H_

@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/past/ops/insert_op.h"
+#include "src/past/ops/lookup_op.h"
+#include "src/past/ops/reclaim_op.h"
+#include "src/past/ops/repair_op.h"
 
 namespace past {
 
 PastNetwork::PastNetwork(const PastConfig& config, const PastryConfig& pastry_config,
                          uint64_t seed)
     : config_(config), pastry_config_(pastry_config), pastry_(pastry_config, seed),
-      rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+      rng_(seed ^ 0x9e3779b97f4a7c15ULL),
+      transport_(std::make_unique<InlineTransport>(&pastry_.stats())) {
   pastry_.AddObserver(this);
   ins_.insert_attempts = &metrics_.GetCounter("past.insert.attempts");
   ins_.insert_failures = &metrics_.GetCounter("past.insert.failures");
@@ -29,6 +35,22 @@ PastNetwork::PastNetwork(const PastConfig& config, const PastryConfig& pastry_co
   ins_.lookup_hops = &metrics_.GetHistogram("past.lookup.hops", obs::HopBuckets());
   ins_.lookup_distance =
       &metrics_.GetHistogram("past.lookup.distance", obs::DistanceBuckets());
+}
+
+void PastNetwork::set_transport(std::unique_ptr<Transport> transport) {
+  if (transport == nullptr) {
+    transport_ = std::make_unique<InlineTransport>(&pastry_.stats());
+    return;
+  }
+  transport_ = std::move(transport);
+}
+
+SimTransport& PastNetwork::UseSimTransport(EventQueue& queue,
+                                           const SimTransport::Options& options) {
+  auto sim = std::make_unique<SimTransport>(queue, options, &pastry_.stats());
+  SimTransport& ref = *sim;
+  transport_ = std::move(sim);
+  return ref;
 }
 
 void PastNetwork::EmitTrace(obs::OpTrace event) {
@@ -323,335 +345,15 @@ void PastNetwork::CacheAlongPath(const std::vector<NodeId>& path, const FileId& 
 
 InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& certificate,
                                  uint64_t size, FileContentRef content) {
-  InsertResult result;
-  ins_.insert_attempts->Inc();
-  ins_.insert_size->Observe(static_cast<double>(size));
-
-  const FileId& file_id = certificate.file_id;
-  NodeId key = file_id.ToRoutingKey();
-  size_t k = config_.k;
-
-  // One trace record per attempt, emitted on every exit path.
-  obs::OpTrace trace;
-  trace.kind = obs::TraceOpKind::kInsert;
-  trace.file_id = file_id.ToHex();
-  trace.size = size;
-  auto finish = [&](InsertStatus status) {
-    result.status = status;
-    if (status != InsertStatus::kStored) {
-      ins_.insert_failures->Inc();
-    }
-    ins_.insert_hops->Observe(static_cast<double>(result.route_hops));
-    trace.status = ToString(status);
-    trace.hops = result.route_hops;
-    trace.diverted = result.replicas_diverted > 0;
-    EmitTrace(std::move(trace));
-    return result;
-  };
-
-  // Route toward the fileId; the first node that finds itself among the k
-  // numerically closest takes responsibility (paper section 2.2).
-  RouteResult route = pastry_.Route(
-      origin, key, [&](const NodeId& n) { return IsAmongKClosest(n, key, k); });
-  result.route_hops = route.hops();
-  NodeId root = route.destination();
-  trace.node = root.ToHex();
-
-  // A malicious node swallowed the request: the attempt fails and the
-  // client's re-salted retry takes a different route (section 2.3).
-  if (!route.delivered) {
-    return finish(InsertStatus::kNoSpace);
-  }
-
-  // The root verifies the file certificate — and, when the bytes travel with
-  // the request, recomputes the content hash — before accepting
-  // responsibility (paper section 2.2).
-  if (!certificate.VerifySignature() ||
-      (content != nullptr && !certificate.VerifyContent(*content))) {
-    return finish(InsertStatus::kBadCertificate);
-  }
-
-  std::vector<NodeId> k_closest = KClosestFromLeafSet(root, key, k);
-  if (k_closest.empty()) {
-    return finish(InsertStatus::kNoSpace);
-  }
-
-  // fileId collision: a file with this id already exists — reject the later
-  // insert (paper section 2).
-  for (const NodeId& t : k_closest) {
-    const PastNode* pn = storage_node(t);
-    if (pn != nullptr &&
-        (pn->store().HasReplica(file_id) || pn->store().GetPointer(file_id) != nullptr)) {
-      return finish(InsertStatus::kDuplicateFileId);
-    }
-  }
-
-  // The witness node C: the (k+1)-th closest, which shadows diversion
-  // pointers so that the diverting node A is not a single point of failure.
-  std::vector<NodeId> k_plus_one = KClosestFromLeafSet(root, key, k + 1);
-  std::optional<NodeId> witness;
-  if (k_plus_one.size() == k + 1) {
-    witness = k_plus_one.back();
-  }
-
-  FileCertificateRef cert_ref = std::make_shared<const FileCertificate>(certificate);
-  std::vector<PendingStore> created;
-  for (const NodeId& t : k_closest) {
-    PastNode* pn = storage_node(t);
-    if (pn == nullptr) {
-      continue;
-    }
-    pastry_.stats().RecordMessage(size);
-
-    if (pn->WouldAcceptPrimary(size) &&
-        pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, cert_ref, content)) {
-      created.push_back({t, /*is_pointer=*/false});
-      total_stored_ += size;
-      ins_.replicas_stored->Add(1);
-      ++result.replicas_stored;
-      result.receipts.push_back(pn->MakeStoreReceipt(file_id));
-      continue;
-    }
-
-    if (config_.enable_replica_diversion) {
-      std::optional<NodeId> target = ChooseDiversionTarget(t, k_closest, file_id, size);
-      if (target) {
-        PastNode* b = storage_node(*target);
-        pastry_.stats().RecordRpc();
-        if (b != nullptr && b->WouldAcceptDiverted(size) &&
-            b->StoreReplica(file_id, ReplicaKind::kDiverted, size, cert_ref, content)) {
-          created.push_back({*target, /*is_pointer=*/false});
-          total_stored_ += size;
-          ins_.replicas_stored->Add(1);
-          ins_.replicas_diverted->Add(1);
-          ++result.replicas_stored;
-          ++result.replicas_diverted;
-          // Node A keeps a pointer to B and issues the store receipt as
-          // usual; node C shadows the pointer.
-          pn->store().InstallPointer(file_id, *target, PointerRole::kDiverter, size);
-          created.push_back({t, /*is_pointer=*/true});
-          if (witness) {
-            PastNode* c = storage_node(*witness);
-            if (c != nullptr) {
-              pastry_.stats().RecordRpc();
-              c->store().InstallPointer(file_id, *target, PointerRole::kWitness, size);
-              created.push_back({*witness, /*is_pointer=*/true});
-            }
-          }
-          result.receipts.push_back(pn->MakeStoreReceipt(file_id));
-          continue;
-        }
-      }
-    }
-
-    // This primary declined and its chosen diversion target declined too:
-    // the entire file is diverted — replicas stored so far are discarded and
-    // a negative ack goes back to the client (paper section 3.3.1).
-    RollbackInsert(file_id, created);
-    result.replicas_stored = 0;
-    result.replicas_diverted = 0;
-    result.receipts.clear();
-    return finish(InsertStatus::kNoSpace);
-  }
-
-  any_file_inserted_ = true;
-  CacheAlongPath(route.path, file_id, size, content);
-  return finish(InsertStatus::kStored);
+  return InsertOp(*this).Run(origin, certificate, size, std::move(content));
 }
 
 LookupResult PastNetwork::Lookup(const NodeId& origin, const FileId& file_id) {
-  LookupResult result;
-  ins_.lookups->Inc();
-  NodeId key = file_id.ToRoutingKey();
-
-  obs::OpTrace trace;
-  trace.kind = obs::TraceOpKind::kLookup;
-  trace.file_id = file_id.ToHex();
-  auto finish = [&]() {
-    trace.status = ToString(result.status);
-    trace.node = result.served_by.ToHex();
-    trace.size = result.file_size;
-    trace.hops = result.hops;
-    trace.distance = result.distance;
-    trace.from_cache = result.served_from_cache;
-    trace.diverted = result.via_diversion_pointer;
-    EmitTrace(std::move(trace));
-    return result;
-  };
-
-  NodeId served;
-  bool from_cache = false;
-  auto stop = [&](const NodeId& n) {
-    PastNode* pn = storage_node(n);
-    if (pn == nullptr) {
-      return false;
-    }
-    if (pn->store().HasReplica(file_id)) {
-      served = n;
-      from_cache = false;
-      return true;
-    }
-    if (pn->cache() != nullptr && pn->cache()->Lookup(file_id)) {
-      served = n;
-      from_cache = true;
-      return true;
-    }
-    return false;
-  };
-
-  RouteResult route = pastry_.Route(origin, key, stop);
-  result.hops = route.hops();
-  result.distance = route.distance;
-  if (!route.delivered) {
-    return finish();  // swallowed by a malicious node: lookup fails, retry
-  }
-  bool found = route.stopped_early;
-
-  if (!found && !route.path.empty()) {
-    // The route ended at the numerically closest node without finding a
-    // replica en route; a diverted replica is reachable through its pointer
-    // at the cost of one extra hop (paper section 3.3).
-    NodeId dest = route.destination();
-    PastNode* pn = storage_node(dest);
-    const DiversionPointer* ptr = pn == nullptr ? nullptr : pn->store().GetPointer(file_id);
-    if (ptr != nullptr && pastry_.IsAlive(ptr->holder)) {
-      PastNode* holder = storage_node(ptr->holder);
-      if (holder != nullptr && holder->store().HasReplica(file_id)) {
-        served = ptr->holder;
-        from_cache = false;
-        found = true;
-        result.via_diversion_pointer = true;
-        ins_.lookup_pointer_hops->Inc();
-        double d = pastry_.topology().Distance(dest, ptr->holder);
-        pastry_.stats().RecordHop(d);
-        result.hops += 1;
-        result.distance += d;
-      }
-    }
-    if (!found) {
-      // Rare: routing terminated at a node that is not tracking the file
-      // (e.g. stale leaf set right after churn). Probe the k closest.
-      for (const NodeId& t : KClosestFromLeafSet(dest, key, config_.k)) {
-        PastNode* candidate = storage_node(t);
-        if (candidate != nullptr && candidate->store().HasReplica(file_id)) {
-          served = t;
-          found = true;
-          double d = pastry_.topology().Distance(dest, t);
-          pastry_.stats().RecordHop(d);
-          result.hops += 1;
-          result.distance += d;
-          break;
-        }
-      }
-    }
-  }
-
-  if (!found) {
-    return finish();
-  }
-
-  result.status = LookupStatus::kFound;
-  result.served_from_cache = from_cache;
-  result.served_by = served;
-  PastNode* server = storage_node(served);
-  if (from_cache) {
-    result.file_size = server->cache()->SizeOf(file_id).value_or(0);
-    result.content = server->cache()->ContentOf(file_id);
-  } else {
-    const ReplicaEntry* entry = server->store().GetReplica(file_id);
-    result.file_size = entry == nullptr ? 0 : entry->size;
-    result.content = entry == nullptr ? nullptr : entry->content;
-  }
-  ins_.lookups_found->Inc();
-  if (from_cache) {
-    ins_.lookups_from_cache->Inc();
-  }
-  ins_.lookup_hops->Observe(static_cast<double>(result.hops));
-  ins_.lookup_distance->Observe(result.distance);
-  CacheAlongPath(route.path, file_id, result.file_size, result.content);
-  return finish();
+  return LookupOp(*this).Run(origin, file_id);
 }
 
 ReclaimResult PastNetwork::Reclaim(const NodeId& origin, const ReclaimCertificate& certificate) {
-  ReclaimResult result;
-  const FileId& file_id = certificate.file_id;
-  NodeId key = file_id.ToRoutingKey();
-  size_t k = config_.k;
-
-  obs::OpTrace trace;
-  trace.kind = obs::TraceOpKind::kReclaim;
-  trace.file_id = file_id.ToHex();
-  metrics_.GetCounter("past.reclaim.requests").Inc();
-  auto finish = [&](ReclaimStatus status) {
-    result.status = status;
-    if (status == ReclaimStatus::kReclaimed) {
-      metrics_.GetCounter("past.reclaim.reclaimed").Inc();
-      metrics_.GetCounter("past.reclaim.bytes").Inc(result.bytes_reclaimed);
-    }
-    trace.status = ToString(status);
-    trace.size = result.bytes_reclaimed;
-    EmitTrace(std::move(trace));
-    return result;
-  };
-
-  if (!certificate.VerifySignature()) {
-    return finish(ReclaimStatus::kBadCertificate);
-  }
-
-  RouteResult route = pastry_.Route(
-      origin, key, [&](const NodeId& n) { return IsAmongKClosest(n, key, k); });
-  NodeId root = route.destination();
-  trace.node = root.ToHex();
-  trace.hops = route.hops();
-  std::vector<NodeId> k_plus_one = KClosestFromLeafSet(root, key, k + 1);
-
-  bool owner_mismatch = false;
-  auto reclaim_at = [&](const NodeId& node_id) {
-    PastNode* pn = storage_node(node_id);
-    if (pn == nullptr) {
-      return;
-    }
-    const ReplicaEntry* entry = pn->store().GetReplica(file_id);
-    if (entry != nullptr) {
-      // Only the file's legitimate owner may reclaim it.
-      if (!(entry->certificate->owner == certificate.owner)) {
-        owner_mismatch = true;
-        return;
-      }
-      uint64_t size = entry->size;
-      bool diverted = entry->kind == ReplicaKind::kDiverted;
-      pn->RemoveReplica(file_id);
-      total_stored_ -= size;
-      ins_.replicas_stored->Sub(1);
-      if (diverted) {
-        ins_.replicas_diverted->Sub(1);
-      }
-      ++result.replicas_reclaimed;
-      result.bytes_reclaimed += size;
-      result.receipts.push_back(pn->MakeReclaimReceipt(file_id, size));
-    }
-  };
-
-  for (const NodeId& t : k_plus_one) {
-    PastNode* pn = storage_node(t);
-    if (pn == nullptr) {
-      continue;
-    }
-    // Follow diverter pointers to the actual replica holders first.
-    const DiversionPointer* ptr = pn->store().GetPointer(file_id);
-    if (ptr != nullptr) {
-      if (ptr->role == PointerRole::kDiverter && pastry_.IsAlive(ptr->holder)) {
-        reclaim_at(ptr->holder);
-      }
-      pn->store().RemovePointer(file_id);
-    }
-    reclaim_at(t);
-  }
-  if (owner_mismatch) {
-    return finish(ReclaimStatus::kNotOwner);
-  }
-  return finish(result.replicas_reclaimed > 0 ? ReclaimStatus::kReclaimed
-                                              : ReclaimStatus::kNotFound);
+  return ReclaimOp(*this).Run(origin, certificate);
 }
 
 double PastNetwork::utilization() const {
@@ -743,181 +445,11 @@ void PastNetwork::OnNodeFailed(const NodeId& id) {
 }
 
 void PastNetwork::RestoreInvariants(const std::vector<NodeId>& region) {
-  std::unordered_set<FileId, FileIdHash> files;
-  for (const NodeId& id : region) {
-    const PastNode* pn = storage_node(id);
-    if (pn == nullptr) {
-      continue;
-    }
-    for (const auto& [f, entry] : pn->store().replicas()) {
-      (void)entry;
-      files.insert(f);
-    }
-    for (const auto& [f, ptr] : pn->store().pointers()) {
-      (void)ptr;
-      files.insert(f);
-    }
-  }
-  for (const FileId& f : files) {
-    RepairFile(f);
-  }
+  RepairOp(*this).RestoreInvariants(region);
 }
 
 void PastNetwork::RepairFile(const FileId& file_id) {
-  NodeId key = file_id.ToRoutingKey();
-  NodeId root = pastry_.ClosestLive(key);
-  const PastryNode* root_node = pastry_.node(root);
-  if (root_node == nullptr) {
-    return;
-  }
-  std::vector<NodeId> k_closest = KClosestFromLeafSet(root, key, config_.k);
-
-  // Discover live replica holders in the neighborhood: the k closest, the
-  // root's wider leaf set (nodes that recently ceased to be among the k
-  // closest may still hold replicas), and pointer targets.
-  std::vector<NodeId> holders;
-  auto add_holder = [&](const NodeId& n) {
-    if (!pastry_.IsAlive(n)) {
-      return;
-    }
-    const PastNode* pn = storage_node(n);
-    if (pn != nullptr && pn->store().HasReplica(file_id) &&
-        std::find(holders.begin(), holders.end(), n) == holders.end()) {
-      holders.push_back(n);
-    }
-  };
-  for (const NodeId& n : k_closest) {
-    add_holder(n);
-  }
-  for (const NodeId& n : root_node->leaf_set().All()) {
-    add_holder(n);
-  }
-  for (const NodeId& n : k_closest) {
-    const PastNode* pn = storage_node(n);
-    if (pn != nullptr) {
-      const DiversionPointer* ptr = pn->store().GetPointer(file_id);
-      if (ptr != nullptr) {
-        add_holder(ptr->holder);
-      }
-    }
-  }
-
-  if (holders.empty()) {
-    // All k replicas (and any diverted copies) vanished inside one recovery
-    // period — the file is lost. Drop dangling pointers.
-    ins_.files_lost->Inc();
-    obs::OpTrace lost;
-    lost.kind = obs::TraceOpKind::kMaintenance;
-    lost.file_id = file_id.ToHex();
-    lost.status = "file_lost";
-    EmitTrace(std::move(lost));
-    for (const NodeId& n : k_closest) {
-      PastNode* pn = storage_node(n);
-      if (pn != nullptr) {
-        pn->store().RemovePointer(file_id);
-      }
-    }
-    return;
-  }
-
-  const ReplicaEntry* sample = storage_node(holders.front())->store().GetReplica(file_id);
-  uint64_t size = sample->size;
-  FileCertificateRef certificate = sample->certificate;
-  FileContentRef content = sample->content;
-
-  // Pass 1: every one of the k closest must hold the replica or a valid
-  // pointer to a live holder.
-  for (const NodeId& t : k_closest) {
-    PastNode* pn = storage_node(t);
-    if (pn == nullptr) {
-      continue;
-    }
-    if (pn->store().HasReplica(file_id)) {
-      continue;
-    }
-    const DiversionPointer* ptr = pn->store().GetPointer(file_id);
-    if (ptr != nullptr) {
-      bool valid = pastry_.IsAlive(ptr->holder) && storage_node(ptr->holder) != nullptr &&
-                   storage_node(ptr->holder)->store().HasReplica(file_id);
-      if (valid) {
-        continue;
-      }
-      pn->store().RemovePointer(file_id);
-    }
-    // Prefer acquiring a real replica; otherwise install a pointer to an
-    // existing holder (semantically identical to replica diversion, paper
-    // section 3.5: the joining node installs a pointer and migrates later).
-    if (pn->WouldAcceptPrimary(size) &&
-        pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate, content)) {
-      total_stored_ += size;
-      ins_.replicas_stored->Add(1);
-      ins_.replicas_recreated->Inc();
-      if (std::find(holders.begin(), holders.end(), t) == holders.end()) {
-        holders.push_back(t);
-      }
-      continue;
-    }
-    // Point at a holder outside the k closest if possible (that holder plays
-    // the diverted-replica role), else at any holder.
-    NodeId target = holders.front();
-    for (const NodeId& h : holders) {
-      if (std::find(k_closest.begin(), k_closest.end(), h) == k_closest.end()) {
-        target = h;
-        break;
-      }
-    }
-    pn->store().InstallPointer(file_id, target, PointerRole::kDiverter, size);
-    ins_.maintenance_pointers->Inc();
-  }
-
-  // Pass 2: restore the replication level to k when space allows. First try
-  // k-closest members without a replica, then diversion into their leaf sets.
-  uint32_t live = static_cast<uint32_t>(holders.size());
-  if (live >= config_.k) {
-    return;
-  }
-  for (const NodeId& t : k_closest) {
-    if (live >= config_.k) {
-      break;
-    }
-    PastNode* pn = storage_node(t);
-    if (pn == nullptr || pn->store().HasReplica(file_id)) {
-      continue;
-    }
-    if (pn->WouldAcceptPrimary(size) &&
-        pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate, content)) {
-      pn->store().RemovePointer(file_id);
-      total_stored_ += size;
-      ins_.replicas_stored->Add(1);
-      ins_.replicas_recreated->Inc();
-      ++live;
-      holders.push_back(t);
-    }
-  }
-  for (const NodeId& t : k_closest) {
-    if (live >= config_.k) {
-      break;
-    }
-    PastNode* pn = storage_node(t);
-    if (pn == nullptr || pn->store().HasReplica(file_id)) {
-      continue;
-    }
-    std::optional<NodeId> target = ChooseDiversionTarget(t, k_closest, file_id, size);
-    if (!target) {
-      continue;
-    }
-    PastNode* b = storage_node(*target);
-    if (b != nullptr && b->WouldAcceptDiverted(size) &&
-        b->StoreReplica(file_id, ReplicaKind::kDiverted, size, certificate, content)) {
-      total_stored_ += size;
-      ins_.replicas_stored->Add(1);
-      ins_.replicas_diverted->Add(1);
-      ins_.replicas_recreated->Inc();
-      pn->store().InstallPointer(file_id, *target, PointerRole::kDiverter, size);
-      ++live;
-      holders.push_back(*target);
-    }
-  }
+  RepairOp(*this).RepairFile(file_id);
 }
 
 }  // namespace past

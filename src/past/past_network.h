@@ -12,6 +12,8 @@
 
 #include "src/common/file_id.h"
 #include "src/common/node_id.h"
+#include "src/net/sim_transport.h"
+#include "src/net/transport.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/past/config.h"
@@ -21,6 +23,12 @@
 #include "src/storage/admission.h"
 
 namespace past {
+
+class InsertOp;
+class LookupOp;
+class OpBase;
+class ReclaimOp;
+class RepairOp;
 
 // Legacy value-type view of the network-level operation tallies. The live
 // data now lives in the metrics registry; this struct is built on demand by
@@ -55,6 +63,22 @@ class PastNetwork : public MembershipObserver {
 
   const PastConfig& config() const { return config_; }
   PastryNetwork& overlay() { return pastry_; }
+
+  // --- message fabric ---
+
+  // The transport every node-to-node protocol message travels through. The
+  // default is an InlineTransport (immediate synchronous delivery, identical
+  // to the pre-fabric direct-call behavior) sharing the overlay's stats
+  // ledger.
+  Transport& transport() { return *transport_; }
+
+  // Replaces the transport; passing nullptr restores the inline default.
+  void set_transport(std::unique_ptr<Transport> transport);
+
+  // Convenience: installs a SimTransport driven by `queue` (latency-scheduled
+  // delivery + fault injection) and returns it for fault control. The queue
+  // must outlive this network.
+  SimTransport& UseSimTransport(EventQueue& queue, const SimTransport::Options& options);
 
   // --- observability ---
 
@@ -151,6 +175,15 @@ class PastNetwork : public MembershipObserver {
   void OnNodeFailed(const NodeId& id) override;
 
  private:
+  // The per-operation coordinators (src/past/ops/) implement the insert /
+  // lookup / reclaim / maintenance protocols over the transport; they are
+  // the only code with access to the network's internals.
+  friend class InsertOp;
+  friend class LookupOp;
+  friend class OpBase;
+  friend class ReclaimOp;
+  friend class RepairOp;
+
   struct PendingStore {
     NodeId node;
     bool is_pointer = false;
@@ -190,6 +223,7 @@ class PastNetwork : public MembershipObserver {
   PastryConfig pastry_config_;
   PastryNetwork pastry_;
   Rng rng_;
+  std::unique_ptr<Transport> transport_;
   std::unordered_map<NodeId, std::unique_ptr<PastNode>, NodeIdHash> nodes_;
 
   obs::MetricsRegistry metrics_;

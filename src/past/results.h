@@ -23,11 +23,14 @@ enum class InsertStatus {
                     // could accommodate the file (triggers file diversion)
   kDuplicateFileId, // fileId collision: the later insert is rejected
   kBadCertificate,  // certificate failed verification at the root
+  kTimeout,         // a protocol message was lost in transit (SimTransport
+                    // fault injection); the client retries with a new salt
 };
 
 enum class LookupStatus {
   kFound,
   kNotFound,
+  kTimeout,  // request or fetch reply lost in transit; the client may retry
 };
 
 enum class ReclaimStatus {
@@ -52,6 +55,11 @@ struct InsertResult {
   uint32_t replicas_diverted = 0;
   // Pastry hops taken by the insert message.
   int route_hops = 0;
+  // Fabric messages the operation put on the wire and the simulated
+  // end-to-end latency they accumulated (both 0-latency under
+  // InlineTransport).
+  uint64_t messages = 0;
+  double latency_ms = 0.0;
   std::vector<StoreReceipt> receipts;
 };
 
@@ -72,6 +80,11 @@ struct LookupResult {
   // Total proximity distance traversed.
   double distance = 0.0;
   NodeId served_by;
+  // Fabric messages sent for this lookup and the simulated end-to-end
+  // latency of the fetch (request leg over the route plus the reply leg
+  // carrying the bytes back; 0 under InlineTransport).
+  uint64_t messages = 0;
+  double latency_ms = 0.0;
   // The file bytes, when the insert supplied content (null for size-only
   // trace experiments).
   std::shared_ptr<const std::string> content;
@@ -101,6 +114,8 @@ inline const char* ToString(InsertStatus status) {
       return "duplicate_file_id";
     case InsertStatus::kBadCertificate:
       return "bad_certificate";
+    case InsertStatus::kTimeout:
+      return "timeout";
   }
   return "unknown";
 }
@@ -111,6 +126,8 @@ inline const char* ToString(LookupStatus status) {
       return "found";
     case LookupStatus::kNotFound:
       return "not_found";
+    case LookupStatus::kTimeout:
+      return "timeout";
   }
   return "unknown";
 }

@@ -1,5 +1,7 @@
 #include "src/pastry/keepalive.h"
 
+#include <vector>
+
 namespace past {
 
 KeepAliveDriver::KeepAliveDriver(EventQueue& queue, PastryNetwork& network, SimTime period)
@@ -8,6 +10,12 @@ KeepAliveDriver::KeepAliveDriver(EventQueue& queue, PastryNetwork& network, SimT
 }
 
 KeepAliveDriver::~KeepAliveDriver() { Stop(); }
+
+void KeepAliveDriver::UseTransport(Transport* transport, SimTime timeout) {
+  transport_ = transport;
+  timeout_ = timeout;
+  unresponsive_since_.clear();
+}
 
 void KeepAliveDriver::Stop() {
   if (!stopped_) {
@@ -28,8 +36,76 @@ void KeepAliveDriver::RunRound() {
     return;
   }
   ++rounds_run_;
-  failures_detected_ += network_.DetectAndRepair();
+  if (transport_ == nullptr) {
+    failures_detected_ += network_.DetectAndRepair();
+  } else {
+    RunProbeRound();
+  }
   ScheduleNext();
+}
+
+void KeepAliveDriver::RunProbeRound() {
+  // Probe every leaf-set edge through the fabric; any answered probe marks
+  // the member responsive for this round. The containers live on this frame
+  // until Settle() returns, so the continuations may capture them by
+  // reference.
+  std::vector<NodeId> probed;  // first-probe order, for deterministic sweeps
+  std::unordered_map<NodeId, bool, NodeIdHash> responded;
+  Topology& topo = network_.topology();
+  for (const NodeId& id : network_.live_nodes()) {
+    const PastryNode* prober = network_.node(id);
+    if (prober == nullptr) {
+      continue;
+    }
+    for (const NodeId& member : prober->leaf_set().All()) {
+      if (responded.emplace(member, false).second) {
+        probed.push_back(member);
+      }
+      Message probe;
+      probe.type = MessageType::kKeepAliveProbe;
+      probe.from = id;
+      probe.to = member;
+      // The same 16-byte probe the direct DetectAndRepair() scan accounts.
+      probe.payload_bytes = 16;
+      probe.hops = 1;
+      probe.distance =
+          (topo.Contains(id) && topo.Contains(member)) ? topo.Distance(id, member) : 0.0;
+      probe.cost = MessageCost::kMessage;
+      transport_->Send(probe, [this, id, member, &responded](const Delivery&) {
+        if (!network_.IsAlive(member)) {
+          return;  // a dead node receives nothing and answers nothing
+        }
+        Message ack;
+        ack.type = MessageType::kKeepAliveAck;
+        ack.from = member;
+        ack.to = id;
+        ack.cost = MessageCost::kNone;
+        transport_->Send(ack, [&responded, member](const Delivery&) {
+          responded[member] = true;
+        });
+      });
+    }
+  }
+  transport_->Settle();
+
+  SimTime now = queue_.now();
+  for (const NodeId& member : probed) {
+    if (responded[member]) {
+      unresponsive_since_.erase(member);
+      continue;
+    }
+    auto [it, first_miss] = unresponsive_since_.emplace(member, now);
+    (void)first_miss;
+    if (now - it->second >= timeout_) {
+      // Unresponsive for the paper's period T: presumed failed. FailNode
+      // repairs leaf sets and notifies observers (replica maintenance) —
+      // for a silently dead node this finishes the detection; for a
+      // partitioned node it evicts a live-but-unreachable member.
+      unresponsive_since_.erase(it);
+      network_.FailNode(member);
+      ++failures_detected_;
+    }
+  }
 }
 
 }  // namespace past

@@ -6,9 +6,22 @@
 // `period` of virtual time it runs one probe round over the overlay. A
 // silently failed node is therefore detected no later than its failure time
 // plus period + timeout (the paper's recovery period).
+//
+// Two probing modes:
+//  * Direct (default): one DetectAndRepair() scan per round — the overlay
+//    checks liveness omnisciently. Detects dead nodes, but cannot see
+//    network partitions.
+//  * Transport (UseTransport): kKeepAliveProbe / kKeepAliveAck messages per
+//    leaf-set edge over the message fabric. Probes are subject to the
+//    transport's fault plan (drops, partitions); a member whose probes have
+//    gone unanswered for `timeout` of virtual time is presumed failed and
+//    removed — which is how a partitioned-but-running node is detected.
 #ifndef SRC_PASTRY_KEEPALIVE_H_
 #define SRC_PASTRY_KEEPALIVE_H_
 
+#include <unordered_map>
+
+#include "src/net/transport.h"
 #include "src/pastry/network.h"
 #include "src/sim/event_queue.h"
 
@@ -23,6 +36,12 @@ class KeepAliveDriver {
   KeepAliveDriver(const KeepAliveDriver&) = delete;
   KeepAliveDriver& operator=(const KeepAliveDriver&) = delete;
 
+  // Switches probing onto `transport` (typically the SimTransport driving
+  // the same queue; must outlive this driver). A member unresponsive for
+  // `timeout` of virtual time — measured from its first missed round — is
+  // presumed failed. Pass nullptr to return to the direct mode.
+  void UseTransport(Transport* transport, SimTime timeout);
+
   // Stops scheduling further rounds (pending round is cancelled).
   void Stop();
 
@@ -33,10 +52,15 @@ class KeepAliveDriver {
  private:
   void ScheduleNext();
   void RunRound();
+  void RunProbeRound();
 
   EventQueue& queue_;
   PastryNetwork& network_;
   SimTime period_;
+  Transport* transport_ = nullptr;
+  SimTime timeout_ = 0;
+  // First virtual time each currently-unresponsive member missed a round.
+  std::unordered_map<NodeId, SimTime, NodeIdHash> unresponsive_since_;
   EventQueue::EventId pending_event_ = 0;
   bool stopped_ = false;
   uint64_t rounds_run_ = 0;

@@ -11,18 +11,18 @@ EventQueue::EventId EventQueue::ScheduleAfter(SimTime delay, Callback fn) {
 EventQueue::EventId EventQueue::ScheduleAt(SimTime when, Callback fn) {
   EventId id = next_id_++;
   heap_.push(Event{std::max(when, now_), next_sequence_++, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) {
+  // Only ids currently live (scheduled, not yet run) are cancellable; an id
+  // that already ran — or was never issued — reports false instead of
+  // silently corrupting the pending() count.
+  if (live_.erase(id) == 0) {
     return false;
   }
-  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
-    return false;
-  }
-  cancelled_.push_back(id);
-  ++cancelled_count_;
+  cancelled_.insert(id);
   return true;
 }
 
@@ -30,12 +30,10 @@ bool EventQueue::PopAndRun() {
   while (!heap_.empty()) {
     Event event = heap_.top();
     heap_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_count_;
+    if (cancelled_.erase(event.id) != 0) {
       continue;
     }
+    live_.erase(event.id);
     now_ = event.when;
     event.fn();
     return true;

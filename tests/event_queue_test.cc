@@ -80,6 +80,70 @@ TEST(EventQueueTest, StepExecutesOne) {
   EXPECT_FALSE(q.Step());
 }
 
+TEST(EventQueueTest, CancelAfterRunReportsFalseAndKeepsPendingExact) {
+  // Regression: cancelling an id that already executed used to report true
+  // and permanently skew pending(); with the live-set bookkeeping it is a
+  // clean no-op.
+  EventQueue q;
+  auto ran_id = q.ScheduleAfter(1, [] {});
+  auto live_id = q.ScheduleAfter(2, [] {});
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Cancel(ran_id));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.Cancel(live_id));
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.Step());
+}
+
+TEST(EventQueueTest, CancellationHeavyWorkload) {
+  // The fabric + keep-alive pattern: tens of thousands of schedules with a
+  // large fraction cancelled before they fire, interleaved with execution.
+  // With the old O(n) cancelled-list scan this test was quadratic; it now
+  // finishes instantly, and the bookkeeping stays exact throughout.
+  EventQueue q;
+  constexpr int kBatches = 100;
+  constexpr int kPerBatch = 200;
+  uint64_t executed = 0;
+  uint64_t cancelled = 0;
+  std::vector<EventQueue::EventId> ids;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    ids.clear();
+    for (int i = 0; i < kPerBatch; ++i) {
+      ids.push_back(q.ScheduleAfter(static_cast<SimTime>(1 + i % 7), [&] { ++executed; }));
+    }
+    // Cancel every other event, newest first (worst case for a list scan).
+    for (int i = kPerBatch - 1; i >= 0; i -= 2) {
+      ASSERT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+      ++cancelled;
+    }
+    ASSERT_EQ(q.pending(), static_cast<size_t>(kPerBatch / 2));
+    // Double-cancel is rejected without disturbing the count.
+    ASSERT_FALSE(q.Cancel(ids[1]));
+    ASSERT_EQ(q.pending(), static_cast<size_t>(kPerBatch / 2));
+    q.RunAll();
+    ASSERT_EQ(q.pending(), 0u);
+  }
+  EXPECT_EQ(executed, static_cast<uint64_t>(kBatches) * kPerBatch / 2);
+  EXPECT_EQ(cancelled, static_cast<uint64_t>(kBatches) * kPerBatch / 2);
+}
+
+TEST(EventQueueTest, CancellationKeepsFifoAmongEqualTimes) {
+  // Cancelling interleaved events must not disturb the FIFO tie-break of
+  // the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.ScheduleAfter(5, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 10; i += 2) {
+    ASSERT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
 TEST(EventQueueTest, KeepAlivePatternRepeatingTimer) {
   // The pattern Pastry's keep-alive uses: a self-rescheduling timer.
   EventQueue q;

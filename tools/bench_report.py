@@ -29,13 +29,14 @@ METRIC_KEYS = [
     "routes_per_sec",
     "route_avg_hops",
     "inserts_per_sec",
+    "lookups_per_sec",
     "sweep_wall_seconds_jobs1",
     "sweep_wall_seconds_jobsn",
     "sweep_speedup",
     "sweep_deterministic",
 ]
 
-HOT_PATH_KEYS = ["routes_per_sec", "sha1_mb_per_sec", "inserts_per_sec"]
+HOT_PATH_KEYS = ["routes_per_sec", "sha1_mb_per_sec", "inserts_per_sec", "lookups_per_sec"]
 
 
 def load(path):
@@ -56,7 +57,7 @@ def validate_metrics(metrics, errors, where):
             errors.append(f"{where}: '{key}' must be a number, got {value!r}")
         elif key != "route_avg_hops" and value < 0:
             errors.append(f"{where}: '{key}' must be non-negative, got {value}")
-    for key in ("sha1_mb_per_sec", "routes_per_sec", "inserts_per_sec"):
+    for key in ("sha1_mb_per_sec", "routes_per_sec", "inserts_per_sec", "lookups_per_sec"):
         if isinstance(metrics.get(key), (int, float)) and metrics.get(key) == 0:
             errors.append(f"{where}: '{key}' is zero (measurement did not run?)")
 
