@@ -90,6 +90,15 @@ bool FileCache::Remove(const FileId& id) {
   return true;
 }
 
+std::vector<std::pair<FileId, uint64_t>> FileCache::Entries() const {
+  std::vector<std::pair<FileId, uint64_t>> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    out.emplace_back(id, entry.size);
+  }
+  return out;
+}
+
 std::optional<uint64_t> FileCache::SizeOf(const FileId& id) const {
   auto it = entries_.find(id);
   if (it == entries_.end()) {

@@ -13,6 +13,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/cache/eviction_policy.h"
 #include "src/common/file_id.h"
@@ -51,6 +53,11 @@ class FileCache {
 
   uint64_t used() const { return used_; }
   size_t count() const { return entries_.size(); }
+
+  // Snapshot of (fileId, size) for every cached entry, in unspecified order.
+  // Invariant checkers cross-check these against used()/count() and against
+  // the node's replica table; not for hot paths.
+  std::vector<std::pair<FileId, uint64_t>> Entries() const;
   const EvictionPolicy& policy() const { return *policy_; }
 
   uint64_t hits() const { return hits_; }

@@ -46,6 +46,12 @@ class SimTransport : public Transport {
 
   // --- fault control (tests and experiments poke these mid-run) ---
 
+  // Replaces the probabilistic fault plan in place. The simulation soak
+  // harness uses this to run fault-free convergence phases at invariant
+  // checkpoints without rebuilding the transport (partitions and DropNext
+  // targeting are unaffected).
+  void set_faults(const FaultPlan& faults) { options_.faults = faults; }
+
   // A partitioned node is cut off: every message from or to it is dropped.
   void Partition(const NodeId& id) { partitioned_.insert(id); }
   void Heal(const NodeId& id) { partitioned_.erase(id); }

@@ -73,6 +73,13 @@ ReclaimResult ReclaimOp::Run(const NodeId& origin, const ReclaimCertificate& cer
     if (pn == nullptr) {
       return;
     }
+    // Any cached copy at a visited node is dropped alongside the replica so
+    // a later repair pass cannot mistake it for live content. (Caches at
+    // nodes the reclaim never visits may keep stale copies — the paper's
+    // weak reclaim semantics.)
+    if (pn->cache() != nullptr) {
+      pn->cache()->Remove(file_id);
+    }
     const ReplicaEntry* entry = pn->store().GetReplica(file_id);
     if (entry != nullptr) {
       // Only the file's legitimate owner may reclaim it.
@@ -114,10 +121,14 @@ ReclaimResult ReclaimOp::Run(const NodeId& origin, const ReclaimCertificate& cer
            if (pn == nullptr) {
              return;
            }
-           // Follow diverter pointers to the actual replica holder first.
+           // Follow diversion pointers to the actual replica holder first.
+           // Witness pointers are chased too: after the diverter fails, the
+           // witness copy may be the only remaining reference, and skipping
+           // it would leave the diverted replica alive for maintenance to
+           // re-replicate from (reclaim resurrection).
            const DiversionPointer* ptr = pn->store().GetPointer(file_id);
            if (ptr != nullptr) {
-             if (ptr->role == PointerRole::kDiverter && net_.pastry_.IsAlive(ptr->holder)) {
+             if (net_.pastry_.IsAlive(ptr->holder)) {
                NodeId holder = ptr->holder;
                Send(Direct(MessageType::kReclaimRequest, t, holder, file_id, 0,
                            MessageCost::kNone),

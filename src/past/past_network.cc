@@ -444,6 +444,106 @@ void PastNetwork::OnNodeFailed(const NodeId& id) {
   RestoreInvariants(region);
 }
 
+std::vector<NodeId> PastNetwork::StorageNodeIds() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) {
+    (void)node;
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void PastNetwork::MaintenanceSweep() {
+  if (!any_file_inserted_) {
+    return;
+  }
+  RestoreInvariants(pastry_.live_nodes());
+
+  // Reconcile every replica and pointer against the post-repair k-closest
+  // sets. Membership change strands state where insert/reclaim/repair never
+  // look again: a diverted replica whose holder moved into the k closest is
+  // promoted; a replica at a node outside the k closest that no k-closest
+  // node points at any more is garbage-collected (its bytes would otherwise
+  // leak forever, and a pending reclaim could never converge); a pointer at
+  // a node that fell out of the k+1 closest is dropped. Decisions are
+  // collected on a snapshot first — mutating stores while iterating them
+  // would invalidate the table iterators — so one sweep applies a
+  // consistent set of actions.
+  enum class ActionKind { kPromote, kRemoveReplica, kRemovePointer };
+  struct Action {
+    ActionKind kind;
+    NodeId node;
+    FileId file;
+    uint64_t size = 0;
+    bool diverted = false;
+  };
+  std::vector<Action> actions;
+  for (const NodeId& id : pastry_.live_nodes()) {
+    const PastNode* pn = storage_node(id);
+    if (pn == nullptr) {
+      continue;
+    }
+    for (const auto& [file, entry] : pn->store().replicas()) {
+      std::vector<NodeId> k_closest = pastry_.KClosestLive(file.ToRoutingKey(), config_.k);
+      bool among_k = std::find(k_closest.begin(), k_closest.end(), id) != k_closest.end();
+      if (among_k) {
+        if (entry.kind == ReplicaKind::kDiverted) {
+          actions.push_back(Action{ActionKind::kPromote, id, file, entry.size, true});
+        }
+        continue;
+      }
+      bool referenced = false;
+      for (const NodeId& t : k_closest) {
+        const PastNode* tn = storage_node(t);
+        const DiversionPointer* ptr = tn == nullptr ? nullptr : tn->store().GetPointer(file);
+        if (ptr != nullptr && ptr->holder == id) {
+          referenced = true;
+          break;
+        }
+      }
+      if (!referenced) {
+        actions.push_back(Action{ActionKind::kRemoveReplica, id, file, entry.size,
+                                 entry.kind == ReplicaKind::kDiverted});
+      }
+    }
+    for (const auto& [file, ptr] : pn->store().pointers()) {
+      (void)ptr;
+      std::vector<NodeId> k_plus_one =
+          pastry_.KClosestLive(file.ToRoutingKey(), config_.k + 1);
+      if (std::find(k_plus_one.begin(), k_plus_one.end(), id) == k_plus_one.end()) {
+        actions.push_back(Action{ActionKind::kRemovePointer, id, file});
+      }
+    }
+  }
+  for (const Action& action : actions) {
+    PastNode* pn = storage_node(action.node);
+    if (pn == nullptr) {
+      continue;
+    }
+    switch (action.kind) {
+      case ActionKind::kPromote:
+        if (pn->store().SetReplicaKind(action.file, ReplicaKind::kPrimary)) {
+          ins_.replicas_diverted->Sub(1);
+        }
+        break;
+      case ActionKind::kRemoveReplica:
+        if (pn->RemoveReplica(action.file).has_value()) {
+          total_stored_ -= action.size;
+          ins_.replicas_stored->Sub(1);
+          if (action.diverted) {
+            ins_.replicas_diverted->Sub(1);
+          }
+        }
+        break;
+      case ActionKind::kRemovePointer:
+        pn->store().RemovePointer(action.file);
+        break;
+    }
+  }
+}
+
 void PastNetwork::RestoreInvariants(const std::vector<NodeId>& region) {
   RepairOp(*this).RestoreInvariants(region);
 }

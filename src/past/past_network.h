@@ -63,6 +63,7 @@ class PastNetwork : public MembershipObserver {
 
   const PastConfig& config() const { return config_; }
   PastryNetwork& overlay() { return pastry_; }
+  const PastryNetwork& overlay() const { return pastry_; }
 
   // --- message fabric ---
 
@@ -160,12 +161,29 @@ class PastNetwork : public MembershipObserver {
   };
   ReplicaCensus CountReplicas() const;
 
-  // --- invariant checking (tests) ---
+  // --- invariant checking / simulation hooks ---
 
   // For every file in `files`, verifies that each of the k live nodes
   // closest to its fileId holds either a replica or a diversion pointer to a
   // live replica holder. Returns the number of violations.
   size_t CountStorageInvariantViolations(const std::vector<FileId>& files) const;
+
+  // Ids of every storage node this network still tracks. A silently crashed
+  // node stays listed (with `overlay().IsAlive()` false) until failure
+  // detection runs and OnNodeFailed reaps it. Sorted by nodeId so invariant
+  // scans are deterministic.
+  std::vector<NodeId> StorageNodeIds() const;
+
+  // Full replica-maintenance sweep at a quiescent point: RestoreInvariants
+  // over every live node's file table (closing holes that message loss
+  // punched into earlier repair rounds), then reconciliation of diverted
+  // replicas against the current k-closest sets — a diverted replica whose
+  // holder has become one of the k closest is promoted to a primary, and one
+  // that no k-closest node references any more (its diverter died and repair
+  // re-replicated around it) is garbage-collected so the bytes are not
+  // leaked forever. The simulation soak harness runs this at every
+  // checkpoint; it is also safe to call from experiments after churn.
+  void MaintenanceSweep();
 
   // Count of live replicas of one file across all nodes.
   uint32_t CountLiveReplicas(const FileId& file_id) const;

@@ -1,0 +1,80 @@
+#include "src/sim/churn_schedule.h"
+
+#include <array>
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/crypto/sha1.h"
+
+namespace past {
+
+namespace {
+
+constexpr std::array<const char*, kSimEventClassCount> kClassNames = {
+    "insert", "lookup", "reclaim", "join", "crash", "partition",
+};
+
+}  // namespace
+
+const char* ToString(SimEventClass cls) { return kClassNames[static_cast<size_t>(cls)]; }
+
+std::optional<SimEventClass> SimEventClassFromName(std::string_view name) {
+  for (size_t i = 0; i < kClassNames.size(); ++i) {
+    if (name == kClassNames[i]) {
+      return static_cast<SimEventClass>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+ChurnScheduler::ChurnScheduler(uint64_t seed, const ScheduleOptions& options)
+    : seed_(seed), options_(options) {}
+
+std::vector<ScheduledEvent> ChurnScheduler::Generate() const {
+  std::array<double, kSimEventClassCount> weights = {
+      options_.insert_weight, options_.lookup_weight, options_.reclaim_weight,
+      options_.join_weight,   options_.crash_weight,  options_.partition_weight,
+  };
+  double total = 0.0;
+  for (double w : weights) {
+    total += w < 0.0 ? 0.0 : w;
+  }
+
+  Rng rng(seed_ ^ 0xc5a1c3e1u);
+  std::vector<ScheduledEvent> schedule;
+  schedule.reserve(options_.num_events);
+  for (size_t i = 0; i < options_.num_events; ++i) {
+    ScheduledEvent ev;
+    if (total > 0.0) {
+      double roll = rng.NextDouble() * total;
+      double acc = 0.0;
+      for (size_t c = 0; c < weights.size(); ++c) {
+        acc += weights[c] < 0.0 ? 0.0 : weights[c];
+        if (roll < acc) {
+          ev.cls = static_cast<SimEventClass>(c);
+          break;
+        }
+      }
+    }
+    // Draw both entropy words unconditionally so the stream each event sees
+    // is a function of its index alone, not of earlier class choices.
+    ev.pick = rng.NextU64();
+    ev.aux = rng.NextU64();
+    schedule.push_back(ev);
+  }
+  return schedule;
+}
+
+std::string SerializeSchedule(const std::vector<ScheduledEvent>& schedule) {
+  std::ostringstream out;
+  for (const ScheduledEvent& ev : schedule) {
+    out << ToString(ev.cls) << ':' << ev.pick << ':' << ev.aux << '\n';
+  }
+  return out.str();
+}
+
+std::string ScheduleFingerprint(const std::vector<ScheduledEvent>& schedule) {
+  return DigestToHex(Sha1::Hash(SerializeSchedule(schedule)));
+}
+
+}  // namespace past

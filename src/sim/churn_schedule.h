@@ -1,0 +1,74 @@
+// Deterministic churn / workload schedule generation for the simulation soak
+// harness.
+//
+// A ChurnScheduler expands one seed into a fixed timeline of events — client
+// inserts, lookups and reclaims interleaved with node joins, silent crashes
+// and network partitions. Each event carries raw entropy (`pick`, `aux`)
+// that the runner resolves against live state at execution time (which node
+// to crash, which file to look up); freezing the draws at generation time is
+// what makes failing-seed minimization sound: truncating the timeline or
+// filtering out whole event classes never changes the events that remain.
+#ifndef SRC_SIM_CHURN_SCHEDULE_H_
+#define SRC_SIM_CHURN_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace past {
+
+enum class SimEventClass : uint8_t {
+  kInsert = 0,
+  kLookup,
+  kReclaim,
+  kJoin,
+  kCrash,      // node silently cut off forever (fail-stop; detection by keep-alive)
+  kPartition,  // node cut off temporarily, healed a few events later
+};
+inline constexpr size_t kSimEventClassCount = 6;
+
+// Stable lowercase names ("insert", "crash", ...) used by repro files.
+const char* ToString(SimEventClass cls);
+std::optional<SimEventClass> SimEventClassFromName(std::string_view name);
+
+struct ScheduledEvent {
+  SimEventClass cls = SimEventClass::kInsert;
+  uint64_t pick = 0;  // subject selection entropy (file / node / client)
+  uint64_t aux = 0;   // secondary entropy (file size, partition duration)
+};
+
+struct ScheduleOptions {
+  size_t num_events = 160;
+  // Relative class frequencies; they need not sum to anything.
+  double insert_weight = 6.0;
+  double lookup_weight = 5.0;
+  double reclaim_weight = 1.5;
+  double join_weight = 0.8;
+  double crash_weight = 0.8;
+  double partition_weight = 0.6;
+};
+
+class ChurnScheduler {
+ public:
+  ChurnScheduler(uint64_t seed, const ScheduleOptions& options);
+
+  // The full timeline — a pure function of (seed, options). Calling twice
+  // returns bit-identical schedules.
+  std::vector<ScheduledEvent> Generate() const;
+
+ private:
+  uint64_t seed_;
+  ScheduleOptions options_;
+};
+
+// Canonical text form, one "<class>:<pick>:<aux>" line per event, and its
+// SHA-1 hex fingerprint. Determinism assertions compare fingerprints.
+std::string SerializeSchedule(const std::vector<ScheduledEvent>& schedule);
+std::string ScheduleFingerprint(const std::vector<ScheduledEvent>& schedule);
+
+}  // namespace past
+
+#endif  // SRC_SIM_CHURN_SCHEDULE_H_

@@ -44,8 +44,14 @@ class EventQueue {
   // Executes just the next pending event, if any.
   bool Step();
 
+  // Events that are scheduled and will actually run (cancelled entries may
+  // still sit in the heap awaiting their lazy pop, but they are not live).
+  // This is the quiescence signal: a queue whose only contents are cancelled
+  // husks reports 0 and is quiescent.
+  size_t LiveCount() const { return live_.size(); }
+
   size_t pending() const { return heap_.size() - cancelled_.size(); }
-  bool empty() const { return pending() == 0; }
+  bool empty() const { return LiveCount() == 0; }
 
  private:
   struct Event {

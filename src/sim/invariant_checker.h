@@ -1,0 +1,70 @@
+// Global invariant checking for the simulation soak harness.
+//
+// The checker runs at quiescent points — zero in-flight messages, failure
+// detection and replica maintenance converged — and asserts the whole-system
+// properties the PAST protocols are supposed to preserve no matter what the
+// churn/fault schedule did: replica placement for every live file, diverted
+// replicas still referenced by pointers, per-node and global storage
+// accounting in balance, client quotas matching an independently-maintained
+// shadow model, caches never resurrecting reclaimed files, and no leaked
+// event-queue entries.
+#ifndef SRC_SIM_INVARIANT_CHECKER_H_
+#define SRC_SIM_INVARIANT_CHECKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/file_id.h"
+#include "src/past/past_network.h"
+#include "src/sim/event_queue.h"
+
+namespace past {
+
+// One file the harness inserted, tracked from insert to reclaim or loss.
+struct TrackedFile {
+  FileId id;
+  uint64_t size = 0;
+  size_t owner = 0;        // index into the harness's client array
+  bool reclaimed = false;  // reclaim finalized: must stay gone everywhere
+  bool lost = false;       // all replicas died before repair could run
+};
+
+// Shadow quota model for one client: the harness applies the same debits
+// (stored insert: size * k) and per-receipt min-capped credits the smartcard
+// applies, so at a checkpoint the card must agree bit-for-bit.
+struct QuotaExpectation {
+  uint64_t quota_total = 0;
+  uint64_t expected_remaining = 0;
+  uint64_t actual_remaining = 0;
+};
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  size_t checks = 0;  // individual assertions evaluated
+  bool ok() const { return violations.empty(); }
+  // "ok" or the first violation (plus a count when there are more).
+  std::string Summary() const;
+};
+
+class InvariantChecker {
+ public:
+  // `expected_live_events` is the number of timers legitimately pending on
+  // the queue at a quiescent point (e.g. 1 for the keep-alive driver's next
+  // round); anything beyond that is a leak.
+  InvariantReport Check(const PastNetwork& net, const EventQueue& queue,
+                        const std::vector<TrackedFile>& files,
+                        const std::vector<QuotaExpectation>& quotas,
+                        size_t expected_live_events) const;
+};
+
+// Canonical serialization of the network's complete storage state — every
+// node's capacity/usage, replicas, diversion pointers and cache contents,
+// all in sorted order — hashed to a SHA-1 hex fingerprint. Two runs of the
+// same seed must produce identical fingerprints.
+std::string NetworkStateFingerprint(const PastNetwork& net);
+
+}  // namespace past
+
+#endif  // SRC_SIM_INVARIANT_CHECKER_H_

@@ -1,0 +1,639 @@
+#include "src/sim/sim_runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/net/latency_model.h"
+#include "src/past/client.h"
+#include "src/pastry/keepalive.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/invariant_checker.h"
+
+namespace past {
+
+namespace {
+
+constexpr SimTime kKeepAlivePeriod = 1'000;
+constexpr SimTime kKeepAliveTimeout = 3 * kKeepAlivePeriod;
+// A silently cut-off node is presumed failed no later than period + timeout
+// after the cut; the extra periods absorb probe-round scheduling skew.
+constexpr SimTime kDetectionHorizon = kKeepAlivePeriod + kKeepAliveTimeout + 2 * kKeepAlivePeriod;
+
+constexpr uint64_t kMinFileSize = 4'000;
+constexpr uint64_t kMaxFileSize = 60'000;
+constexpr size_t kProbeLookups = 5;
+constexpr int kReclaimFinalizeRounds = 3;
+
+std::string Short(const FileId& id) { return id.ToHex().substr(0, 10); }
+
+// One complete simulation: deployment, clients, schedule execution, and the
+// checkpoint protocol. Constructed fresh per Run so minimization replays are
+// hermetic.
+class Execution {
+ public:
+  explicit Execution(const SimConfig& config) : config_(config) {}
+
+  SimResult Run() {
+    schedule_ = ChurnScheduler(config_.seed, config_.schedule).Generate();
+    result_.schedule_fingerprint = ScheduleFingerprint(schedule_);
+
+    PastConfig pconfig;
+    pconfig.k = config_.k;
+    pconfig.cache_mode = CacheMode::kGreedyDualSize;
+    pconfig.enable_maintenance = true;
+    deployment_ = BuildDeployment(config_.num_nodes, config_.capacity_per_node, pconfig,
+                                  config_.seed ^ 0x5eedc0deULL);
+    net_ = deployment_.network.get();
+
+    SimTransport::Options options;
+    options.latency = LatencyModel::Lan();
+    options.faults = config_.faults;
+    options.seed = config_.seed ^ 0xfab71cULL;
+    transport_ = &net_->UseSimTransport(queue_, options);
+
+    driver_ = std::make_unique<KeepAliveDriver>(queue_, net_->overlay(), kKeepAlivePeriod);
+    driver_->UseTransport(transport_, kKeepAliveTimeout);
+
+    for (size_t i = 0; i < config_.num_clients; ++i) {
+      clients_.push_back(std::make_unique<PastClient>(
+          *net_, deployment_.node_ids[i % deployment_.node_ids.size()],
+          config_.quota_per_client, config_.seed ^ (0xc11e57ULL + i * 0x9e3779b9ULL)));
+      shadow_quota_.push_back(config_.quota_per_client);
+    }
+
+    const size_t limit = std::min(schedule_.size(), config_.max_events);
+    for (size_t i = 0; i < limit && failure_.empty(); ++i) {
+      const ScheduledEvent& ev = schedule_[i];
+      if (config_.enabled[static_cast<size_t>(ev.cls)]) {
+        ExecuteEvent(i, ev);
+        ++result_.events_executed;
+      }
+      if (config_.corrupt_at_event == i) {
+        Corrupt();
+      }
+      HealDuePartitions(i);
+      RehomeClients();
+      if ((i + 1) % config_.checkpoint_every == 0 && i + 1 < limit) {
+        Checkpoint();
+      }
+    }
+    if (failure_.empty()) {
+      Checkpoint();
+    }
+    driver_->Stop();
+    if (failure_.empty()) {
+      // The driver's pending round was the one legitimate timer; with it
+      // stopped, a drained transport must leave the queue completely empty.
+      transport_->Settle();
+      if (queue_.LiveCount() != 0) {
+        failure_ = "queue: " + std::to_string(queue_.LiveCount()) +
+                   " live event(s) leaked after keep-alive stop";
+      }
+    }
+    result_.ok = failure_.empty();
+    result_.failure = failure_;
+    result_.state_fingerprint = NetworkStateFingerprint(*net_);
+    return result_;
+  }
+
+ private:
+  void ExecuteEvent(size_t index, const ScheduledEvent& ev) {
+    switch (ev.cls) {
+      case SimEventClass::kInsert:
+        DoInsert(ev);
+        break;
+      case SimEventClass::kLookup:
+        DoLookup(ev);
+        break;
+      case SimEventClass::kReclaim:
+        DoReclaim(ev);
+        break;
+      case SimEventClass::kJoin:
+        DoJoin(ev);
+        break;
+      case SimEventClass::kCrash:
+        DoCut(ev, index, /*permanent=*/true);
+        break;
+      case SimEventClass::kPartition:
+        DoCut(ev, index, /*permanent=*/false);
+        break;
+    }
+  }
+
+  void DoInsert(const ScheduledEvent& ev) {
+    size_t ci = ev.pick % clients_.size();
+    uint64_t size = kMinFileSize + ev.aux % (kMaxFileSize - kMinFileSize + 1);
+    std::string name = "sim-" + std::to_string(insert_counter_++) + ".bin";
+    ClientInsertResult r = clients_[ci]->Insert(name, size);
+    if (!r.stored) {
+      return;
+    }
+    uint64_t debit = size * config_.k;
+    if (shadow_quota_[ci] < debit) {
+      failure_ = "quota: client " + std::to_string(ci) +
+                 " stored a file its shadow quota cannot cover";
+      return;
+    }
+    shadow_quota_[ci] -= debit;
+    files_.push_back(TrackedFile{r.file_id, size, ci, /*reclaimed=*/false, /*lost=*/false});
+    ++result_.files_inserted;
+  }
+
+  void DoLookup(const ScheduledEvent& ev) {
+    std::vector<size_t> live = LiveFileIndices();
+    if (live.empty()) {
+      return;
+    }
+    const TrackedFile& f = files_[live[ev.pick % live.size()]];
+    // Results are not asserted here: under the active fault plan a lookup
+    // may legitimately time out. Checkpoint probes assert reachability.
+    clients_[ev.aux % clients_.size()]->Lookup(f.id);
+    ++result_.lookups;
+  }
+
+  void DoReclaim(const ScheduledEvent& ev) {
+    std::vector<size_t> live = LiveFileIndices();
+    if (live.empty()) {
+      return;
+    }
+    size_t idx = live[ev.pick % live.size()];
+    TrackedFile& f = files_[idx];
+    ReclaimResult r = clients_[f.owner]->Reclaim(f.id);
+    CreditShadow(f.owner, r.receipts);
+    // Message loss may leave stragglers; the checkpoint finalizes them.
+    pending_reclaim_.push_back(idx);
+  }
+
+  void DoJoin(const ScheduledEvent& ev) {
+    // Capacities in [0.5x, 1.5x) of the base so joins change the landscape.
+    uint64_t cap = config_.capacity_per_node / 2 + ev.pick % config_.capacity_per_node;
+    net_->AddStorageNode(cap);
+    ++result_.joins;
+  }
+
+  void DoCut(const ScheduledEvent& ev, size_t index, bool permanent) {
+    // Keep enough of the ring alive that k-closest sets stay meaningful.
+    size_t min_live = std::max<size_t>(2 * config_.k + 2, config_.num_nodes / 2);
+    std::vector<NodeId> eligible;
+    for (const NodeId& id : net_->overlay().live_nodes()) {
+      if (!transport_->IsPartitioned(id)) {
+        eligible.push_back(id);
+      }
+    }
+    if (eligible.size() <= min_live) {
+      return;
+    }
+    NodeId victim = eligible[ev.pick % eligible.size()];
+    transport_->Partition(victim);
+    cut_off_.insert(victim);
+    churned_ = true;
+    if (permanent) {
+      ++result_.crashes;
+    } else {
+      heal_at_[victim] = index + 2 + ev.aux % 6;
+      ++result_.partitions;
+    }
+  }
+
+  void HealDuePartitions(size_t index) {
+    for (auto it = heal_at_.begin(); it != heal_at_.end();) {
+      if (it->second <= index) {
+        transport_->Heal(it->first);
+        cut_off_.erase(it->first);
+        it = heal_at_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void RehomeClients() {
+    std::vector<NodeId> live = net_->overlay().live_nodes();
+    if (live.empty()) {
+      return;
+    }
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      if (!net_->overlay().IsAlive(clients_[i]->access_node())) {
+        clients_[i]->set_access_node(live[i % live.size()]);
+      }
+    }
+  }
+
+  // Test-only sabotage: silently corrupt the store holding the first live
+  // tracked file so the next checkpoint must flag the accounting mismatch.
+  void Corrupt() {
+    for (size_t idx : LiveFileIndices()) {
+      const FileId& id = files_[idx].id;
+      for (const NodeId& nid : net_->StorageNodeIds()) {
+        PastNode* pn = net_->storage_node(nid);
+        if (pn != nullptr && pn->store().HasReplica(id)) {
+          pn->store().TestOnlyCorruptDropReplica(id);
+          return;
+        }
+      }
+    }
+  }
+
+  void Checkpoint() {
+    ++result_.checkpoints;
+    FaultPlan saved = transport_->options().faults;
+    transport_->set_faults(FaultPlan{});
+
+    // Let failure detection reap every cut-off node and let the repairs that
+    // detection triggers settle, all fault-free.
+    queue_.RunUntil(queue_.now() + kDetectionHorizon);
+    transport_->Settle();
+
+    for (const NodeId& id : cut_off_) {
+      transport_->Heal(id);
+    }
+    cut_off_.clear();
+    heal_at_.clear();
+    RehomeClients();
+
+    net_->MaintenanceSweep();
+    FinalizeReclaims();
+    if (failure_.empty()) {
+      ReconcileLostFiles();
+    }
+    if (failure_.empty()) {
+      RunChecker();
+    }
+    if (failure_.empty()) {
+      ProbeLookups();
+    }
+
+    churned_ = false;
+    transport_->set_faults(saved);
+  }
+
+  void FinalizeReclaims() {
+    for (int round = 0; round < kReclaimFinalizeRounds && !pending_reclaim_.empty(); ++round) {
+      bool any = false;
+      for (size_t idx : pending_reclaim_) {
+        TrackedFile& f = files_[idx];
+        if (net_->CountLiveReplicas(f.id) > 0 || AnyPointer(f.id)) {
+          ReclaimResult r = clients_[f.owner]->Reclaim(f.id);
+          CreditShadow(f.owner, r.receipts);
+          any = true;
+        }
+      }
+      if (!any) {
+        break;
+      }
+      // Re-reclaiming may race maintenance state; sweep before re-checking.
+      net_->MaintenanceSweep();
+    }
+    for (size_t idx : pending_reclaim_) {
+      TrackedFile& f = files_[idx];
+      if (net_->CountLiveReplicas(f.id) > 0 || AnyPointer(f.id)) {
+        failure_ = "reclaim: file " + Short(f.id) +
+                   " still has replicas or pointers after finalization";
+        return;
+      }
+      f.reclaimed = true;
+      // Model cache expiry: a finalized reclaim invalidates cached copies,
+      // so any later reappearance in a cache is a resurrection bug.
+      PurgeFromCaches(f.id);
+      ++result_.files_reclaimed;
+    }
+    pending_reclaim_.clear();
+  }
+
+  void ReconcileLostFiles() {
+    for (TrackedFile& f : files_) {
+      if (f.reclaimed || f.lost) {
+        continue;
+      }
+      if (net_->CountLiveReplicas(f.id) == 0 && !AnyPointer(f.id)) {
+        if (!churned_) {
+          failure_ = "placement: file " + Short(f.id) +
+                     " vanished with no crash or partition in the window";
+          return;
+        }
+        // Every replica died before repair could run — a legitimate loss
+        // under churn, recorded and excluded from further checking.
+        f.lost = true;
+        ++result_.files_lost;
+      }
+    }
+  }
+
+  void RunChecker() {
+    std::vector<QuotaExpectation> quotas;
+    quotas.reserve(clients_.size());
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      quotas.push_back(QuotaExpectation{clients_[i]->card().quota_total(), shadow_quota_[i],
+                                        clients_[i]->card().quota_remaining()});
+    }
+    InvariantReport report =
+        InvariantChecker().Check(*net_, queue_, files_, quotas, /*expected_live_events=*/1);
+    if (!report.ok()) {
+      failure_ = report.Summary();
+    }
+  }
+
+  void ProbeLookups() {
+    size_t probed = 0;
+    for (const TrackedFile& f : files_) {
+      if (probed >= kProbeLookups) {
+        break;
+      }
+      if (f.reclaimed || f.lost) {
+        continue;
+      }
+      LookupResult r = clients_[f.owner]->Lookup(f.id);
+      if (!r.found()) {
+        failure_ = "probe: lookup of live file " + Short(f.id) +
+                   " failed at a converged checkpoint";
+        return;
+      }
+      ++probed;
+    }
+  }
+
+  std::vector<size_t> LiveFileIndices() const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < files_.size(); ++i) {
+      const TrackedFile& f = files_[i];
+      if (f.reclaimed || f.lost) {
+        continue;
+      }
+      if (std::find(pending_reclaim_.begin(), pending_reclaim_.end(), i) !=
+          pending_reclaim_.end()) {
+        continue;
+      }
+      out.push_back(i);
+    }
+    return out;
+  }
+
+  bool AnyPointer(const FileId& id) const {
+    for (const NodeId& nid : net_->StorageNodeIds()) {
+      const PastNode* pn = net_->storage_node(nid);
+      if (pn != nullptr && pn->store().GetPointer(id) != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void PurgeFromCaches(const FileId& id) {
+    for (const NodeId& nid : net_->StorageNodeIds()) {
+      PastNode* pn = net_->storage_node(nid);
+      if (pn != nullptr && pn->cache() != nullptr) {
+        pn->cache()->Remove(id);
+      }
+    }
+  }
+
+  // Mirrors Smartcard::CreditReclaim bit for bit (per-receipt, capped).
+  void CreditShadow(size_t ci, const std::vector<ReclaimReceipt>& receipts) {
+    uint64_t total = clients_[ci]->card().quota_total();
+    for (const ReclaimReceipt& r : receipts) {
+      if (r.Verify()) {
+        shadow_quota_[ci] = std::min(total, shadow_quota_[ci] + r.reclaimed_bytes);
+      }
+    }
+  }
+
+  SimConfig config_;
+  std::vector<ScheduledEvent> schedule_;
+  TestDeployment deployment_;
+  PastNetwork* net_ = nullptr;
+  EventQueue queue_;
+  SimTransport* transport_ = nullptr;
+  std::unique_ptr<KeepAliveDriver> driver_;
+  std::vector<std::unique_ptr<PastClient>> clients_;
+  std::vector<uint64_t> shadow_quota_;
+
+  std::vector<TrackedFile> files_;
+  std::vector<size_t> pending_reclaim_;
+  std::unordered_set<NodeId, NodeIdHash> cut_off_;
+  std::unordered_map<NodeId, size_t, NodeIdHash> heal_at_;
+  bool churned_ = false;
+  uint64_t insert_counter_ = 0;
+
+  std::string failure_;
+  SimResult result_;
+};
+
+bool Fails(const SimConfig& config, std::string* failure, size_t* executed, size_t* runs) {
+  ++*runs;
+  SimResult res = SimRunner(config).Run();
+  if (failure != nullptr) {
+    *failure = res.failure;
+  }
+  if (executed != nullptr) {
+    *executed = res.events_executed;
+  }
+  return !res.ok;
+}
+
+}  // namespace
+
+SimRunner::SimRunner(const SimConfig& config) : config_(config) {}
+
+SimResult SimRunner::Run() { return Execution(config_).Run(); }
+
+std::optional<MinimizeOutcome> MinimizeFailure(const SimConfig& failing) {
+  MinimizeOutcome out;
+  SimConfig current = failing;
+  std::string failure;
+  size_t executed = 0;
+  if (!Fails(current, &failure, &executed, &out.runs)) {
+    return std::nullopt;
+  }
+  out.original_events = executed;
+
+  // Shortest failing schedule prefix. The search keeps the invariant that
+  // max_events = hi fails; a pass at mid moves lo past it.
+  auto bisect = [&out](SimConfig& config) {
+    size_t lo = 1;
+    size_t hi = std::min(config.schedule.num_events, config.max_events);
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      SimConfig trial = config;
+      trial.max_events = mid;
+      if (Fails(trial, nullptr, nullptr, &out.runs)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    config.max_events = hi;
+  };
+  bisect(current);
+
+  // Prune whole event classes the failure does not depend on, then re-bisect
+  // (a shorter prefix may suffice once unrelated events stop executing).
+  for (size_t c = 0; c < kSimEventClassCount; ++c) {
+    if (!current.enabled[c]) {
+      continue;
+    }
+    SimConfig trial = current;
+    trial.enabled[c] = false;
+    if (Fails(trial, nullptr, nullptr, &out.runs)) {
+      current = trial;
+      out.pruned_classes.push_back(ToString(static_cast<SimEventClass>(c)));
+    }
+  }
+  bisect(current);
+
+  if (!Fails(current, &failure, &executed, &out.runs)) {
+    return std::nullopt;  // non-monotonic schedule; give up rather than lie
+  }
+  out.minimized = current;
+  out.minimized_events = executed;
+  out.failure = failure;
+  return out;
+}
+
+std::string SerializeSimConfig(const SimConfig& config, std::string_view failure) {
+  std::ostringstream out;
+  out << "# past-sim repro v1\n";
+  if (!failure.empty()) {
+    out << "# failure: " << failure << '\n';
+  }
+  out << std::setprecision(17);
+  out << "seed=" << config.seed << '\n';
+  out << "num_nodes=" << config.num_nodes << '\n';
+  out << "capacity_per_node=" << config.capacity_per_node << '\n';
+  out << "k=" << config.k << '\n';
+  out << "num_clients=" << config.num_clients << '\n';
+  out << "quota_per_client=" << config.quota_per_client << '\n';
+  out << "num_events=" << config.schedule.num_events << '\n';
+  out << "insert_weight=" << config.schedule.insert_weight << '\n';
+  out << "lookup_weight=" << config.schedule.lookup_weight << '\n';
+  out << "reclaim_weight=" << config.schedule.reclaim_weight << '\n';
+  out << "join_weight=" << config.schedule.join_weight << '\n';
+  out << "crash_weight=" << config.schedule.crash_weight << '\n';
+  out << "partition_weight=" << config.schedule.partition_weight << '\n';
+  out << "checkpoint_every=" << config.checkpoint_every << '\n';
+  out << "max_events=" << (config.max_events == kAllEvents ? 0 : config.max_events) << '\n';
+  out << "drop_probability=" << config.faults.drop_probability << '\n';
+  out << "duplicate_probability=" << config.faults.duplicate_probability << '\n';
+  out << "delay_probability=" << config.faults.delay_probability << '\n';
+  out << "delay_ms=" << config.faults.delay_ms << '\n';
+  out << "corrupt_at_event=";
+  if (config.corrupt_at_event == kNoCorruption) {
+    out << "none";
+  } else {
+    out << config.corrupt_at_event;
+  }
+  out << '\n';
+  out << "enabled=";
+  bool first = true;
+  for (size_t c = 0; c < kSimEventClassCount; ++c) {
+    if (config.enabled[c]) {
+      if (!first) {
+        out << ',';
+      }
+      out << ToString(static_cast<SimEventClass>(c));
+      first = false;
+    }
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::optional<SimConfig> ParseSimConfig(const std::string& text) {
+  SimConfig config;
+  std::istringstream in(text);
+  std::string line;
+  bool any = false;
+  while (std::getline(in, line)) {
+    // Trim whitespace and skip comments / blanks.
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') {
+      continue;
+    }
+    size_t end = line.find_last_not_of(" \t\r");
+    std::string body = line.substr(begin, end - begin + 1);
+    size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      return std::nullopt;
+    }
+    std::string key = body.substr(0, eq);
+    std::string value = body.substr(eq + 1);
+    any = true;
+    auto as_u64 = [&value]() { return std::strtoull(value.c_str(), nullptr, 10); };
+    auto as_double = [&value]() { return std::strtod(value.c_str(), nullptr); };
+    if (key == "seed") {
+      config.seed = as_u64();
+    } else if (key == "num_nodes") {
+      config.num_nodes = static_cast<size_t>(as_u64());
+    } else if (key == "capacity_per_node") {
+      config.capacity_per_node = as_u64();
+    } else if (key == "k") {
+      config.k = static_cast<uint32_t>(as_u64());
+    } else if (key == "num_clients") {
+      config.num_clients = static_cast<size_t>(as_u64());
+    } else if (key == "quota_per_client") {
+      config.quota_per_client = as_u64();
+    } else if (key == "num_events") {
+      config.schedule.num_events = static_cast<size_t>(as_u64());
+    } else if (key == "insert_weight") {
+      config.schedule.insert_weight = as_double();
+    } else if (key == "lookup_weight") {
+      config.schedule.lookup_weight = as_double();
+    } else if (key == "reclaim_weight") {
+      config.schedule.reclaim_weight = as_double();
+    } else if (key == "join_weight") {
+      config.schedule.join_weight = as_double();
+    } else if (key == "crash_weight") {
+      config.schedule.crash_weight = as_double();
+    } else if (key == "partition_weight") {
+      config.schedule.partition_weight = as_double();
+    } else if (key == "checkpoint_every") {
+      config.checkpoint_every = static_cast<size_t>(as_u64());
+    } else if (key == "max_events") {
+      uint64_t v = as_u64();
+      config.max_events = v == 0 ? kAllEvents : static_cast<size_t>(v);
+    } else if (key == "drop_probability") {
+      config.faults.drop_probability = as_double();
+    } else if (key == "duplicate_probability") {
+      config.faults.duplicate_probability = as_double();
+    } else if (key == "delay_probability") {
+      config.faults.delay_probability = as_double();
+    } else if (key == "delay_ms") {
+      config.faults.delay_ms = as_double();
+    } else if (key == "corrupt_at_event") {
+      config.corrupt_at_event = value == "none" ? kNoCorruption : as_u64();
+    } else if (key == "enabled") {
+      config.enabled.fill(false);
+      size_t pos = 0;
+      while (pos <= value.size()) {
+        size_t comma = value.find(',', pos);
+        std::string name =
+            value.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!name.empty()) {
+          std::optional<SimEventClass> cls = SimEventClassFromName(name);
+          if (!cls.has_value()) {
+            return std::nullopt;
+          }
+          config.enabled[static_cast<size_t>(*cls)] = true;
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        pos = comma + 1;
+      }
+    }
+    // Unknown keys are ignored for forward compatibility.
+  }
+  if (!any || config.num_nodes == 0 || config.num_clients == 0 ||
+      config.checkpoint_every == 0) {
+    return std::nullopt;
+  }
+  return config;
+}
+
+}  // namespace past

@@ -58,6 +58,19 @@ bool NodeStore::SetReplicaKind(const FileId& id, ReplicaKind kind) {
   return true;
 }
 
+bool NodeStore::TestOnlyCorruptDropReplica(const FileId& id) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return false;
+  }
+  // Deliberately leaves used_ charging for the vanished entry.
+  if (it->second.kind == ReplicaKind::kPrimary) {
+    --primary_count_;
+  }
+  replicas_.erase(it);
+  return true;
+}
+
 void NodeStore::InstallPointer(const FileId& id, const NodeId& holder, PointerRole role,
                                uint64_t size) {
   pointers_[id] = DiversionPointer{holder, role, size};

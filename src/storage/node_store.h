@@ -93,6 +93,16 @@ class NodeStore {
     return pointers_;
   }
 
+  // --- test-only fault injection ---
+
+  // Silently drops a replica WITHOUT releasing its bytes: the entry vanishes
+  // from the file table while used() keeps charging for it, exactly the
+  // store-corruption a crashed-and-restarted disk could exhibit. Exists so
+  // the simulation harness can demonstrate invariant detection and failing-
+  // seed minimization on a guaranteed violation; never called by protocol
+  // code. Returns false if the replica was not present.
+  bool TestOnlyCorruptDropReplica(const FileId& id);
+
   // --- stats ---
 
   size_t replica_count() const { return replicas_.size(); }

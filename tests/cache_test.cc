@@ -159,6 +159,81 @@ TEST(FileCacheTest, ZeroByteFilesNotCached) {
   EXPECT_FALSE(cache.Insert(MakeFileId(1), 0, 1000));
 }
 
+TEST(FileCacheTest, ZeroByteRejectionLeavesAccountingUntouched) {
+  FileCache cache(std::make_unique<GdsPolicy>(), 1.0);
+  ASSERT_TRUE(cache.Insert(MakeFileId(1), 400, 1000));
+  EXPECT_FALSE(cache.Insert(MakeFileId(2), 0, 1000));
+  EXPECT_EQ(cache.used(), 400u);
+  EXPECT_EQ(cache.count(), 1u);
+  EXPECT_EQ(cache.Entries().size(), 1u);
+  // The rejected file never entered the policy either: evicting drains only
+  // the real entry.
+  cache.ShrinkToBudget(0);
+  EXPECT_EQ(cache.used(), 0u);
+  EXPECT_EQ(cache.count(), 0u);
+}
+
+TEST(GdsPolicyTest, ZeroSizeEntryIsSafeAndEvictedLast) {
+  // H = L + 1/max(1, size): a zero-size entry must not divide by zero, and
+  // it gets the largest weight so larger files are evicted first.
+  GdsPolicy gds;
+  gds.OnInsert(MakeFileId(1), 0);
+  gds.OnInsert(MakeFileId(2), 1000);
+  auto victim = gds.EvictVictim();
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, MakeFileId(2));
+  auto last = gds.EvictVictim();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(*last, MakeFileId(1));
+}
+
+TEST(FileCacheTest, ExactCapacityFitNeedsNoEviction) {
+  FileCache cache(std::make_unique<GdsPolicy>(), 1.0);
+  ASSERT_TRUE(cache.Insert(MakeFileId(1), 400, 1000));
+  // 400 + 600 lands exactly on the budget: admitted with zero evictions.
+  ASSERT_TRUE(cache.Insert(MakeFileId(2), 600, 1000));
+  EXPECT_EQ(cache.used(), 1000u);
+  EXPECT_EQ(cache.count(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(FileCacheTest, EvictionStopsAtExactFit) {
+  FileCache cache(std::make_unique<GdsPolicy>(), 1.0);
+  ASSERT_TRUE(cache.Insert(MakeFileId(1), 500, 1000));
+  ASSERT_TRUE(cache.Insert(MakeFileId(2), 400, 1000));
+  // Admitting 600 must evict entry 1 (largest ⇒ smallest GD-S weight) and
+  // then stop: 400 + 600 fits the budget exactly.
+  ASSERT_TRUE(cache.Insert(MakeFileId(3), 600, 1000));
+  EXPECT_EQ(cache.used(), 1000u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.SizeOf(MakeFileId(1)).has_value());
+  EXPECT_TRUE(cache.SizeOf(MakeFileId(2)).has_value());
+  EXPECT_TRUE(cache.SizeOf(MakeFileId(3)).has_value());
+}
+
+TEST(FileCacheTest, EntriesSnapshotMatchesAccounting) {
+  FileCache cache(std::make_unique<GdsPolicy>(), 1.0);
+  ASSERT_TRUE(cache.Insert(MakeFileId(1), 300, 10'000));
+  ASSERT_TRUE(cache.Insert(MakeFileId(2), 700, 10'000));
+  ASSERT_TRUE(cache.Insert(MakeFileId(3), 1'000, 10'000));
+  uint64_t sum = 0;
+  for (const auto& [id, size] : cache.Entries()) {
+    (void)id;
+    sum += size;
+  }
+  EXPECT_EQ(sum, cache.used());
+  EXPECT_EQ(cache.Entries().size(), cache.count());
+  // Removal keeps the snapshot in lockstep.
+  ASSERT_TRUE(cache.Remove(MakeFileId(2)));
+  EXPECT_EQ(cache.Entries().size(), 2u);
+  sum = 0;
+  for (const auto& [id, size] : cache.Entries()) {
+    (void)id;
+    sum += size;
+  }
+  EXPECT_EQ(sum, cache.used());
+}
+
 // Comparative property: on a Zipf-like trace with varied sizes, GD-S should
 // achieve at least as high a hit rate as LRU (the paper's Figure 8 finding).
 TEST(CachePolicyComparisonTest, GdsBeatsLruOnSkewedTrace) {

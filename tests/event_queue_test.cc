@@ -144,6 +144,33 @@ TEST(EventQueueTest, CancellationKeepsFifoAmongEqualTimes) {
   EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
 }
 
+TEST(EventQueueTest, LiveCountTreatsCancelledOnlyQueueAsQuiescent) {
+  // Regression: quiescence checks must not be fooled by cancelled husks that
+  // still sit in the heap awaiting their lazy pop.
+  EventQueue q;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(q.ScheduleAfter(10 * (i + 1), [] {}));
+  }
+  EXPECT_EQ(q.LiveCount(), 4u);
+  EXPECT_FALSE(q.empty());
+  for (EventQueue::EventId id : ids) {
+    ASSERT_TRUE(q.Cancel(id));
+  }
+  // Nothing was popped, so the husks are still enqueued — yet the queue must
+  // report quiescent.
+  EXPECT_EQ(q.LiveCount(), 0u);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+
+  // A fresh event revives it, and running drains it back to quiescent.
+  q.ScheduleAfter(5, [] {});
+  EXPECT_EQ(q.LiveCount(), 1u);
+  q.RunAll();
+  EXPECT_EQ(q.LiveCount(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueTest, KeepAlivePatternRepeatingTimer) {
   // The pattern Pastry's keep-alive uses: a self-rescheduling timer.
   EventQueue q;

@@ -172,5 +172,164 @@ TEST_F(FaultInjectionTest, PartitionedNodeIsPresumedFailedAndRepaired) {
   driver.Stop();
 }
 
+TEST_F(FaultInjectionTest, DuplicateDeliveryDuringPartitionStaysConsistent) {
+  Build(40, /*maintenance=*/true);
+  PastClient client(network(), AnyNode(), 1ull << 40, 91);
+  std::vector<FileId> files;
+  for (int i = 0; i < 8; ++i) {
+    ClientInsertResult r = client.Insert("dup-part-" + std::to_string(i) + ".bin", 20'000);
+    ASSERT_TRUE(r.stored);
+    files.push_back(r.file_id);
+  }
+
+  // Combined fault: every message is delivered twice while a replica holder
+  // is cut off — keep-alive, detection and repair traffic all run duplicated.
+  FaultPlan faults;
+  faults.duplicate_probability = 1.0;
+  sim_->set_faults(faults);
+
+  constexpr SimTime kPeriod = 1'000;
+  constexpr SimTime kTimeout = 3 * kPeriod;
+  KeepAliveDriver driver(queue_, network().overlay(), kPeriod);
+  driver.UseTransport(&network().transport(), kTimeout);
+
+  NodeId victim;
+  bool found_victim = false;
+  for (const NodeId& id : network().overlay().KClosestLive(files[0].ToRoutingKey(), 3)) {
+    const PastNode* pn = network().storage_node(id);
+    if (pn != nullptr && pn->store().HasReplica(files[0])) {
+      victim = id;
+      found_victim = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_victim);
+  sim_->Partition(victim);
+  queue_.RunUntil(queue_.now() + kPeriod + kTimeout + 2 * kPeriod);
+  EXPECT_FALSE(network().overlay().IsAlive(victim));
+  driver.Stop();
+
+  // Duplicated repair pushes must not double-store replicas or double-count
+  // the gauges: the census and the metrics must agree exactly.
+  sim_->set_faults(FaultPlan{});
+  sim_->Heal(victim);
+  network().MaintenanceSweep();
+  EXPECT_EQ(network().CountStorageInvariantViolations(files), 0u);
+  EXPECT_EQ(network().CountersSnapshot().replicas_stored_total,
+            network().CountReplicas().replicas);
+  for (const FileId& f : files) {
+    EXPECT_EQ(network().CountLiveReplicas(f), 3u) << f.ToHex();
+  }
+  // The victim may have been the default origin; look up from a live node.
+  NodeId origin = AnyNode();
+  for (const NodeId& id : network().StorageNodeIds()) {
+    if (network().overlay().IsAlive(id)) {
+      origin = id;
+      break;
+    }
+  }
+  EXPECT_TRUE(network().Lookup(origin, files[0]).found());
+}
+
+TEST_F(FaultInjectionTest, DroppedRepairStoreIsHealedByMaintenanceSweep) {
+  Build(40, /*maintenance=*/true);
+  PastClient client(network(), AnyNode(), 1ull << 40, 92);
+  std::vector<FileId> files;
+  for (int i = 0; i < 6; ++i) {
+    ClientInsertResult r = client.Insert("rep-drop-" + std::to_string(i) + ".bin", 20'000);
+    ASSERT_TRUE(r.stored);
+    files.push_back(r.file_id);
+  }
+
+  NodeId victim;
+  bool found_victim = false;
+  for (const NodeId& id : network().overlay().KClosestLive(files[0].ToRoutingKey(), 3)) {
+    const PastNode* pn = network().storage_node(id);
+    if (pn != nullptr && pn->store().HasReplica(files[0])) {
+      victim = id;
+      found_victim = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_victim);
+
+  // Combined fault: the node failure's repair runs with one replica push
+  // silently lost, so some file is left with a pointer fallback or a hole.
+  sim_->DropNext(MessageType::kRepairStore, 1);
+  network().FailStorageNode(victim);
+  EXPECT_EQ(sim_->stats().dropped(), 1u);
+
+  // A later maintenance sweep (fault-free) must restore full replication.
+  network().MaintenanceSweep();
+  EXPECT_EQ(network().CountStorageInvariantViolations(files), 0u);
+  for (const FileId& f : files) {
+    EXPECT_EQ(network().CountLiveReplicas(f), 3u) << f.ToHex();
+  }
+  NodeId origin = AnyNode();
+  for (const NodeId& id : network().StorageNodeIds()) {
+    if (network().overlay().IsAlive(id)) {
+      origin = id;
+      break;
+    }
+  }
+  EXPECT_TRUE(network().Lookup(origin, files[0]).found());
+}
+
+// Evict-vs-reclaim through the typed message path: route-side caching fills
+// caches, one cache evicts the entry on its own, then the reclaim purges
+// cached copies at every node it visits — double removal must be harmless
+// and the k+1 closest nodes must not serve the reclaimed file from cache.
+TEST(CacheReclaimRace, ReclaimPurgesCachedCopiesAtVisitedNodes) {
+  PastConfig config;
+  config.k = 3;
+  config.cache_mode = CacheMode::kGreedyDualSize;
+  config.enable_maintenance = true;
+  TestDeployment deployment = BuildDeployment(50, 50'000'000, config, 99);
+  PastNetwork& net = *deployment.network;
+  EventQueue queue;
+  SimTransport::Options options;
+  options.latency = LatencyModel::Lan();
+  options.seed = 100;
+  net.UseSimTransport(queue, options);
+
+  PastClient client(net, deployment.node_ids.front(), 1ull << 40, 101);
+  ClientInsertResult r = client.InsertContent("cached.bin", std::string(8'000, 'x'));
+  ASSERT_TRUE(r.stored);
+
+  // Lookups from many origins cache the file along their routes.
+  for (size_t i = 0; i < deployment.node_ids.size(); i += 5) {
+    net.Lookup(deployment.node_ids[i], r.file_id);
+  }
+  std::vector<NodeId> caching_nodes;
+  for (const NodeId& id : net.StorageNodeIds()) {
+    const PastNode* pn = net.storage_node(id);
+    if (pn != nullptr && pn->cache() != nullptr &&
+        pn->cache()->SizeOf(r.file_id).has_value()) {
+      caching_nodes.push_back(id);
+    }
+  }
+  ASSERT_FALSE(caching_nodes.empty());
+
+  // One cache races the reclaim: it evicts the entry before the reclaim's
+  // purge reaches it.
+  PastNode* racer = net.storage_node(caching_nodes.front());
+  racer->cache()->ShrinkToBudget(0);
+  EXPECT_EQ(racer->cache()->used(), 0u);
+
+  ReclaimResult reclaimed = client.Reclaim(r.file_id);
+  EXPECT_EQ(reclaimed.status, ReclaimStatus::kReclaimed);
+  EXPECT_EQ(net.CountLiveReplicas(r.file_id), 0u);
+  // The reclaim visited the k+1 nodes now closest to the fileId; none of
+  // them may keep a cached copy that could shadow the reclaim.
+  for (const NodeId& id : net.overlay().KClosestLive(r.file_id.ToRoutingKey(), 4)) {
+    const PastNode* pn = net.storage_node(id);
+    ASSERT_NE(pn, nullptr);
+    EXPECT_FALSE(pn->cache()->SizeOf(r.file_id).has_value()) << id.ToHex();
+  }
+  // The racer's early eviction plus the purge double-removal left its
+  // accounting intact.
+  EXPECT_EQ(racer->cache()->used(), 0u);
+}
+
 }  // namespace
 }  // namespace past

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Flakiness sweep over the tier-1 suite: every test is executed repeatedly
+# (default 5x) and the sweep fails on the first run where a test that passed
+# before fails — the signature of order/seed/timing dependence rather than a
+# plain bug. The simulation harness is deterministic by construction, so any
+# flake this catches is a real defect in a test or in the harness itself.
+#
+# Usage: tools/check_flaky.sh [BUILD_DIR] [REPEATS]
+#   BUILD_DIR  cmake build directory holding CTestTestfile.cmake (default: build)
+#   REPEATS    per-test repeat count for --repeat until-fail (default: 5)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPEATS="${2:-5}"
+
+if [[ ! -f "${BUILD_DIR}/CTestTestfile.cmake" ]]; then
+  echo "error: '${BUILD_DIR}' is not a configured build directory" >&2
+  echo "usage: $0 [BUILD_DIR] [REPEATS]" >&2
+  exit 2
+fi
+
+echo "flakiness sweep: every test repeated up to ${REPEATS}x (stop at first flake)"
+ctest --test-dir "${BUILD_DIR}" \
+  --repeat "until-fail:${REPEATS}" \
+  --output-on-failure \
+  -j "$(nproc)"
+echo "no flakes detected in ${REPEATS} repeats"
