@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
                           ? a
                           : b;
       NodeId origin = holder == a ? b : a;
-      LookupResult r = network.Lookup(origin, ins.file_id);
+      client.set_access_node(origin);
+      LookupResult r = client.Lookup(ins.file_id);
       if (r.found()) {
         headline = r.latency_ms;
       }
@@ -97,8 +98,8 @@ int main(int argc, char** argv) {
     std::vector<double> latencies;
     for (const FileId& f : files) {
       for (int i = 0; i < 10; ++i) {
-        NodeId origin = nodes[rng.NextBelow(nodes.size())];
-        LookupResult r = network.Lookup(origin, f);
+        client.set_access_node(nodes[rng.NextBelow(nodes.size())]);
+        LookupResult r = client.Lookup(f);
         if (r.found()) {
           latencies.push_back(r.latency_ms);
         }

@@ -75,7 +75,9 @@ int main(int argc, char** argv) {
         return network.overlay().topology().Distance(origin, a) <
                network.overlay().topology().Distance(origin, b);
       });
-      LookupResult r = network.Lookup(origin, ins.file_id);
+      client.set_access_node(origin);
+      LookupResult r = client.Lookup(ins.file_id);
+      client.set_access_node(nodes[0]);
       if (!r.found()) {
         continue;
       }

@@ -123,8 +123,8 @@ double MeasureLookups(bool smoke) {
   double start = Now();
   for (size_t i = 0; i < iters; ++i) {
     const FileId& f = files[rng.NextBelow(files.size())];
-    const NodeId& origin = nodes[rng.NextBelow(nodes.size())];
-    network.Lookup(origin, f);
+    client.set_access_node(nodes[rng.NextBelow(nodes.size())]);
+    client.Lookup(f);
   }
   double elapsed = Now() - start;
   return static_cast<double>(iters) / elapsed;

@@ -46,7 +46,8 @@ RunStats Run(past::CacheMode mode) {
   const int waves = 5;
   for (int wave = 0; wave < waves; ++wave) {
     for (size_t i = 0; i < nodes.size(); i += 4) {
-      LookupResult r = network.Lookup(nodes[i], published.file_id);
+      publisher.set_access_node(nodes[i]);
+      LookupResult r = publisher.Lookup(published.file_id);
       if (!r.found()) {
         continue;
       }

@@ -42,6 +42,19 @@ class SimTransport : public Transport {
 
   SimTime now() const override { return queue_.now(); }
 
+  // Op timeouts are plain events on the driving queue, so they interleave
+  // with deliveries in virtual-time order.
+  TimerId ScheduleTimer(SimTime delay_ms, std::function<void()> fn) override {
+    return queue_.ScheduleAfter(delay_ms, std::move(fn));
+  }
+  bool CancelTimer(TimerId id) override { return queue_.Cancel(id); }
+
+  // One queue event — delivery, op timeout, or any co-scheduled timer (the
+  // drain is a simulation step, like Settle()).
+  bool StepOne() override { return queue_.Step(); }
+
+  uint64_t InFlightDeliveries() const override { return in_flight_; }
+
   const Options& options() const { return options_; }
 
   // --- fault control (tests and experiments poke these mid-run) ---

@@ -17,10 +17,17 @@
 // Delivery model: Send(msg, on_deliver) queues msg; `on_deliver` runs "at
 // msg.to" when the message arrives — possibly never (drop, partition),
 // possibly twice (duplication). Replies are just more Sends issued from
-// inside a delivery continuation. A coordinator drives an exchange with
-//   Send(...); transport.Settle(); then inspects which replies arrived —
-// a missing reply after Settle() IS the timeout signal, and triggers the
-// coordinator's rollback / retry path.
+// inside a delivery continuation.
+//
+// Two drive modes sit on top:
+//  * Event-driven (the client-op engine, src/past/ops/async_op.h): an op
+//    registers reply handlers and arms a timeout timer via ScheduleTimer();
+//    the engine pumps StepOne() until the op completes. A reply that has
+//    not arrived when the timer fires was dropped — the op takes its
+//    rollback / retry path.
+//  * Settle-driven (maintenance-plane repair, keep-alive probe rounds):
+//    Send(...); transport.Settle(); then inspect which replies arrived —
+//    a missing reply after Settle() IS the timeout signal.
 #ifndef SRC_NET_TRANSPORT_H_
 #define SRC_NET_TRANSPORT_H_
 
@@ -64,6 +71,40 @@ class Transport {
 
   // Virtual clock (0 under InlineTransport).
   virtual SimTime now() const { return 0; }
+
+  // --- event-driven op support (async_op.h) ---
+
+  using TimerId = uint64_t;
+
+  // Schedules `fn` to run after `delay_ms` of virtual time. Under
+  // InlineTransport every delivery has already happened by the time the
+  // caller arms the timer — a reply that is still missing will never come —
+  // so the inline default fires `fn` immediately, which makes the timeout
+  // path run exactly where the old post-Settle() inspection did.
+  virtual TimerId ScheduleTimer(SimTime delay_ms, std::function<void()> fn) {
+    (void)delay_ms;
+    if (fn) {
+      fn();
+    }
+    return 0;
+  }
+
+  // Cancels a pending timer; false if it already fired (always, inline).
+  virtual bool CancelTimer(TimerId id) {
+    (void)id;
+    return false;
+  }
+
+  // Advances the transport by one event (a delivery or a timer) and returns
+  // whether anything ran. The op engine's Wait()/Poll() drain is built on
+  // this. InlineTransport has nothing to pump: every send completed inside
+  // Send(), so it returns false.
+  virtual bool StepOne() { return false; }
+
+  // Deliveries accepted but not yet dispatched (0 inline: delivery happens
+  // inside Send()). The op engine uses this to decide when a finished op can
+  // no longer be referenced by a queued delivery closure and may be freed.
+  virtual uint64_t InFlightDeliveries() const { return 0; }
 
   TransportStats& stats() { return *stats_; }
   const TransportStats& stats() const { return *stats_; }

@@ -53,6 +53,14 @@ struct PastConfig {
   // When true, membership changes trigger replica maintenance (section 3.5).
   // Storage experiments without churn disable it to skip the scan.
   bool enable_maintenance = true;
+
+  // Per-phase timeout for the event-driven client operations (virtual ms).
+  // When a protocol exchange still has unanswered messages this long after
+  // they were sent, the op presumes them lost and takes its timeout path
+  // (rollback + client re-salt retry for inserts). Must comfortably exceed
+  // the worst-case chained delivery latency of one exchange so that merely
+  // slow (delayed-fault) messages are not misread as drops.
+  uint64_t op_timeout_ms = 2000;
 };
 
 }  // namespace past

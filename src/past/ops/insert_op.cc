@@ -1,271 +1,287 @@
 #include "src/past/ops/insert_op.h"
 
-#include <optional>
 #include <utility>
-#include <vector>
 
 namespace past {
 
-InsertResult InsertOp::Run(const NodeId& origin, const FileCertificate& certificate,
-                           uint64_t size, FileContentRef content) {
-  InsertResult result;
+InsertOp::InsertOp(PastNetwork& net, const NodeId& origin, const FileCertificate& certificate,
+                   uint64_t size, FileContentRef content, Callback callback)
+    : AsyncOp(net), origin_(origin), certificate_(certificate), size_(size),
+      content_(std::move(content)), callback_(std::move(callback)),
+      key_(certificate.file_id.ToRoutingKey()) {}
+
+void InsertOp::Start() {
   net_.ins_.insert_attempts->Inc();
-  net_.ins_.insert_size->Observe(static_cast<double>(size));
-
-  const FileId& file_id = certificate.file_id;
-  NodeId key = file_id.ToRoutingKey();
-  size_t k = net_.config_.k;
-
-  // One trace record per attempt, emitted on every exit path.
-  obs::OpTrace trace;
-  trace.kind = obs::TraceOpKind::kInsert;
-  trace.file_id = file_id.ToHex();
-  trace.size = size;
-  auto finish = [&](InsertStatus status) {
-    result.status = status;
-    if (status != InsertStatus::kStored) {
-      net_.ins_.insert_failures->Inc();
-    }
-    net_.ins_.insert_hops->Observe(static_cast<double>(result.route_hops));
-    result.messages = messages_;
-    result.latency_ms = latency_ms_;
-    trace.status = ToString(status);
-    trace.hops = result.route_hops;
-    trace.diverted = result.replicas_diverted > 0;
-    trace.messages = messages_;
-    trace.latency_ms = latency_ms_;
-    net_.EmitTrace(std::move(trace));
-    return result;
-  };
+  net_.ins_.insert_size->Observe(static_cast<double>(size_));
 
   // Route toward the fileId; the first node that finds itself among the k
   // numerically closest takes responsibility (paper section 2.2).
+  size_t k = net_.config_.k;
   RouteResult route = net_.pastry_.Route(
-      origin, key, [&](const NodeId& n) { return net_.IsAmongKClosest(n, key, k); });
-  result.route_hops = route.hops();
-  NodeId root = route.destination();
-  trace.node = root.ToHex();
+      origin_, key_, [&](const NodeId& n) { return net_.IsAmongKClosest(n, key_, k); });
+  result_.route_hops = route.hops();
+  root_ = route.destination();
 
   // A malicious node swallowed the request: the attempt fails and the
   // client's re-salted retry takes a different route (section 2.3).
   if (!route.delivered) {
-    return finish(InsertStatus::kNoSpace);
+    Finish(InsertStatus::kNoSpace);
+    return;
   }
+  route_path_ = std::move(route.path);
 
   // The insert request (file bytes included) rides the route just computed.
   // Per-hop traffic was already accounted inside Route(); this message
   // carries the route shape so SimTransport can charge the full path
   // latency. A dropped request is the first timeout opportunity.
-  bool request_arrived = false;
-  {
-    Message request;
-    request.type = MessageType::kInsertRequest;
-    request.from = origin;
-    request.to = root;
-    request.file = file_id;
-    request.payload_bytes = size;
-    request.hops = route.hops();
-    request.distance = route.distance;
-    request.cost = MessageCost::kNone;
-    Send(request, [&](const Delivery& d) {
-      if (request_arrived) {
-        return;  // duplicated delivery
-      }
-      request_arrived = true;
-      latency_ms_ += d.latency_ms;
-    });
-  }
-  transport_.Settle();
-  if (!request_arrived) {
-    return finish(InsertStatus::kTimeout);
+  Message request;
+  request.type = MessageType::kInsertRequest;
+  request.from = origin_;
+  request.to = root_;
+  request.file = certificate_.file_id;
+  request.payload_bytes = size_;
+  request.hops = result_.route_hops;
+  request.distance = route.distance;
+  request.cost = MessageCost::kNone;
+
+  BeginPhase(&InsertOp::AfterRequest);
+  SendTracked(request_ex_, request, nullptr);
+  EndPhase();
+}
+
+void InsertOp::AfterRequest() {
+  if (!request_ex_.completed()) {
+    Finish(InsertStatus::kTimeout);
+    return;
   }
 
   // --- from here on, decisions are the root's (reads are root-local) ---
 
+  const FileId& file_id = certificate_.file_id;
+  size_t k = net_.config_.k;
+
   // The root verifies the file certificate — and, when the bytes travel with
   // the request, recomputes the content hash — before accepting
   // responsibility (paper section 2.2).
-  if (!certificate.VerifySignature() ||
-      (content != nullptr && !certificate.VerifyContent(*content))) {
-    return finish(InsertStatus::kBadCertificate);
+  if (!certificate_.VerifySignature() ||
+      (content_ != nullptr && !certificate_.VerifyContent(*content_))) {
+    Finish(InsertStatus::kBadCertificate);
+    return;
   }
 
-  std::vector<NodeId> k_closest = net_.KClosestFromLeafSet(root, key, k);
-  if (k_closest.empty()) {
-    return finish(InsertStatus::kNoSpace);
+  targets_ = net_.KClosestFromLeafSet(root_, key_, k);
+  if (targets_.empty()) {
+    Finish(InsertStatus::kNoSpace);
+    return;
   }
 
   // fileId collision: a file with this id already exists — reject the later
   // insert (paper section 2).
-  for (const NodeId& t : k_closest) {
+  for (const NodeId& t : targets_) {
     const PastNode* pn = net_.storage_node(t);
     if (pn != nullptr &&
         (pn->store().HasReplica(file_id) || pn->store().GetPointer(file_id) != nullptr)) {
-      return finish(InsertStatus::kDuplicateFileId);
+      Finish(InsertStatus::kDuplicateFileId);
+      return;
     }
   }
 
   // The witness node C: the (k+1)-th closest, which shadows diversion
   // pointers so that the diverting node A is not a single point of failure.
-  std::vector<NodeId> k_plus_one = net_.KClosestFromLeafSet(root, key, k + 1);
-  std::optional<NodeId> witness;
+  std::vector<NodeId> k_plus_one = net_.KClosestFromLeafSet(root_, key_, k + 1);
   if (k_plus_one.size() == k + 1) {
-    witness = k_plus_one.back();
+    witness_ = k_plus_one.back();
   }
 
-  FileCertificateRef cert_ref = std::make_shared<const FileCertificate>(certificate);
-  std::vector<PastNetwork::PendingStore> created;
-  for (const NodeId& t : k_closest) {
-    if (net_.storage_node(t) == nullptr) {
-      continue;
-    }
+  cert_ref_ = std::make_shared<const FileCertificate>(certificate_);
+  target_index_ = 0;
+  StoreNext();
+}
 
-    // One store exchange, driven to completion before the next target (the
-    // pre-fabric code was sequential too). All per-exchange state lives in
-    // this frame so delivery continuations can reference it safely until
-    // Settle() returns.
-    enum class Outcome { kPending, kStored, kDeclined };
-    Outcome outcome = Outcome::kPending;
-    bool store_handled = false;       // dedup: kStoreReplica at t
-    bool divert_handled = false;      // dedup: kDivertRequest at B
-    bool divert_ack_handled = false;  // dedup: B's ack back at A
-    bool witness_handled = false;     // dedup: kInstallPointer at C
-    bool root_ack_handled = false;    // dedup: final ack at the root
-    std::optional<NodeId> divert_target;
+void InsertOp::AckRoot(const NodeId& from_node, bool ok) {
+  // Exactly one root ack per store phase, so the verdict can ride in a
+  // member until the delivery lands; a straggler from an earlier phase is
+  // epoch-filtered before it could read a newer value.
+  ack_ok_ = ok;
+  SendTracked(root_ack_ex_,
+              Direct(MessageType::kAck, from_node, root_, certificate_.file_id, 0,
+                     MessageCost::kNone),
+              &InsertOp::OnRootAck);
+}
 
-    auto ack_root = [&](const NodeId& from_node, bool ok) {
-      Send(Direct(MessageType::kAck, from_node, root, file_id, 0, MessageCost::kNone),
-           [&, ok](const Delivery& d) {
-             if (root_ack_handled) {
-               return;
-             }
-             root_ack_handled = true;
-             latency_ms_ += d.latency_ms;
-             outcome = ok ? Outcome::kStored : Outcome::kDeclined;
-           });
-    };
+void InsertOp::OnRootAck(const Delivery&) {
+  outcome_ = ack_ok_ ? Outcome::kStored : Outcome::kDeclined;
+}
 
-    // kStoreReplica carries the file bytes — the same data message the
-    // pre-fabric code charged with RecordMessage(size).
-    Send(Direct(MessageType::kStoreReplica, root, t, file_id, size, MessageCost::kMessage),
-         [&](const Delivery& d) {
-           if (store_handled) {
-             return;
-           }
-           store_handled = true;
-           latency_ms_ += d.latency_ms;
-
-           PastNode* pn = net_.storage_node(t);
-           if (pn == nullptr) {
-             ack_root(t, false);
-             return;
-           }
-           if (pn->WouldAcceptPrimary(size) &&
-               pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, cert_ref, content)) {
-             created.push_back({t, /*is_pointer=*/false});
-             net_.total_stored_ += size;
-             net_.ins_.replicas_stored->Add(1);
-             ++result.replicas_stored;
-             result.receipts.push_back(pn->MakeStoreReceipt(file_id));
-             ack_root(t, true);
-             return;
-           }
-
-           if (net_.config_.enable_replica_diversion) {
-             divert_target = net_.ChooseDiversionTarget(t, k_closest, file_id, size);
-             if (divert_target) {
-               // A asks leaf-set member B to hold the replica (an RPC in the
-               // legacy accounting, paper section 3.3).
-               Send(Direct(MessageType::kDivertRequest, t, *divert_target, file_id, size,
-                           MessageCost::kRpc),
-                    [&](const Delivery& dd) {
-                      if (divert_handled) {
-                        return;
-                      }
-                      divert_handled = true;
-                      latency_ms_ += dd.latency_ms;
-
-                      PastNode* b = net_.storage_node(*divert_target);
-                      bool stored_at_b =
-                          b != nullptr && b->WouldAcceptDiverted(size) &&
-                          b->StoreReplica(file_id, ReplicaKind::kDiverted, size, cert_ref,
-                                          content);
-                      if (stored_at_b) {
-                        created.push_back({*divert_target, /*is_pointer=*/false});
-                        net_.total_stored_ += size;
-                        net_.ins_.replicas_stored->Add(1);
-                        net_.ins_.replicas_diverted->Add(1);
-                        ++result.replicas_stored;
-                        ++result.replicas_diverted;
-                      }
-                      // B's answer travels back to A, which completes the
-                      // exchange: pointer + witness + receipt on success.
-                      Send(Direct(MessageType::kAck, *divert_target, t, file_id, 0,
-                                  MessageCost::kNone),
-                           [&, stored_at_b](const Delivery& da) {
-                             if (divert_ack_handled) {
-                               return;
-                             }
-                             divert_ack_handled = true;
-                             latency_ms_ += da.latency_ms;
-
-                             PastNode* a = net_.storage_node(t);
-                             if (!stored_at_b || a == nullptr) {
-                               ack_root(t, false);
-                               return;
-                             }
-                             // Node A keeps a pointer to B and issues the
-                             // store receipt as usual; node C shadows the
-                             // pointer.
-                             a->store().InstallPointer(file_id, *divert_target,
-                                                       PointerRole::kDiverter, size);
-                             created.push_back({t, /*is_pointer=*/true});
-                             if (witness && net_.storage_node(*witness) != nullptr) {
-                               Send(Direct(MessageType::kInstallPointer, t, *witness, file_id,
-                                           0, MessageCost::kRpc),
-                                    [&](const Delivery& dw) {
-                                      if (witness_handled) {
-                                        return;
-                                      }
-                                      witness_handled = true;
-                                      latency_ms_ += dw.latency_ms;
-                                      PastNode* c = net_.storage_node(*witness);
-                                      if (c != nullptr) {
-                                        c->store().InstallPointer(file_id, *divert_target,
-                                                                  PointerRole::kWitness, size);
-                                        created.push_back({*witness, /*is_pointer=*/true});
-                                      }
-                                    });
-                             }
-                             result.receipts.push_back(a->MakeStoreReceipt(file_id));
-                             ack_root(t, true);
-                           });
-                    });
-               return;  // the ack to the root comes from the diversion chain
-             }
-           }
-           ack_root(t, false);
-         });
-    transport_.Settle();
-
-    if (outcome == Outcome::kStored) {
-      continue;
-    }
-    // This primary declined and its chosen diversion target declined too
-    // (kDeclined), or a message of the exchange was lost (kPending): the
-    // entire file is diverted — replicas stored so far are discarded and a
-    // negative ack goes back to the client (paper section 3.3.1).
-    net_.RollbackInsert(file_id, created);
-    result.replicas_stored = 0;
-    result.replicas_diverted = 0;
-    result.receipts.clear();
-    return finish(outcome == Outcome::kDeclined ? InsertStatus::kNoSpace
-                                                : InsertStatus::kTimeout);
+void InsertOp::StoreNext() {
+  while (target_index_ < targets_.size() &&
+         net_.storage_node(targets_[target_index_]) == nullptr) {
+    ++target_index_;
+  }
+  if (target_index_ == targets_.size()) {
+    net_.any_file_inserted_ = true;
+    net_.CacheAlongPath(route_path_, certificate_.file_id, size_, content_);
+    Finish(InsertStatus::kStored);
+    return;
   }
 
-  net_.any_file_inserted_ = true;
-  net_.CacheAlongPath(route.path, file_id, size, content);
-  return finish(InsertStatus::kStored);
+  // One store exchange per target, driven to completion before the next
+  // (the settle-era code was sequential too). All per-exchange state lives
+  // in the op, keyed to this phase; AfterStore() inspects it.
+  const NodeId t = targets_[target_index_];
+  outcome_ = Outcome::kPending;
+  divert_target_.reset();
+
+  BeginPhase(&InsertOp::AfterStore);
+  // kStoreReplica carries the file bytes — the same data message the
+  // pre-fabric code charged with RecordMessage(size).
+  SendTracked(
+      store_ex_,
+      Direct(MessageType::kStoreReplica, root_, t, certificate_.file_id, size_, MessageCost::kMessage),
+      &InsertOp::OnStoreReplica);
+  EndPhase();
+}
+
+void InsertOp::OnStoreReplica(const Delivery&) {
+  const NodeId t = targets_[target_index_];
+  PastNode* pn = net_.storage_node(t);
+  if (pn == nullptr) {
+    AckRoot(t, false);
+    return;
+  }
+  if (pn->WouldAcceptPrimary(size_) &&
+      pn->StoreReplica(certificate_.file_id, ReplicaKind::kPrimary, size_, cert_ref_, content_)) {
+    created_.push_back({t, /*is_pointer=*/false});
+    net_.total_stored_ += size_;
+    net_.ins_.replicas_stored->Add(1);
+    ++result_.replicas_stored;
+    result_.receipts.push_back(pn->MakeStoreReceipt(certificate_.file_id));
+    AckRoot(t, true);
+    return;
+  }
+
+  if (net_.config_.enable_replica_diversion) {
+    divert_target_ = net_.ChooseDiversionTarget(t, targets_, certificate_.file_id, size_);
+    if (divert_target_) {
+      // A asks leaf-set member B to hold the replica (an RPC in the
+      // legacy accounting, paper section 3.3).
+      SendTracked(divert_ex_,
+                  Direct(MessageType::kDivertRequest, t, *divert_target_, certificate_.file_id,
+                         size_, MessageCost::kRpc),
+                  &InsertOp::OnDivertReply);
+      return;  // the ack to the root comes from the diversion chain
+    }
+  }
+  AckRoot(t, false);
+}
+
+void InsertOp::OnDivertReply(const Delivery&) {
+  const NodeId t = targets_[target_index_];
+  PastNode* b = net_.storage_node(*divert_target_);
+  stored_at_b_ = b != nullptr && b->WouldAcceptDiverted(size_) &&
+                 b->StoreReplica(certificate_.file_id, ReplicaKind::kDiverted, size_, cert_ref_,
+                                 content_);
+  if (stored_at_b_) {
+    created_.push_back({*divert_target_, /*is_pointer=*/false});
+    net_.total_stored_ += size_;
+    net_.ins_.replicas_stored->Add(1);
+    net_.ins_.replicas_diverted->Add(1);
+    ++result_.replicas_stored;
+    ++result_.replicas_diverted;
+  }
+  // B's answer travels back to A, which completes the exchange: pointer +
+  // witness + receipt on success.
+  SendTracked(divert_ack_ex_,
+              Direct(MessageType::kAck, *divert_target_, t, certificate_.file_id, 0,
+                     MessageCost::kNone),
+              &InsertOp::OnDivertAck);
+}
+
+void InsertOp::OnDivertAck(const Delivery&) {
+  const NodeId t = targets_[target_index_];
+  PastNode* a = net_.storage_node(t);
+  if (!stored_at_b_ || a == nullptr) {
+    AckRoot(t, false);
+    return;
+  }
+  // Node A keeps a pointer to B and issues the store receipt as usual;
+  // node C shadows the pointer.
+  a->store().InstallPointer(certificate_.file_id, *divert_target_, PointerRole::kDiverter, size_);
+  created_.push_back({t, /*is_pointer=*/true});
+  if (witness_ && net_.storage_node(*witness_) != nullptr) {
+    SendTracked(witness_ex_,
+                Direct(MessageType::kInstallPointer, t, *witness_, certificate_.file_id, 0,
+                       MessageCost::kRpc),
+                &InsertOp::OnWitnessInstall);
+  }
+  result_.receipts.push_back(a->MakeStoreReceipt(certificate_.file_id));
+  AckRoot(t, true);
+}
+
+void InsertOp::OnWitnessInstall(const Delivery&) {
+  PastNode* c = net_.storage_node(*witness_);
+  if (c != nullptr) {
+    c->store().InstallPointer(certificate_.file_id, *divert_target_, PointerRole::kWitness, size_);
+    created_.push_back({*witness_, /*is_pointer=*/true});
+  }
+}
+
+void InsertOp::AfterStore() {
+  if (outcome_ == Outcome::kStored) {
+    ++target_index_;
+    StoreNext();
+    return;
+  }
+  // This primary declined and its chosen diversion target declined too
+  // (kDeclined), or a message of the exchange was lost (kPending): the
+  // entire file is diverted — replicas stored so far are discarded and a
+  // negative ack goes back to the client (paper section 3.3.1).
+  Rollback();
+  Finish(outcome_ == Outcome::kDeclined ? InsertStatus::kNoSpace : InsertStatus::kTimeout);
+}
+
+void InsertOp::Rollback() {
+  net_.RollbackInsert(certificate_.file_id, created_);
+  created_.clear();
+  result_.replicas_stored = 0;
+  result_.replicas_diverted = 0;
+  result_.receipts.clear();
+}
+
+void InsertOp::Finish(InsertStatus status) {
+  result_.status = status;
+  if (status != InsertStatus::kStored) {
+    net_.ins_.insert_failures->Inc();
+  }
+  net_.ins_.insert_hops->Observe(static_cast<double>(result_.route_hops));
+  result_.messages = messages_;
+  result_.latency_ms = latency_ms_;
+  if (net_.trace_sink() != nullptr) {
+    obs::OpTrace trace;
+    trace.kind = obs::TraceOpKind::kInsert;
+    trace.file_id = certificate_.file_id.ToHex();
+    trace.size = size_;
+    trace.node = root_.ToHex();
+    trace.status = ToString(status);
+    trace.hops = result_.route_hops;
+    trace.diverted = result_.replicas_diverted > 0;
+    trace.messages = messages_;
+    trace.latency_ms = latency_ms_;
+    net_.EmitTrace(std::move(trace));
+  }
+  FinishOp();
+}
+
+void InsertOp::OnFinish() {
+  if (callback_) {
+    callback_(result_);
+  }
+}
+
+void InsertOp::OnCancel() {
+  // Abandoning a half-done insert must not leak replicas: discard whatever
+  // this attempt created, exactly like the timeout path.
+  Rollback();
 }
 
 }  // namespace past

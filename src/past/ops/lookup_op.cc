@@ -4,55 +4,38 @@
 
 namespace past {
 
-LookupResult LookupOp::Run(const NodeId& origin, const FileId& file_id) {
-  LookupResult result;
+LookupOp::LookupOp(PastNetwork& net, const NodeId& origin, const FileId& file_id,
+                   Callback callback)
+    : AsyncOp(net), origin_(origin), file_id_(file_id), callback_(std::move(callback)) {}
+
+void LookupOp::Start() {
   net_.ins_.lookups->Inc();
-  NodeId key = file_id.ToRoutingKey();
+  NodeId key = file_id_.ToRoutingKey();
 
-  obs::OpTrace trace;
-  trace.kind = obs::TraceOpKind::kLookup;
-  trace.file_id = file_id.ToHex();
-  auto finish = [&]() {
-    result.messages = messages_;
-    result.latency_ms = latency_ms_;
-    trace.status = ToString(result.status);
-    trace.node = result.served_by.ToHex();
-    trace.size = result.file_size;
-    trace.hops = result.hops;
-    trace.distance = result.distance;
-    trace.from_cache = result.served_from_cache;
-    trace.diverted = result.via_diversion_pointer;
-    trace.messages = messages_;
-    trace.latency_ms = latency_ms_;
-    net_.EmitTrace(std::move(trace));
-    return result;
-  };
-
-  NodeId served;
-  bool from_cache = false;
   auto stop = [&](const NodeId& n) {
     PastNode* pn = net_.storage_node(n);
     if (pn == nullptr) {
       return false;
     }
-    if (pn->store().HasReplica(file_id)) {
-      served = n;
-      from_cache = false;
+    if (pn->store().HasReplica(file_id_)) {
+      served_ = n;
+      from_cache_ = false;
       return true;
     }
-    if (pn->cache() != nullptr && pn->cache()->Lookup(file_id)) {
-      served = n;
-      from_cache = true;
+    if (pn->cache() != nullptr && pn->cache()->Lookup(file_id_)) {
+      served_ = n;
+      from_cache_ = true;
       return true;
     }
     return false;
   };
 
-  RouteResult route = net_.pastry_.Route(origin, key, stop);
-  result.hops = route.hops();
-  result.distance = route.distance;
+  RouteResult route = net_.pastry_.Route(origin_, key, stop);
+  result_.hops = route.hops();
+  result_.distance = route.distance;
   if (!route.delivered) {
-    return finish();  // swallowed by a malicious node: lookup fails, retry
+    Finish();  // swallowed by a malicious node: lookup fails, retry
+    return;
   }
   bool found = route.stopped_early;
 
@@ -62,19 +45,19 @@ LookupResult LookupOp::Run(const NodeId& origin, const FileId& file_id) {
     // at the cost of one extra hop (paper section 3.3).
     NodeId dest = route.destination();
     PastNode* pn = net_.storage_node(dest);
-    const DiversionPointer* ptr = pn == nullptr ? nullptr : pn->store().GetPointer(file_id);
+    const DiversionPointer* ptr = pn == nullptr ? nullptr : pn->store().GetPointer(file_id_);
     if (ptr != nullptr && net_.pastry_.IsAlive(ptr->holder)) {
       PastNode* holder = net_.storage_node(ptr->holder);
-      if (holder != nullptr && holder->store().HasReplica(file_id)) {
-        served = ptr->holder;
-        from_cache = false;
+      if (holder != nullptr && holder->store().HasReplica(file_id_)) {
+        served_ = ptr->holder;
+        from_cache_ = false;
         found = true;
-        result.via_diversion_pointer = true;
+        result_.via_diversion_pointer = true;
         net_.ins_.lookup_pointer_hops->Inc();
         double d = net_.pastry_.topology().Distance(dest, ptr->holder);
         net_.pastry_.stats().RecordHop(d);
-        result.hops += 1;
-        result.distance += d;
+        result_.hops += 1;
+        result_.distance += d;
       }
     }
     if (!found) {
@@ -82,13 +65,13 @@ LookupResult LookupOp::Run(const NodeId& origin, const FileId& file_id) {
       // (e.g. stale leaf set right after churn). Probe the k closest.
       for (const NodeId& t : net_.KClosestFromLeafSet(dest, key, net_.config_.k)) {
         PastNode* candidate = net_.storage_node(t);
-        if (candidate != nullptr && candidate->store().HasReplica(file_id)) {
-          served = t;
+        if (candidate != nullptr && candidate->store().HasReplica(file_id_)) {
+          served_ = t;
           found = true;
           double d = net_.pastry_.topology().Distance(dest, t);
           net_.pastry_.stats().RecordHop(d);
-          result.hops += 1;
-          result.distance += d;
+          result_.hops += 1;
+          result_.distance += d;
           break;
         }
       }
@@ -96,8 +79,10 @@ LookupResult LookupOp::Run(const NodeId& origin, const FileId& file_id) {
   }
 
   if (!found) {
-    return finish();
+    Finish();
+    return;
   }
+  route_path_ = std::move(route.path);
 
   // The fetch exchange. The request rides the located route (hops and
   // distance as accumulated above, including any pointer/probe hop); the
@@ -105,76 +90,95 @@ LookupResult LookupOp::Run(const NodeId& origin, const FileId& file_id) {
   // path cost having been charged on the request leg. Request + reply
   // together reproduce the classic fetch-latency formula
   // FetchLatencyMs(hops, distance, size).
-  bool request_arrived = false;
-  bool replied = false;
-  {
-    Message request;
-    request.type = MessageType::kLookupRequest;
-    request.from = origin;
-    request.to = served;
-    request.file = file_id;
-    request.payload_bytes = 0;
-    request.hops = result.hops;
-    request.distance = result.distance;
-    request.cost = MessageCost::kNone;
-    Send(request, [&](const Delivery& d) {
-      if (request_arrived) {
-        return;  // duplicated delivery
-      }
-      request_arrived = true;
-      latency_ms_ += d.latency_ms;
+  Message request;
+  request.type = MessageType::kLookupRequest;
+  request.from = origin_;
+  request.to = served_;
+  request.file = file_id_;
+  request.payload_bytes = 0;
+  request.hops = result_.hops;
+  request.distance = result_.distance;
+  request.cost = MessageCost::kNone;
 
-      // At the serving node: read the bytes and reply straight to the origin.
-      PastNode* server = net_.storage_node(served);
-      if (server == nullptr) {
-        return;
-      }
-      if (from_cache) {
-        result.file_size = server->cache()->SizeOf(file_id).value_or(0);
-        result.content = server->cache()->ContentOf(file_id);
-      } else {
-        const ReplicaEntry* entry = server->store().GetReplica(file_id);
-        result.file_size = entry == nullptr ? 0 : entry->size;
-        result.content = entry == nullptr ? nullptr : entry->content;
-      }
-      Message reply;
-      reply.type = MessageType::kFetchReply;
-      reply.from = served;
-      reply.to = origin;
-      reply.file = file_id;
-      reply.payload_bytes = result.file_size;
-      reply.hops = 0;  // path cost charged on the request leg
-      reply.distance = 0.0;
-      reply.cost = MessageCost::kNone;
-      Send(reply, [&](const Delivery& dr) {
-        if (replied) {
-          return;
-        }
-        replied = true;
-        latency_ms_ += dr.latency_ms;
-      });
-    });
+  BeginPhase(&LookupOp::AfterFetch);
+  SendTracked(request_ex_, request, &LookupOp::OnFetchRequest);
+  EndPhase();
+}
+
+void LookupOp::OnFetchRequest(const Delivery&) {
+  // At the serving node: read the bytes and reply straight to the origin.
+  PastNode* server = net_.storage_node(served_);
+  if (server == nullptr) {
+    return;
   }
-  transport_.Settle();
-  if (!replied) {
+  if (from_cache_) {
+    result_.file_size = server->cache()->SizeOf(file_id_).value_or(0);
+    result_.content = server->cache()->ContentOf(file_id_);
+  } else {
+    const ReplicaEntry* entry = server->store().GetReplica(file_id_);
+    result_.file_size = entry == nullptr ? 0 : entry->size;
+    result_.content = entry == nullptr ? nullptr : entry->content;
+  }
+  Message reply;
+  reply.type = MessageType::kFetchReply;
+  reply.from = served_;
+  reply.to = origin_;
+  reply.file = file_id_;
+  reply.payload_bytes = result_.file_size;
+  reply.hops = 0;  // path cost charged on the request leg
+  reply.distance = 0.0;
+  reply.cost = MessageCost::kNone;
+  SendTracked(reply_ex_, reply, nullptr);
+}
+
+void LookupOp::AfterFetch() {
+  if (!reply_ex_.completed()) {
     // Request or reply lost: the file was located but never arrived.
-    result.file_size = 0;
-    result.content = nullptr;
-    result.status = LookupStatus::kTimeout;
-    return finish();
+    result_.file_size = 0;
+    result_.content = nullptr;
+    result_.status = LookupStatus::kTimeout;
+    Finish();
+    return;
   }
 
-  result.status = LookupStatus::kFound;
-  result.served_from_cache = from_cache;
-  result.served_by = served;
+  result_.status = LookupStatus::kFound;
+  result_.served_from_cache = from_cache_;
+  result_.served_by = served_;
   net_.ins_.lookups_found->Inc();
-  if (from_cache) {
+  if (from_cache_) {
     net_.ins_.lookups_from_cache->Inc();
   }
-  net_.ins_.lookup_hops->Observe(static_cast<double>(result.hops));
-  net_.ins_.lookup_distance->Observe(result.distance);
-  net_.CacheAlongPath(route.path, file_id, result.file_size, result.content);
-  return finish();
+  net_.ins_.lookup_hops->Observe(static_cast<double>(result_.hops));
+  net_.ins_.lookup_distance->Observe(result_.distance);
+  net_.CacheAlongPath(route_path_, file_id_, result_.file_size, result_.content);
+  Finish();
+}
+
+void LookupOp::Finish() {
+  result_.messages = messages_;
+  result_.latency_ms = latency_ms_;
+  if (net_.trace_sink() != nullptr) {
+    obs::OpTrace trace;
+    trace.kind = obs::TraceOpKind::kLookup;
+    trace.file_id = file_id_.ToHex();
+    trace.status = ToString(result_.status);
+    trace.node = result_.served_by.ToHex();
+    trace.size = result_.file_size;
+    trace.hops = result_.hops;
+    trace.distance = result_.distance;
+    trace.from_cache = result_.served_from_cache;
+    trace.diverted = result_.via_diversion_pointer;
+    trace.messages = messages_;
+    trace.latency_ms = latency_ms_;
+    net_.EmitTrace(std::move(trace));
+  }
+  FinishOp();
+}
+
+void LookupOp::OnFinish() {
+  if (callback_) {
+    callback_(result_);
+  }
 }
 
 }  // namespace past

@@ -1,165 +1,172 @@
 #include "src/past/ops/reclaim_op.h"
 
 #include <utility>
-#include <vector>
 
 namespace past {
 
-ReclaimResult ReclaimOp::Run(const NodeId& origin, const ReclaimCertificate& certificate) {
-  ReclaimResult result;
-  const FileId& file_id = certificate.file_id;
-  NodeId key = file_id.ToRoutingKey();
-  size_t k = net_.config_.k;
+ReclaimOp::ReclaimOp(PastNetwork& net, const NodeId& origin,
+                     const ReclaimCertificate& certificate, Callback callback)
+    : AsyncOp(net), origin_(origin), certificate_(certificate),
+      callback_(std::move(callback)) {}
 
-  obs::OpTrace trace;
-  trace.kind = obs::TraceOpKind::kReclaim;
-  trace.file_id = file_id.ToHex();
+void ReclaimOp::Start() {
   net_.metrics_.GetCounter("past.reclaim.requests").Inc();
-  auto finish = [&](ReclaimStatus status) {
-    result.status = status;
-    if (status == ReclaimStatus::kReclaimed) {
-      net_.metrics_.GetCounter("past.reclaim.reclaimed").Inc();
-      net_.metrics_.GetCounter("past.reclaim.bytes").Inc(result.bytes_reclaimed);
-    }
-    trace.status = ToString(status);
-    trace.size = result.bytes_reclaimed;
-    trace.messages = messages_;
-    trace.latency_ms = latency_ms_;
-    net_.EmitTrace(std::move(trace));
-    return result;
-  };
 
-  if (!certificate.VerifySignature()) {
-    return finish(ReclaimStatus::kBadCertificate);
+  if (!certificate_.VerifySignature()) {
+    Finish(ReclaimStatus::kBadCertificate);
+    return;
   }
 
+  NodeId key = certificate_.file_id.ToRoutingKey();
+  size_t k = net_.config_.k;
   RouteResult route = net_.pastry_.Route(
-      origin, key, [&](const NodeId& n) { return net_.IsAmongKClosest(n, key, k); });
-  NodeId root = route.destination();
-  trace.node = root.ToHex();
-  trace.hops = route.hops();
+      origin_, key, [&](const NodeId& n) { return net_.IsAmongKClosest(n, key, k); });
+  root_ = route.destination();
+  route_hops_ = route.hops();
 
   // The reclaim certificate rides the route to the root. If it is lost the
   // operation observes nothing stored — the owner retries.
-  bool request_arrived = false;
-  {
-    Message request;
-    request.type = MessageType::kReclaimRequest;
-    request.from = origin;
-    request.to = root;
-    request.file = file_id;
-    request.payload_bytes = 0;
-    request.hops = route.hops();
-    request.distance = route.distance;
-    request.cost = MessageCost::kNone;
-    Send(request, [&](const Delivery& d) {
-      if (request_arrived) {
-        return;
-      }
-      request_arrived = true;
-      latency_ms_ += d.latency_ms;
-    });
-  }
-  transport_.Settle();
-  if (!request_arrived) {
-    return finish(ReclaimStatus::kNotFound);
-  }
+  Message request;
+  request.type = MessageType::kReclaimRequest;
+  request.from = origin_;
+  request.to = root_;
+  request.file = certificate_.file_id;
+  request.payload_bytes = 0;
+  request.hops = route.hops();
+  request.distance = route.distance;
+  request.cost = MessageCost::kNone;
 
-  std::vector<NodeId> k_plus_one = net_.KClosestFromLeafSet(root, key, k + 1);
+  BeginPhase(&ReclaimOp::AfterRequest);
+  SendTracked(request_ex_, request, nullptr);
+  EndPhase();
+}
 
-  bool owner_mismatch = false;
-  auto reclaim_at = [&](const NodeId& node_id) {
-    PastNode* pn = net_.storage_node(node_id);
-    if (pn == nullptr) {
+void ReclaimOp::AfterRequest() {
+  if (!request_ex_.completed()) {
+    Finish(ReclaimStatus::kNotFound);
+    return;
+  }
+  NodeId key = certificate_.file_id.ToRoutingKey();
+  targets_ = net_.KClosestFromLeafSet(root_, key, net_.config_.k + 1);
+  target_index_ = 0;
+  TargetNext();
+}
+
+void ReclaimOp::ReclaimAt(const NodeId& node_id) {
+  const FileId& file_id = certificate_.file_id;
+  PastNode* pn = net_.storage_node(node_id);
+  if (pn == nullptr) {
+    return;
+  }
+  // Any cached copy at a visited node is dropped alongside the replica so
+  // a later repair pass cannot mistake it for live content. (Caches at
+  // nodes the reclaim never visits may keep stale copies — the paper's
+  // weak reclaim semantics.)
+  if (pn->cache() != nullptr) {
+    pn->cache()->Remove(file_id);
+  }
+  const ReplicaEntry* entry = pn->store().GetReplica(file_id);
+  if (entry != nullptr) {
+    // Only the file's legitimate owner may reclaim it.
+    if (!(entry->certificate->owner == certificate_.owner)) {
+      owner_mismatch_ = true;
       return;
     }
-    // Any cached copy at a visited node is dropped alongside the replica so
-    // a later repair pass cannot mistake it for live content. (Caches at
-    // nodes the reclaim never visits may keep stale copies — the paper's
-    // weak reclaim semantics.)
-    if (pn->cache() != nullptr) {
-      pn->cache()->Remove(file_id);
+    uint64_t size = entry->size;
+    bool diverted = entry->kind == ReplicaKind::kDiverted;
+    pn->RemoveReplica(file_id);
+    net_.total_stored_ -= size;
+    net_.ins_.replicas_stored->Sub(1);
+    if (diverted) {
+      net_.ins_.replicas_diverted->Sub(1);
     }
-    const ReplicaEntry* entry = pn->store().GetReplica(file_id);
-    if (entry != nullptr) {
-      // Only the file's legitimate owner may reclaim it.
-      if (!(entry->certificate->owner == certificate.owner)) {
-        owner_mismatch = true;
-        return;
-      }
-      uint64_t size = entry->size;
-      bool diverted = entry->kind == ReplicaKind::kDiverted;
-      pn->RemoveReplica(file_id);
-      net_.total_stored_ -= size;
-      net_.ins_.replicas_stored->Sub(1);
-      if (diverted) {
-        net_.ins_.replicas_diverted->Sub(1);
-      }
-      ++result.replicas_reclaimed;
-      result.bytes_reclaimed += size;
-      result.receipts.push_back(pn->MakeReclaimReceipt(file_id, size));
-    }
-  };
-
-  for (const NodeId& t : k_plus_one) {
-    if (net_.storage_node(t) == nullptr) {
-      continue;
-    }
-    // Per-exchange state: alive until Settle() below.
-    bool handled = false;
-    bool holder_handled = false;
-    bool ack_seen = false;
-
-    Send(Direct(MessageType::kReclaimRequest, root, t, file_id, 0, MessageCost::kNone),
-         [&](const Delivery& d) {
-           if (handled) {
-             return;
-           }
-           handled = true;
-           latency_ms_ += d.latency_ms;
-           PastNode* pn = net_.storage_node(t);
-           if (pn == nullptr) {
-             return;
-           }
-           // Follow diversion pointers to the actual replica holder first.
-           // Witness pointers are chased too: after the diverter fails, the
-           // witness copy may be the only remaining reference, and skipping
-           // it would leave the diverted replica alive for maintenance to
-           // re-replicate from (reclaim resurrection).
-           const DiversionPointer* ptr = pn->store().GetPointer(file_id);
-           if (ptr != nullptr) {
-             if (net_.pastry_.IsAlive(ptr->holder)) {
-               NodeId holder = ptr->holder;
-               Send(Direct(MessageType::kReclaimRequest, t, holder, file_id, 0,
-                           MessageCost::kNone),
-                    [&, holder](const Delivery& dh) {
-                      if (holder_handled) {
-                        return;
-                      }
-                      holder_handled = true;
-                      latency_ms_ += dh.latency_ms;
-                      reclaim_at(holder);
-                    });
-             }
-             pn->store().RemovePointer(file_id);
-           }
-           reclaim_at(t);
-           Send(Direct(MessageType::kAck, t, root, file_id, 0, MessageCost::kNone),
-                [&](const Delivery& da) {
-                  if (ack_seen) {
-                    return;
-                  }
-                  ack_seen = true;
-                  latency_ms_ += da.latency_ms;
-                });
-         });
-    transport_.Settle();
+    ++result_.replicas_reclaimed;
+    result_.bytes_reclaimed += size;
+    result_.receipts.push_back(pn->MakeReclaimReceipt(file_id, size));
   }
-  if (owner_mismatch) {
-    return finish(ReclaimStatus::kNotOwner);
+}
+
+void ReclaimOp::TargetNext() {
+  while (target_index_ < targets_.size() &&
+         net_.storage_node(targets_[target_index_]) == nullptr) {
+    ++target_index_;
   }
-  return finish(result.replicas_reclaimed > 0 ? ReclaimStatus::kReclaimed
-                                              : ReclaimStatus::kNotFound);
+  if (target_index_ == targets_.size()) {
+    if (owner_mismatch_) {
+      Finish(ReclaimStatus::kNotOwner);
+      return;
+    }
+    Finish(result_.replicas_reclaimed > 0 ? ReclaimStatus::kReclaimed
+                                          : ReclaimStatus::kNotFound);
+    return;
+  }
+
+  current_target_ = targets_[target_index_];
+  ++target_index_;
+
+  BeginPhase(&ReclaimOp::TargetNext);
+  SendTracked(target_ex_,
+              Direct(MessageType::kReclaimRequest, root_, current_target_, certificate_.file_id,
+                     0, MessageCost::kNone),
+              &ReclaimOp::OnTargetReply);
+  EndPhase();
+}
+
+void ReclaimOp::OnTargetReply(const Delivery&) {
+  const NodeId t = current_target_;
+  PastNode* pn = net_.storage_node(t);
+  if (pn == nullptr) {
+    return;
+  }
+  // Follow diversion pointers to the actual replica holder first.
+  // Witness pointers are chased too: after the diverter fails, the
+  // witness copy may be the only remaining reference, and skipping
+  // it would leave the diverted replica alive for maintenance to
+  // re-replicate from (reclaim resurrection).
+  const DiversionPointer* ptr = pn->store().GetPointer(certificate_.file_id);
+  if (ptr != nullptr) {
+    if (net_.pastry_.IsAlive(ptr->holder)) {
+      pointer_holder_ = ptr->holder;
+      SendTracked(holder_ex_,
+                  Direct(MessageType::kReclaimRequest, t, pointer_holder_, certificate_.file_id,
+                         0, MessageCost::kNone),
+                  &ReclaimOp::OnHolderReply);
+    }
+    pn->store().RemovePointer(certificate_.file_id);
+  }
+  ReclaimAt(t);
+  SendTracked(ack_ex_,
+              Direct(MessageType::kAck, t, root_, certificate_.file_id, 0, MessageCost::kNone),
+              nullptr);
+}
+
+void ReclaimOp::OnHolderReply(const Delivery&) { ReclaimAt(pointer_holder_); }
+
+void ReclaimOp::Finish(ReclaimStatus status) {
+  result_.status = status;
+  if (status == ReclaimStatus::kReclaimed) {
+    net_.metrics_.GetCounter("past.reclaim.reclaimed").Inc();
+    net_.metrics_.GetCounter("past.reclaim.bytes").Inc(result_.bytes_reclaimed);
+  }
+  if (net_.trace_sink() != nullptr) {
+    obs::OpTrace trace;
+    trace.kind = obs::TraceOpKind::kReclaim;
+    trace.file_id = certificate_.file_id.ToHex();
+    trace.node = root_.ToHex();
+    trace.hops = route_hops_;
+    trace.status = ToString(status);
+    trace.size = result_.bytes_reclaimed;
+    trace.messages = messages_;
+    trace.latency_ms = latency_ms_;
+    net_.EmitTrace(std::move(trace));
+  }
+  FinishOp();
+}
+
+void ReclaimOp::OnFinish() {
+  if (callback_) {
+    callback_(result_);
+  }
 }
 
 }  // namespace past

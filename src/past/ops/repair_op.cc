@@ -7,6 +7,26 @@
 
 namespace past {
 
+void RepairOp::SendSettled(Exchange& ex, const Message& msg,
+                           const std::function<void(const Delivery&)>& handler) {
+  ex.Reset(0);
+  ++messages_;
+  // The exchange lives in the caller's frame; Settle() returns only after
+  // every copy of `msg` was delivered or dropped, so the capture by
+  // reference is safe — the same contract the stack-frame booleans of the
+  // settle-era coordinators relied on, now carried by the Exchange type.
+  transport_.Send(msg, [&ex, &handler](const Delivery& d) {
+    if (ex.completed_) {
+      return;  // duplicate delivery
+    }
+    ex.completed_ = true;
+    if (handler) {
+      handler(d);
+    }
+  });
+  transport_.Settle();
+}
+
 void RepairOp::RestoreInvariants(const std::vector<NodeId>& region) {
   std::unordered_set<FileId, FileIdHash> files;
   for (const NodeId& id : region) {
@@ -96,44 +116,37 @@ void RepairOp::RepairFile(const FileId& file_id) {
   // if `t` accepted and stored it (false on decline or a dropped message).
   auto push_replica = [&](const NodeId& t) {
     bool stored = false;
-    bool push_handled = false;
-    Send(Direct(MessageType::kRepairStore, source, t, file_id, size, MessageCost::kNone),
-         [&, t](const Delivery&) {
-           if (push_handled) {
-             return;
-           }
-           push_handled = true;
-           PastNode* pn = net_.storage_node(t);
-           if (pn != nullptr && pn->WouldAcceptPrimary(size) &&
-               pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate, content)) {
-             net_.total_stored_ += size;
-             net_.ins_.replicas_stored->Add(1);
-             net_.ins_.replicas_recreated->Inc();
-             stored = true;
-           }
-         });
-    transport_.Settle();
+    Exchange push_ex;
+    SendSettled(push_ex,
+                Direct(MessageType::kRepairStore, source, t, file_id, size, MessageCost::kNone),
+                [&, t](const Delivery&) {
+                  PastNode* pn = net_.storage_node(t);
+                  if (pn != nullptr && pn->WouldAcceptPrimary(size) &&
+                      pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate,
+                                       content)) {
+                    net_.total_stored_ += size;
+                    net_.ins_.replicas_stored->Add(1);
+                    net_.ins_.replicas_recreated->Inc();
+                    stored = true;
+                  }
+                });
     return stored;
   };
 
   // Instructs `t` to install a diversion pointer at `target`.
   auto install_pointer = [&](const NodeId& t, const NodeId& target, bool count_metric) {
-    bool ptr_handled = false;
-    Send(Direct(MessageType::kRepairPointer, root, t, file_id, 0, MessageCost::kNone),
-         [&, t, target, count_metric](const Delivery&) {
-           if (ptr_handled) {
-             return;
-           }
-           ptr_handled = true;
-           PastNode* pn = net_.storage_node(t);
-           if (pn != nullptr) {
-             pn->store().InstallPointer(file_id, target, PointerRole::kDiverter, size);
-             if (count_metric) {
-               net_.ins_.maintenance_pointers->Inc();
-             }
-           }
-         });
-    transport_.Settle();
+    Exchange ptr_ex;
+    SendSettled(ptr_ex,
+                Direct(MessageType::kRepairPointer, root, t, file_id, 0, MessageCost::kNone),
+                [&, t, target, count_metric](const Delivery&) {
+                  PastNode* pn = net_.storage_node(t);
+                  if (pn != nullptr) {
+                    pn->store().InstallPointer(file_id, target, PointerRole::kDiverter, size);
+                    if (count_metric) {
+                      net_.ins_.maintenance_pointers->Inc();
+                    }
+                  }
+                });
   };
 
   // Pass 1: every one of the k closest must hold the replica or a valid
@@ -215,24 +228,22 @@ void RepairOp::RepairFile(const FileId& file_id) {
     // Diverted re-creation: push the data to the leaf-set member, then have
     // the k-closest node point at it.
     bool stored_at_b = false;
-    bool push_handled = false;
-    Send(Direct(MessageType::kRepairStore, source, *target, file_id, size, MessageCost::kNone),
-         [&](const Delivery&) {
-           if (push_handled) {
-             return;
-           }
-           push_handled = true;
-           PastNode* b = net_.storage_node(*target);
-           if (b != nullptr && b->WouldAcceptDiverted(size) &&
-               b->StoreReplica(file_id, ReplicaKind::kDiverted, size, certificate, content)) {
-             net_.total_stored_ += size;
-             net_.ins_.replicas_stored->Add(1);
-             net_.ins_.replicas_diverted->Add(1);
-             net_.ins_.replicas_recreated->Inc();
-             stored_at_b = true;
-           }
-         });
-    transport_.Settle();
+    Exchange divert_ex;
+    SendSettled(divert_ex,
+                Direct(MessageType::kRepairStore, source, *target, file_id, size,
+                       MessageCost::kNone),
+                [&](const Delivery&) {
+                  PastNode* b = net_.storage_node(*target);
+                  if (b != nullptr && b->WouldAcceptDiverted(size) &&
+                      b->StoreReplica(file_id, ReplicaKind::kDiverted, size, certificate,
+                                      content)) {
+                    net_.total_stored_ += size;
+                    net_.ins_.replicas_stored->Add(1);
+                    net_.ins_.replicas_diverted->Add(1);
+                    net_.ins_.replicas_recreated->Inc();
+                    stored_at_b = true;
+                  }
+                });
     if (!stored_at_b) {
       continue;
     }

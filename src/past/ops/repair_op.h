@@ -9,18 +9,27 @@
 // a kRepairPointer from the repair coordinator. A lost repair message
 // leaves the invariant unrestored for this round; the next membership event
 // or keep-alive round retries.
+//
+// Unlike the client ops (async_op.h), repair runs on the maintenance plane
+// and is driven to quiescence inline: each exchange is a SendSettled() —
+// send, Settle() the transport, inspect. Dedup and handler lifetime are
+// still enforced by the Exchange type (the handler can run at most once,
+// and Settle() returns only after every copy of the message was delivered
+// or dropped, so the exchange never outlives its frame). Repair therefore
+// interleaves with in-flight client ops as a unit, at the virtual time its
+// membership trigger fired.
 #ifndef SRC_PAST_OPS_REPAIR_OP_H_
 #define SRC_PAST_OPS_REPAIR_OP_H_
 
 #include <vector>
 
-#include "src/past/ops/op_base.h"
+#include "src/past/ops/async_op.h"
 
 namespace past {
 
-class RepairOp : public OpBase {
+class RepairOp : public OpCore {
  public:
-  explicit RepairOp(PastNetwork& net) : OpBase(net) {}
+  explicit RepairOp(PastNetwork& net) : OpCore(net) {}
 
   // Re-examines every file tracked by the nodes in `region` (paper: nodes
   // adjust replicas when their leaf set changes).
@@ -30,6 +39,13 @@ class RepairOp : public OpBase {
   // holds a replica or a pointer to a live holder, and the replication
   // level is brought back to k when space allows.
   void RepairFile(const FileId& file_id);
+
+ private:
+  // One settle-driven exchange: sends `msg`, runs `handler` at the
+  // destination if (and when) a copy arrives, and drains the transport
+  // before returning. `ex.completed()` afterwards tells delivery from drop.
+  void SendSettled(Exchange& ex, const Message& msg,
+                   const std::function<void(const Delivery&)>& handler);
 };
 
 }  // namespace past

@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/past/ops/insert_op.h"
 #include "src/past/ops/lookup_op.h"
+#include "src/past/ops/op_engine.h"
 #include "src/past/ops/reclaim_op.h"
 #include "src/past/ops/repair_op.h"
 
@@ -35,6 +36,7 @@ PastNetwork::PastNetwork(const PastConfig& config, const PastryConfig& pastry_co
   ins_.lookup_hops = &metrics_.GetHistogram("past.lookup.hops", obs::HopBuckets());
   ins_.lookup_distance =
       &metrics_.GetHistogram("past.lookup.distance", obs::DistanceBuckets());
+  engine_ = std::make_unique<OpEngine>(*this);
 }
 
 void PastNetwork::set_transport(std::unique_ptr<Transport> transport) {
@@ -345,15 +347,21 @@ void PastNetwork::CacheAlongPath(const std::vector<NodeId>& path, const FileId& 
 
 InsertResult PastNetwork::Insert(const NodeId& origin, const FileCertificate& certificate,
                                  uint64_t size, FileContentRef content) {
-  return InsertOp(*this).Run(origin, certificate, size, std::move(content));
+  auto op = engine_->StartInsert(origin, certificate, size, std::move(content), nullptr);
+  engine_->Wait(*op);
+  return op->result();
 }
 
 LookupResult PastNetwork::Lookup(const NodeId& origin, const FileId& file_id) {
-  return LookupOp(*this).Run(origin, file_id);
+  auto op = engine_->StartLookup(origin, file_id, nullptr);
+  engine_->Wait(*op);
+  return op->result();
 }
 
 ReclaimResult PastNetwork::Reclaim(const NodeId& origin, const ReclaimCertificate& certificate) {
-  return ReclaimOp(*this).Run(origin, certificate);
+  auto op = engine_->StartReclaim(origin, certificate, nullptr);
+  engine_->Wait(*op);
+  return op->result();
 }
 
 double PastNetwork::utilization() const {

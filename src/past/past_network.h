@@ -24,9 +24,12 @@
 
 namespace past {
 
+class AsyncOp;
 class InsertOp;
 class LookupOp;
-class OpBase;
+class OpCore;
+class OpEngine;
+class PastClient;
 class ReclaimOp;
 class RepairOp;
 
@@ -131,19 +134,17 @@ class PastNetwork : public MembershipObserver {
   const PastNode* storage_node(const NodeId& id) const;
   size_t node_count() const { return nodes_.size(); }
 
-  // --- client-visible operations (invoked via a PastClient) ---
+  // --- client-visible operations ---
 
-  // Executes one insert attempt for a certified file from access node
-  // `origin`. File diversion (re-salting) is the client's job. When
-  // `content` is non-null, the root recomputes and checks the certified
-  // content hash before accepting responsibility (paper section 2.2); the
-  // bytes are then stored with each replica and returned by lookups.
-  InsertResult Insert(const NodeId& origin, const FileCertificate& certificate, uint64_t size,
-                      FileContentRef content = nullptr);
+  // All client operations go through a PastClient (src/past/client.h): either
+  // the async submit/completion surface (BeginInsert/BeginLookup/BeginReclaim)
+  // or its blocking wrappers. The network-level Insert/Lookup/Reclaim entry
+  // points are private — they execute exactly one protocol attempt with no
+  // re-salting or receipt bookkeeping, which only the client layers correctly.
 
-  LookupResult Lookup(const NodeId& origin, const FileId& file_id);
-
-  ReclaimResult Reclaim(const NodeId& origin, const ReclaimCertificate& certificate);
+  // The operation engine: submits ops, tracks in-flight counts, drains the
+  // transport. Exposed so harnesses can Poll()/WaitAll() and read gauges.
+  OpEngine& engine() { return *engine_; }
 
   // --- global metrics ---
 
@@ -196,11 +197,23 @@ class PastNetwork : public MembershipObserver {
   // The per-operation coordinators (src/past/ops/) implement the insert /
   // lookup / reclaim / maintenance protocols over the transport; they are
   // the only code with access to the network's internals.
+  friend class AsyncOp;
   friend class InsertOp;
   friend class LookupOp;
-  friend class OpBase;
+  friend class OpCore;
+  friend class OpEngine;
+  friend class PastClient;
   friend class ReclaimOp;
   friend class RepairOp;
+
+  // Single-attempt protocol executions (blocking: submit on the engine, then
+  // drain). PastClient is the public doorway; see the comment on engine().
+  InsertResult Insert(const NodeId& origin, const FileCertificate& certificate, uint64_t size,
+                      FileContentRef content = nullptr);
+
+  LookupResult Lookup(const NodeId& origin, const FileId& file_id);
+
+  ReclaimResult Reclaim(const NodeId& origin, const ReclaimCertificate& certificate);
 
   struct PendingStore {
     NodeId node;
@@ -242,6 +255,7 @@ class PastNetwork : public MembershipObserver {
   PastryNetwork pastry_;
   Rng rng_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<OpEngine> engine_;
   std::unordered_map<NodeId, std::unique_ptr<PastNode>, NodeIdHash> nodes_;
 
   obs::MetricsRegistry metrics_;

@@ -278,6 +278,9 @@ RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const St
   // and rebuilding it every hop allocates on the insert/lookup hot path.
   PastryNode::AliveFn alive = [this](const NodeId& id) { return IsAlive(id); };
   result.path.reserve(static_cast<size_t>(NodeId::NumDigits(config_.b)) / 2);
+  // Hoisted out of the hop loop: almost every deployment has no malicious
+  // nodes, and the per-hop hash lookup is measurable at routing rates.
+  const bool any_malicious = !malicious_.empty();
   for (int hop = 0; hop < max_hops; ++hop) {
     PastryNode* n = node(current);
     std::optional<NodeId> next = n->NextHop(key, alive, &rng_);
@@ -292,7 +295,7 @@ RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const St
     result.path.push_back(current);
     // A malicious node accepts the message and silently drops it; the
     // message never reaches the application at this or any further node.
-    if (IsMalicious(current)) {
+    if (any_malicious && IsMalicious(current)) {
       result.delivered = false;
       return result;
     }

@@ -230,6 +230,78 @@ InvariantReport InvariantChecker::Check(const PastNetwork& net, const EventQueue
   return report;
 }
 
+InvariantReport InvariantChecker::CheckDuringOps(const PastNetwork& net) const {
+  InvariantReport report;
+  auto check = [&report](bool ok, auto make_msg) {
+    ++report.checks;
+    if (!ok) {
+      report.violations.push_back(make_msg());
+    }
+  };
+
+  uint64_t sum_used = 0;
+  uint64_t sum_capacity = 0;
+  uint64_t sum_replicas = 0;
+  uint64_t sum_diverted = 0;
+  for (const NodeId& id : net.StorageNodeIds()) {
+    const PastNode* pn = net.storage_node(id);
+    if (pn == nullptr) {
+      continue;
+    }
+    const NodeStore& store = pn->store();
+    sum_used += store.used();
+    sum_capacity += store.capacity();
+    sum_replicas += store.replica_count();
+    sum_diverted += store.diverted_count();
+
+    uint64_t replica_bytes = 0;
+    for (const auto& [file, entry] : store.replicas()) {
+      (void)file;
+      replica_bytes += entry.size;
+    }
+    check(replica_bytes == store.used(), [&] {
+      std::ostringstream out;
+      out << "store: node " << Short(id.ToHex()) << " charges used=" << store.used()
+          << " but replica entries sum to " << replica_bytes;
+      return out.str();
+    });
+    check(store.used() <= store.capacity(), [&] {
+      std::ostringstream out;
+      out << "store: node " << Short(id.ToHex()) << " over capacity (used=" << store.used()
+          << " cap=" << store.capacity() << ")";
+      return out.str();
+    });
+  }
+
+  check(sum_used == net.total_stored(), [&] {
+    std::ostringstream out;
+    out << "accounting: total_stored=" << net.total_stored() << " but nodes sum to "
+        << sum_used;
+    return out.str();
+  });
+  check(sum_capacity == net.total_capacity(), [&] {
+    std::ostringstream out;
+    out << "accounting: total_capacity=" << net.total_capacity() << " but nodes sum to "
+        << sum_capacity;
+    return out.str();
+  });
+  PastCounters counters = net.CountersSnapshot();
+  check(counters.replicas_stored_total == sum_replicas, [&] {
+    std::ostringstream out;
+    out << "accounting: replicas gauge=" << counters.replicas_stored_total
+        << " but census counts " << sum_replicas;
+    return out.str();
+  });
+  check(counters.replicas_diverted_total == sum_diverted, [&] {
+    std::ostringstream out;
+    out << "accounting: diverted gauge=" << counters.replicas_diverted_total
+        << " but census counts " << sum_diverted;
+    return out.str();
+  });
+
+  return report;
+}
+
 std::string NetworkStateFingerprint(const PastNetwork& net) {
   std::ostringstream out;
   out << "capacity=" << net.total_capacity() << " stored=" << net.total_stored() << '\n';

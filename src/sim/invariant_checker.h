@@ -57,6 +57,15 @@ class InvariantChecker {
                         const std::vector<TrackedFile>& files,
                         const std::vector<QuotaExpectation>& quotas,
                         size_t expected_live_events) const;
+
+  // The subset of invariants that must hold even with client operations in
+  // flight: every state transition the op engine performs (store, divert,
+  // rollback, reclaim) is atomic per delivery, so between any two transport
+  // events per-node accounting (used == sum of replica sizes <= capacity)
+  // and the global ledgers (total_stored / total_capacity / replica gauges
+  // vs. a full census) must balance. Placement, quota, and cache checks are
+  // excluded — those only converge at quiescent points.
+  InvariantReport CheckDuringOps(const PastNetwork& net) const;
 };
 
 // Canonical serialization of the network's complete storage state — every

@@ -12,6 +12,7 @@
 #include "src/harness/experiment.h"
 #include "src/net/latency_model.h"
 #include "src/past/client.h"
+#include "src/past/ops/op_engine.h"
 #include "src/pastry/keepalive.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/invariant_checker.h"
@@ -127,23 +128,47 @@ class Execution {
     }
   }
 
-  void DoInsert(const ScheduledEvent& ev) {
-    size_t ci = ev.pick % clients_.size();
-    uint64_t size = kMinFileSize + ev.aux % (kMaxFileSize - kMinFileSize + 1);
-    std::string name = "sim-" + std::to_string(insert_counter_++) + ".bin";
-    ClientInsertResult r = clients_[ci]->Insert(name, size);
+  bool overlapped() const { return config_.max_in_flight > 1; }
+
+  // Overlap mode: keep submitting until the window is full, then pump the
+  // transport until a slot frees up. Completion callbacks (which do the
+  // bookkeeping below) run from inside Poll().
+  void ThrottleInFlight() {
+    while (net_->engine().in_flight() >= config_.max_in_flight) {
+      if (!net_->engine().Poll()) {
+        return;
+      }
+    }
+  }
+
+  void OnInsertDone(size_t ci, uint64_t size, const ClientInsertResult& r) {
     if (!r.stored) {
       return;
     }
     uint64_t debit = size * config_.k;
     if (shadow_quota_[ci] < debit) {
-      failure_ = "quota: client " + std::to_string(ci) +
-                 " stored a file its shadow quota cannot cover";
+      if (failure_.empty()) {
+        failure_ = "quota: client " + std::to_string(ci) +
+                   " stored a file its shadow quota cannot cover";
+      }
       return;
     }
     shadow_quota_[ci] -= debit;
     files_.push_back(TrackedFile{r.file_id, size, ci, /*reclaimed=*/false, /*lost=*/false});
     ++result_.files_inserted;
+  }
+
+  void DoInsert(const ScheduledEvent& ev) {
+    size_t ci = ev.pick % clients_.size();
+    uint64_t size = kMinFileSize + ev.aux % (kMaxFileSize - kMinFileSize + 1);
+    std::string name = "sim-" + std::to_string(insert_counter_++) + ".bin";
+    if (overlapped()) {
+      clients_[ci]->BeginInsert(
+          name, size, [this, ci, size](const ClientInsertResult& r) { OnInsertDone(ci, size, r); });
+      ThrottleInFlight();
+      return;
+    }
+    OnInsertDone(ci, size, clients_[ci]->Insert(name, size));
   }
 
   void DoLookup(const ScheduledEvent& ev) {
@@ -154,6 +179,12 @@ class Execution {
     const TrackedFile& f = files_[live[ev.pick % live.size()]];
     // Results are not asserted here: under the active fault plan a lookup
     // may legitimately time out. Checkpoint probes assert reachability.
+    if (overlapped()) {
+      clients_[ev.aux % clients_.size()]->BeginLookup(f.id, nullptr);
+      ++result_.lookups;
+      ThrottleInFlight();
+      return;
+    }
     clients_[ev.aux % clients_.size()]->Lookup(f.id);
     ++result_.lookups;
   }
@@ -165,10 +196,19 @@ class Execution {
     }
     size_t idx = live[ev.pick % live.size()];
     TrackedFile& f = files_[idx];
+    // Message loss may leave stragglers; the checkpoint finalizes them. The
+    // file leaves the live set at submission so no later event races it.
+    pending_reclaim_.push_back(idx);
+    if (overlapped()) {
+      size_t owner = f.owner;
+      clients_[owner]->BeginReclaim(f.id, [this, owner](const ReclaimResult& r) {
+        CreditShadow(owner, r.receipts);
+      });
+      ThrottleInFlight();
+      return;
+    }
     ReclaimResult r = clients_[f.owner]->Reclaim(f.id);
     CreditShadow(f.owner, r.receipts);
-    // Message loss may leave stragglers; the checkpoint finalizes them.
-    pending_reclaim_.push_back(idx);
   }
 
   void DoJoin(const ScheduledEvent& ev) {
@@ -243,6 +283,19 @@ class Execution {
 
   void Checkpoint() {
     ++result_.checkpoints;
+    if (overlapped()) {
+      // Audit what must hold even mid-flight, then drain the window so the
+      // quiescent protocol below sees a settled network.
+      InvariantReport mid = InvariantChecker().CheckDuringOps(*net_);
+      if (!mid.ok() && failure_.empty()) {
+        failure_ = "mid-flight " + mid.Summary();
+        return;
+      }
+      net_->engine().WaitAll();
+    }
+    if (!failure_.empty()) {
+      return;  // a completion callback reported a violation while draining
+    }
     FaultPlan saved = transport_->options().faults;
     transport_->set_faults(FaultPlan{});
 
@@ -517,6 +570,7 @@ std::string SerializeSimConfig(const SimConfig& config, std::string_view failure
   out << "crash_weight=" << config.schedule.crash_weight << '\n';
   out << "partition_weight=" << config.schedule.partition_weight << '\n';
   out << "checkpoint_every=" << config.checkpoint_every << '\n';
+  out << "max_in_flight=" << config.max_in_flight << '\n';
   out << "max_events=" << (config.max_events == kAllEvents ? 0 : config.max_events) << '\n';
   out << "drop_probability=" << config.faults.drop_probability << '\n';
   out << "duplicate_probability=" << config.faults.duplicate_probability << '\n';
@@ -594,6 +648,8 @@ std::optional<SimConfig> ParseSimConfig(const std::string& text) {
       config.schedule.partition_weight = as_double();
     } else if (key == "checkpoint_every") {
       config.checkpoint_every = static_cast<size_t>(as_u64());
+    } else if (key == "max_in_flight") {
+      config.max_in_flight = std::max<size_t>(1, static_cast<size_t>(as_u64()));
     } else if (key == "max_events") {
       uint64_t v = as_u64();
       config.max_events = v == 0 ? kAllEvents : static_cast<size_t>(v);

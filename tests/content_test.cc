@@ -36,7 +36,7 @@ TEST(ContentTest, CorruptedContentRejectedAtRoot) {
                                                  Sha1::Hash(body), 1);
   ASSERT_TRUE(cert.has_value());
   auto forged = std::make_shared<const std::string>("corrupted bytes");
-  InsertResult r = network.Insert(deployment.node_ids[0], *cert, forged->size(), forged);
+  InsertResult r = client.InsertCertified(*cert, forged->size(), forged);
   EXPECT_EQ(r.status, InsertStatus::kBadCertificate);
   EXPECT_EQ(network.CountLiveReplicas(cert->file_id), 0u);
 }
@@ -54,7 +54,8 @@ TEST(ContentTest, CacheServesBytesToo) {
   // Warm caches, then find a cache-served lookup and check its bytes.
   bool saw_cache_hit = false;
   for (size_t i = 0; i < deployment.node_ids.size(); ++i) {
-    LookupResult r = network.Lookup(deployment.node_ids[i], inserted.file_id);
+    client.set_access_node(deployment.node_ids[i]);
+    LookupResult r = client.Lookup(inserted.file_id);
     ASSERT_TRUE(r.found());
     ASSERT_NE(r.content, nullptr);
     EXPECT_EQ(*r.content, body);

@@ -44,7 +44,7 @@ TEST_F(FaultInjectionTest, DroppedStoreReplicaTimesOutAndRollsBack) {
   ASSERT_TRUE(cert.has_value());
 
   sim_->DropNext(MessageType::kStoreReplica, 1);
-  InsertResult result = network().Insert(AnyNode(), *cert, 10'000);
+  InsertResult result = client.InsertCertified(*cert, 10'000);
   EXPECT_EQ(result.status, InsertStatus::kTimeout);
   EXPECT_EQ(result.replicas_stored, 0u);
   EXPECT_TRUE(result.receipts.empty());
@@ -97,7 +97,7 @@ TEST_F(FaultInjectionTest, DuplicatedDeliveriesAreIdempotent) {
   EXPECT_EQ(network().CountersSnapshot().replicas_stored_total, 3u);
   EXPECT_GT(sim_->stats().duplicated(), 0u);
 
-  LookupResult looked_up = network().Lookup(AnyNode(), r.file_id);
+  LookupResult looked_up = client.Lookup(r.file_id);
   EXPECT_TRUE(looked_up.found());
 
   // Reclaim under duplication drains everything exactly once too.
@@ -115,12 +115,12 @@ TEST_F(FaultInjectionTest, LookupTimesOutOnDroppedFetchReply) {
   ASSERT_TRUE(r.stored);
 
   sim_->DropNext(MessageType::kFetchReply, 1);
-  LookupResult lost = network().Lookup(AnyNode(), r.file_id);
+  LookupResult lost = client.Lookup(r.file_id);
   EXPECT_EQ(lost.status, LookupStatus::kTimeout);
   EXPECT_FALSE(lost.found());
   EXPECT_EQ(lost.file_size, 0u);
 
-  LookupResult retried = network().Lookup(AnyNode(), r.file_id);
+  LookupResult retried = client.Lookup(r.file_id);
   EXPECT_EQ(retried.status, LookupStatus::kFound);
   EXPECT_EQ(retried.file_size, 12'000u);
 }
@@ -228,7 +228,8 @@ TEST_F(FaultInjectionTest, DuplicateDeliveryDuringPartitionStaysConsistent) {
       break;
     }
   }
-  EXPECT_TRUE(network().Lookup(origin, files[0]).found());
+  client.set_access_node(origin);
+  EXPECT_TRUE(client.Lookup(files[0]).found());
 }
 
 TEST_F(FaultInjectionTest, DroppedRepairStoreIsHealedByMaintenanceSweep) {
@@ -272,7 +273,8 @@ TEST_F(FaultInjectionTest, DroppedRepairStoreIsHealedByMaintenanceSweep) {
       break;
     }
   }
-  EXPECT_TRUE(network().Lookup(origin, files[0]).found());
+  client.set_access_node(origin);
+  EXPECT_TRUE(client.Lookup(files[0]).found());
 }
 
 // Evict-vs-reclaim through the typed message path: route-side caching fills
@@ -298,7 +300,8 @@ TEST(CacheReclaimRace, ReclaimPurgesCachedCopiesAtVisitedNodes) {
 
   // Lookups from many origins cache the file along their routes.
   for (size_t i = 0; i < deployment.node_ids.size(); i += 5) {
-    net.Lookup(deployment.node_ids[i], r.file_id);
+    client.set_access_node(deployment.node_ids[i]);
+    client.Lookup(r.file_id);
   }
   std::vector<NodeId> caching_nodes;
   for (const NodeId& id : net.StorageNodeIds()) {

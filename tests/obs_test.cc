@@ -198,7 +198,8 @@ TEST(ObsScopeTest, JsonlTraceSinkWritesOneLinePerOperation) {
   PastClient client(network, deployment.node_ids.front(), 1ull << 40, 904);
   ClientInsertResult inserted = client.Insert("traced.bin", 2048);
   ASSERT_TRUE(inserted.stored);
-  LookupResult looked_up = network.Lookup(deployment.node_ids.back(), inserted.file_id);
+  client.set_access_node(deployment.node_ids.back());
+  LookupResult looked_up = client.Lookup(inserted.file_id);
   ASSERT_EQ(looked_up.status, LookupStatus::kFound);
   sink->Flush();
 

@@ -51,7 +51,7 @@ TEST(PastDiversionTest, DivertedReplicaTrackedByPointers) {
                                                    static_cast<uint64_t>(i), 4000, 3,
                                                    Sha1::Hash("c"), 1);
     ASSERT_TRUE(cert.has_value());
-    InsertResult r = network.Insert(deployment.node_ids[0], *cert, 4000);
+    InsertResult r = client.InsertCertified(*cert, 4000);
     if (r.status == InsertStatus::kStored && r.replicas_diverted > 0) {
       diverted_file = cert->file_id;
       found = true;

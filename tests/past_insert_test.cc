@@ -47,7 +47,7 @@ TEST_F(PastInsertTest, StoreReceiptsVerify) {
   auto cert = client.card().IssueFileCertificate("direct.bin", 7, 1234, 5,
                                                  Sha1::Hash("direct"), 1);
   ASSERT_TRUE(cert.has_value());
-  InsertResult result = network().Insert(AnyNode(), *cert, 1234);
+  InsertResult result = client.InsertCertified(*cert, 1234);
   ASSERT_EQ(result.status, InsertStatus::kStored);
   ASSERT_EQ(result.receipts.size(), 5u);
   for (const StoreReceipt& receipt : result.receipts) {
@@ -62,7 +62,7 @@ TEST_F(PastInsertTest, BadCertificateRejected) {
                                                  Sha1::Hash("x"), 1);
   ASSERT_TRUE(cert.has_value());
   cert->replication_factor = 3;  // invalidates the signature
-  InsertResult result = network().Insert(AnyNode(), *cert, 1234);
+  InsertResult result = client.InsertCertified(*cert, 1234);
   EXPECT_EQ(result.status, InsertStatus::kBadCertificate);
   EXPECT_EQ(network().CountLiveReplicas(cert->file_id), 0u);
 }
@@ -71,8 +71,8 @@ TEST_F(PastInsertTest, DuplicateFileIdRejected) {
   PastClient client(network(), AnyNode(), 1ull << 40, 54);
   auto cert = client.card().IssueFileCertificate("dup.bin", 7, 100, 5, Sha1::Hash("d"), 1);
   ASSERT_TRUE(cert.has_value());
-  ASSERT_EQ(network().Insert(AnyNode(), *cert, 100).status, InsertStatus::kStored);
-  EXPECT_EQ(network().Insert(AnyNode(), *cert, 100).status, InsertStatus::kDuplicateFileId);
+  ASSERT_EQ(client.InsertCertified(*cert, 100).status, InsertStatus::kStored);
+  EXPECT_EQ(client.InsertCertified(*cert, 100).status, InsertStatus::kDuplicateFileId);
   EXPECT_EQ(network().CountLiveReplicas(cert->file_id), 5u);
 }
 

@@ -39,7 +39,8 @@ TEST(PastLookupTest, LookupFromReplicaHolderIsZeroHops) {
   ClientInsertResult inserted = client.Insert("near.bin", 1000);
   ASSERT_TRUE(inserted.stored);
   NodeId holder = network.overlay().KClosestLive(inserted.file_id.ToRoutingKey(), 1).front();
-  LookupResult r = network.Lookup(holder, inserted.file_id);
+  client.set_access_node(holder);
+  LookupResult r = client.Lookup(inserted.file_id);
   EXPECT_TRUE(r.found());
   EXPECT_EQ(r.hops, 0);
   EXPECT_EQ(r.served_by, holder);
@@ -77,7 +78,8 @@ TEST(PastLookupTest, RepeatedLookupsReduceAverageHops) {
   double total = 0.0;
   int count = 0;
   for (size_t i = 1; i < deployment.node_ids.size(); i += 3) {
-    LookupResult r = network.Lookup(deployment.node_ids[i], inserted.file_id);
+    inserter.set_access_node(deployment.node_ids[i]);
+    LookupResult r = inserter.Lookup(inserted.file_id);
     ASSERT_TRUE(r.found());
     if (first_hops < 0) {
       first_hops = r.hops;
@@ -98,7 +100,8 @@ TEST(PastLookupTest, NoCacheModeNeverServesFromCache) {
   ClientInsertResult inserted = client.Insert("file.bin", 1000);
   ASSERT_TRUE(inserted.stored);
   for (size_t i = 0; i < deployment.node_ids.size(); i += 5) {
-    LookupResult r = network.Lookup(deployment.node_ids[i], inserted.file_id);
+    client.set_access_node(deployment.node_ids[i]);
+    LookupResult r = client.Lookup(inserted.file_id);
     ASSERT_TRUE(r.found());
     EXPECT_FALSE(r.served_from_cache);
   }

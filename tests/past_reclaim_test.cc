@@ -67,7 +67,7 @@ TEST_F(PastReclaimTest, ForgedCertificateRejected) {
   ASSERT_TRUE(inserted.stored);
   ReclaimCertificate forged = owner.card().IssueReclaimCertificate(inserted.file_id, 1);
   forged.date ^= 1;  // breaks the signature
-  ReclaimResult r = network().Reclaim(deployment_.node_ids[0], forged);
+  ReclaimResult r = owner.ReclaimCertified(forged);
   EXPECT_EQ(r.status, ReclaimStatus::kBadCertificate);
   EXPECT_FALSE(r.accepted());
   EXPECT_EQ(network().CountLiveReplicas(inserted.file_id), 5u);
@@ -94,8 +94,10 @@ TEST_F(PastReclaimTest, WeakSemanticsCachedCopiesMaySurvive) {
   ASSERT_TRUE(inserted.stored);
   // Warm caches via lookups from several origins.
   for (size_t i = 0; i < deployment.node_ids.size(); i += 4) {
-    network.Lookup(deployment.node_ids[i], inserted.file_id);
+    client.set_access_node(deployment.node_ids[i]);
+    client.Lookup(inserted.file_id);
   }
+  client.set_access_node(deployment.node_ids[0]);
   ReclaimResult r = client.Reclaim(inserted.file_id);
   EXPECT_TRUE(r.accepted());
   EXPECT_EQ(network.CountLiveReplicas(inserted.file_id), 0u);

@@ -132,6 +132,57 @@ TEST(Simulation, ReproFileRoundTripsAndReproducesDeterministically) {
   EXPECT_EQ(replay1.schedule_fingerprint, replay2.schedule_fingerprint);
 }
 
+SimConfig OverlapConfig(uint64_t seed) {
+  SimConfig config = SmallConfig(seed);
+  config.max_in_flight = 8;
+  return config;
+}
+
+class OverlappedSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverlappedSeeds, HoldsEveryInvariantWithOpsInFlight) {
+  SimResult result = SimRunner(OverlapConfig(GetParam())).Run();
+  EXPECT_TRUE(result.ok) << "seed " << GetParam() << ": " << result.failure;
+  EXPECT_GT(result.files_inserted, 0u);
+  EXPECT_GE(result.checkpoints, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Soak, OverlappedSeeds,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+TEST(Simulation, OverlappedSameSeedReplaysBitIdentically) {
+  SimResult first = SimRunner(OverlapConfig(42)).Run();
+  SimResult second = SimRunner(OverlapConfig(42)).Run();
+  ASSERT_TRUE(first.ok) << first.failure;
+  EXPECT_EQ(first.schedule_fingerprint, second.schedule_fingerprint);
+  EXPECT_EQ(first.state_fingerprint, second.state_fingerprint);
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_EQ(first.files_inserted, second.files_inserted);
+  EXPECT_EQ(first.files_reclaimed, second.files_reclaimed);
+  EXPECT_EQ(first.files_lost, second.files_lost);
+}
+
+TEST(Simulation, OverlappedModeSharesScheduleWithSerializedMode) {
+  // max_in_flight changes execution, not the timeline: the generated
+  // schedule (and thus its fingerprint) is a pure function of the seed.
+  SimResult serialized = SimRunner(SmallConfig(42)).Run();
+  SimResult overlapped = SimRunner(OverlapConfig(42)).Run();
+  ASSERT_TRUE(overlapped.ok) << overlapped.failure;
+  EXPECT_EQ(serialized.schedule_fingerprint, overlapped.schedule_fingerprint);
+}
+
+TEST(Simulation, MaxInFlightRoundTripsThroughReproFile) {
+  SimConfig config = SmallConfig(3);
+  config.max_in_flight = 8;
+  std::optional<SimConfig> parsed = ParseSimConfig(SerializeSimConfig(config));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->max_in_flight, 8u);
+  // Parsing clamps nonsense to the serialized minimum.
+  std::optional<SimConfig> clamped = ParseSimConfig("seed=1\nmax_in_flight=0\n");
+  ASSERT_TRUE(clamped.has_value());
+  EXPECT_EQ(clamped->max_in_flight, 1u);
+}
+
 TEST(Simulation, ParseRejectsMalformedRepro) {
   EXPECT_FALSE(ParseSimConfig("").has_value());
   EXPECT_FALSE(ParseSimConfig("# only comments\n").has_value());

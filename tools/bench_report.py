@@ -5,6 +5,8 @@ Usage:
   bench_report.py REPORT.json                     # human-readable report
   bench_report.py --check REPORT.json             # schema + consistency check
   bench_report.py --check --min-speedup 1.2 R.json  # also require a hot-path win
+  bench_report.py --check --max-regression 0.05 R.json  # fail if any headline
+                                                  # metric fell >5% vs baseline
   bench_report.py --merge-baseline OLD.json REPORT.json [-o OUT.json]
                                                   # embed OLD's metrics as the
                                                   # baseline section of REPORT
@@ -62,7 +64,7 @@ def validate_metrics(metrics, errors, where):
             errors.append(f"{where}: '{key}' is zero (measurement did not run?)")
 
 
-def check(report, min_speedup):
+def check(report, min_speedup, max_regression=None):
     errors = []
     if report.get("schema") != SCHEMA:
         errors.append(f"schema must be '{SCHEMA}', got {report.get('schema')!r}")
@@ -104,6 +106,29 @@ def check(report, min_speedup):
                 )
             else:
                 print(f"speedup gate passed: {best_key} {best:.2f}x >= {min_speedup}x")
+
+    if max_regression is not None:
+        if not isinstance(baseline, dict):
+            errors.append(f"--max-regression {max_regression} requires a baseline section")
+        elif isinstance(metrics, dict):
+            regressed = []
+            for key in HOT_PATH_KEYS:
+                old, new = baseline.get(key), metrics.get(key)
+                if (
+                    isinstance(old, (int, float))
+                    and old > 0
+                    and isinstance(new, (int, float))
+                    and new < old * (1.0 - max_regression)
+                ):
+                    regressed.append(f"{key} {new / old:.3f}x of baseline")
+            if regressed:
+                errors.append(
+                    f"headline metric(s) regressed more than "
+                    f"{max_regression:.0%}: " + ", ".join(regressed)
+                )
+            else:
+                print(f"regression gate passed: no headline metric below "
+                      f"{1.0 - max_regression:.0%} of baseline")
     return errors
 
 
@@ -156,6 +181,13 @@ def main():
         help="with --check: require one hot-path metric >= this factor over baseline",
     )
     parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        help="with --check: fail if any headline throughput metric fell by more "
+        "than this fraction vs. baseline (e.g. 0.05 for 5%%)",
+    )
+    parser.add_argument(
         "--merge-baseline",
         action="store_true",
         help="treat the first file as the baseline report and embed its metrics "
@@ -185,7 +217,7 @@ def main():
             status = 1
             continue
         if args.check:
-            errors = check(report, args.min_speedup)
+            errors = check(report, args.min_speedup, args.max_regression)
             if errors:
                 for error in errors:
                     print(f"{path}: {error}", file=sys.stderr)

@@ -22,6 +22,9 @@ REQUIRED_COUNTERS = [
     # Lookup path.
     "past.lookup.requests",
     "past.lookup.found",
+    # Async operation engine (instruments exist from network construction).
+    "engine.ops.submitted",
+    "engine.ops.completed",
     # Cache layer (per-node scopes merged into the global snapshot).
     "node.cache.hits",
     "node.cache.misses",
@@ -32,12 +35,24 @@ REQUIRED_GAUGES = [
     "past.replicas.stored",
     "past.replicas.diverted",
     "past.utilization",
+    # Engine in-flight tracking; zero at any quiescent dump point.
+    "engine.ops_in_flight",
+    "engine.ops_in_flight_peak",
 ]
 
 REQUIRED_HISTOGRAMS = [
     "past.insert.file_size_bytes",
     "past.insert.hops",
     "past.lookup.hops",
+    "engine.op_latency_ms",
+]
+
+# Optional latency percentile gauges (bench_overload exports these); when
+# present they must be internally ordered.
+LATENCY_PERCENTILE_GAUGES = [
+    "engine.op_latency_p50_ms",
+    "engine.op_latency_p95_ms",
+    "engine.op_latency_p99_ms",
 ]
 
 
@@ -93,6 +108,29 @@ def validate(doc):
             errors.append("past.lookup.found exceeds past.lookup.requests")
         if counters["past.insert.attempts"] == 0:
             errors.append("past.insert.attempts is zero: run inserted nothing")
+        finished = counters["engine.ops.completed"] + counters.get(
+            "engine.ops.cancelled", 0
+        )
+        if finished > counters["engine.ops.submitted"]:
+            errors.append(
+                "engine.ops.completed + engine.ops.cancelled exceeds "
+                "engine.ops.submitted"
+            )
+        if gauges["engine.ops_in_flight"] > gauges["engine.ops_in_flight_peak"]:
+            errors.append("engine.ops_in_flight exceeds its recorded peak")
+        present = [g for g in LATENCY_PERCENTILE_GAUGES if g in gauges]
+        if present:
+            if present != LATENCY_PERCENTILE_GAUGES:
+                errors.append(
+                    "latency percentile gauges are incomplete: "
+                    f"have {present}"
+                )
+            else:
+                p50, p95, p99 = (gauges[g] for g in LATENCY_PERCENTILE_GAUGES)
+                if not (p50 <= p95 <= p99):
+                    errors.append(
+                        f"latency percentiles unordered: p50={p50} p95={p95} p99={p99}"
+                    )
     return errors
 
 
