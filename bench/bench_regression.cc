@@ -4,13 +4,20 @@
 // every PR has a perf trajectory to compare against.
 //
 // Usage:
-//   bench_regression [--smoke] [--jobs N] [--out report.json]
+//   bench_regression [--smoke] [--jobs N] [--runs N] [--out report.json]
 //
 // --smoke shrinks every workload so the whole run finishes in a few seconds
-// (CI uses it); the full run takes on the order of a minute. Merge a
-// previous report in as the "baseline" section and validate with
-// tools/bench_report.py (--merge-baseline / --check).
+// (CI uses it); the full run takes on the order of a minute. --runs N
+// repeats the whole measurement sequence N times *interleaved* (round-robin
+// over the metrics, not N back-to-back runs of each) so slow drifts in
+// machine load spread across all metrics instead of biasing one; the report
+// carries the per-metric means plus coefficients of variation, and
+// tools/bench_report.py refuses to gate (--min-speedup/--max-regression) on
+// a single-run report. Merge a previous report in as the "baseline" section
+// and validate with tools/bench_report.py (--merge-baseline / --check).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
@@ -170,7 +177,50 @@ void MeasureSweep(bool smoke, int jobs, RegressionReport* report) {
   }
 }
 
-bool WriteReport(const std::string& path, const RegressionReport& r, bool smoke, int jobs) {
+// Per-metric mean over interleaved runs; sweep_deterministic is the AND.
+RegressionReport MeanOf(const std::vector<RegressionReport>& samples) {
+  RegressionReport mean;
+  mean.sweep_deterministic = true;
+  for (const RegressionReport& s : samples) {
+    mean.sha1_mb_per_sec += s.sha1_mb_per_sec;
+    mean.routes_per_sec += s.routes_per_sec;
+    mean.route_avg_hops += s.route_avg_hops;
+    mean.inserts_per_sec += s.inserts_per_sec;
+    mean.lookups_per_sec += s.lookups_per_sec;
+    mean.sweep_wall_seconds_jobs1 += s.sweep_wall_seconds_jobs1;
+    mean.sweep_wall_seconds_jobsn += s.sweep_wall_seconds_jobsn;
+    mean.sweep_speedup += s.sweep_speedup;
+    mean.sweep_deterministic = mean.sweep_deterministic && s.sweep_deterministic;
+  }
+  double n = static_cast<double>(samples.size());
+  mean.sha1_mb_per_sec /= n;
+  mean.routes_per_sec /= n;
+  mean.route_avg_hops /= n;
+  mean.inserts_per_sec /= n;
+  mean.lookups_per_sec /= n;
+  mean.sweep_wall_seconds_jobs1 /= n;
+  mean.sweep_wall_seconds_jobsn /= n;
+  mean.sweep_speedup /= n;
+  return mean;
+}
+
+// Coefficient of variation (population stddev / mean) of one metric.
+double CovOf(const std::vector<RegressionReport>& samples,
+             double RegressionReport::* field, double mean) {
+  if (samples.size() < 2 || mean <= 0.0) {
+    return 0.0;
+  }
+  double variance = 0.0;
+  for (const RegressionReport& s : samples) {
+    double d = s.*field - mean;
+    variance += d * d;
+  }
+  variance /= static_cast<double>(samples.size());
+  return std::sqrt(variance) / mean;
+}
+
+bool WriteReport(const std::string& path, const RegressionReport& r,
+                 const std::vector<RegressionReport>& samples, bool smoke, int jobs) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     return false;
@@ -179,6 +229,7 @@ bool WriteReport(const std::string& path, const RegressionReport& r, bool smoke,
   std::fprintf(out, "  \"schema\": \"past-bench-regression-v1\",\n");
   std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
   std::fprintf(out, "  \"jobs\": %d,\n", jobs);
+  std::fprintf(out, "  \"runs\": %zu,\n", samples.size());
   std::fprintf(out, "  \"metrics\": {\n");
   std::fprintf(out, "    \"sha1_mb_per_sec\": %.3f,\n", r.sha1_mb_per_sec);
   std::fprintf(out, "    \"routes_per_sec\": %.3f,\n", r.routes_per_sec);
@@ -189,6 +240,16 @@ bool WriteReport(const std::string& path, const RegressionReport& r, bool smoke,
   std::fprintf(out, "    \"sweep_wall_seconds_jobsn\": %.4f,\n", r.sweep_wall_seconds_jobsn);
   std::fprintf(out, "    \"sweep_speedup\": %.4f,\n", r.sweep_speedup);
   std::fprintf(out, "    \"sweep_deterministic\": %s\n", r.sweep_deterministic ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"cov\": {\n");
+  std::fprintf(out, "    \"sha1_mb_per_sec\": %.4f,\n",
+               CovOf(samples, &RegressionReport::sha1_mb_per_sec, r.sha1_mb_per_sec));
+  std::fprintf(out, "    \"routes_per_sec\": %.4f,\n",
+               CovOf(samples, &RegressionReport::routes_per_sec, r.routes_per_sec));
+  std::fprintf(out, "    \"inserts_per_sec\": %.4f,\n",
+               CovOf(samples, &RegressionReport::inserts_per_sec, r.inserts_per_sec));
+  std::fprintf(out, "    \"lookups_per_sec\": %.4f\n",
+               CovOf(samples, &RegressionReport::lookups_per_sec, r.lookups_per_sec));
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
@@ -205,27 +266,47 @@ int main(int argc, char** argv) {
   bool smoke = cli.Has("--smoke");
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   int jobs = static_cast<int>(cli.GetInt("--jobs", hw > 0 ? std::min(hw, 4) : 4));
+  size_t runs = static_cast<size_t>(std::max<int64_t>(1, cli.GetInt("--runs", 1)));
   std::string out_path = cli.GetString("--out", "BENCH_PR3.json");
 
-  std::printf("# bench_regression (%s mode, sweep jobs=%d)\n", smoke ? "smoke" : "full", jobs);
+  std::printf("# bench_regression (%s mode, sweep jobs=%d, runs=%zu)\n",
+              smoke ? "smoke" : "full", jobs, runs);
 
-  RegressionReport report;
-  report.sha1_mb_per_sec = MeasureSha1(smoke);
-  std::printf("sha1_mb_per_sec        %.1f\n", report.sha1_mb_per_sec);
-  MeasureRouting(smoke, &report);
-  std::printf("routes_per_sec         %.0f (avg hops %.2f)\n", report.routes_per_sec,
-              report.route_avg_hops);
-  report.inserts_per_sec = MeasureInserts(smoke);
-  std::printf("inserts_per_sec        %.0f\n", report.inserts_per_sec);
-  report.lookups_per_sec = MeasureLookups(smoke);
-  std::printf("lookups_per_sec        %.0f\n", report.lookups_per_sec);
-  MeasureSweep(smoke, jobs, &report);
+  // Each round measures every metric once; rounds interleave so load drift
+  // hits all metrics evenly.
+  std::vector<RegressionReport> samples;
+  for (size_t run = 0; run < runs; ++run) {
+    RegressionReport sample;
+    sample.sha1_mb_per_sec = MeasureSha1(smoke);
+    MeasureRouting(smoke, &sample);
+    sample.inserts_per_sec = MeasureInserts(smoke);
+    sample.lookups_per_sec = MeasureLookups(smoke);
+    MeasureSweep(smoke, jobs, &sample);
+    samples.push_back(sample);
+    if (runs > 1) {
+      std::printf("run %zu/%zu: routes=%.0f inserts=%.0f lookups=%.0f sha1=%.1f %s\n",
+                  run + 1, runs, sample.routes_per_sec, sample.inserts_per_sec,
+                  sample.lookups_per_sec, sample.sha1_mb_per_sec,
+                  sample.sweep_deterministic ? "ok" : "SWEEP-MISMATCH");
+    }
+  }
+  RegressionReport report = MeanOf(samples);
+
+  std::printf("sha1_mb_per_sec        %.1f (cov %.3f)\n", report.sha1_mb_per_sec,
+              CovOf(samples, &RegressionReport::sha1_mb_per_sec, report.sha1_mb_per_sec));
+  std::printf("routes_per_sec         %.0f (avg hops %.2f, cov %.3f)\n", report.routes_per_sec,
+              report.route_avg_hops,
+              CovOf(samples, &RegressionReport::routes_per_sec, report.routes_per_sec));
+  std::printf("inserts_per_sec        %.0f (cov %.3f)\n", report.inserts_per_sec,
+              CovOf(samples, &RegressionReport::inserts_per_sec, report.inserts_per_sec));
+  std::printf("lookups_per_sec        %.0f (cov %.3f)\n", report.lookups_per_sec,
+              CovOf(samples, &RegressionReport::lookups_per_sec, report.lookups_per_sec));
   std::printf("sweep wall jobs=1      %.2f s\n", report.sweep_wall_seconds_jobs1);
   std::printf("sweep wall jobs=%-2d     %.2f s (speedup %.2fx, %s)\n", jobs,
               report.sweep_wall_seconds_jobsn, report.sweep_speedup,
               report.sweep_deterministic ? "bit-identical" : "MISMATCH");
 
-  if (!WriteReport(out_path, report, smoke, jobs)) {
+  if (!WriteReport(out_path, report, samples, smoke, jobs)) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }

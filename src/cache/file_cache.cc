@@ -14,27 +14,35 @@ void FileCache::BindMetrics(obs::MetricsRegistry* registry) {
   metric_misses_ = &registry->GetCounter("node.cache.misses");
   metric_insertions_ = &registry->GetCounter("node.cache.insertions");
   metric_evictions_ = &registry->GetCounter("node.cache.evictions");
-  // Replay anything tallied before binding so registry and fields agree.
-  metric_hits_->Inc(hits_);
-  metric_misses_->Inc(misses_);
-  metric_insertions_->Inc(insertions_);
-  metric_evictions_->Inc(evictions_);
+  synced_hits_ = synced_misses_ = synced_insertions_ = synced_evictions_ = 0;
+  SyncBoundMetrics();
+}
+
+void FileCache::SyncBoundMetrics() const {
+  if (metric_hits_ == nullptr) {
+    return;
+  }
+  metric_hits_->Inc(hits_ - synced_hits_);
+  metric_misses_->Inc(misses_ - synced_misses_);
+  metric_insertions_->Inc(insertions_ - synced_insertions_);
+  metric_evictions_->Inc(evictions_ - synced_evictions_);
+  synced_hits_ = hits_;
+  synced_misses_ = misses_;
+  synced_insertions_ = insertions_;
+  synced_evictions_ = evictions_;
 }
 
 void FileCache::EvictEntry(const FileId& id) {
-  auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    used_ -= it->second.size;
-    entries_.erase(it);
+  const Entry* entry = entries_.Find(id);
+  if (entry != nullptr) {
+    used_ -= entry->size;
+    entries_.Erase(id);
     ++evictions_;
-    if (metric_evictions_ != nullptr) {
-      metric_evictions_->Inc();
-    }
   }
 }
 
 bool FileCache::Insert(const FileId& id, uint64_t size, uint64_t budget, ContentRef content) {
-  if (entries_.count(id) > 0) {
+  if (entries_.Contains(id)) {
     return false;  // already cached
   }
   // Admission rule: size must be less than c * current cache size, where the
@@ -50,42 +58,33 @@ bool FileCache::Insert(const FileId& id, uint64_t size, uint64_t budget, Content
     }
     EvictEntry(*victim);
   }
-  entries_[id] = Entry{size, std::move(content)};
+  entries_.InsertOrAssign(id, Entry{size, std::move(content)});
   used_ += size;
   policy_->OnInsert(id, size);
   ++insertions_;
-  if (metric_insertions_ != nullptr) {
-    metric_insertions_->Inc();
-  }
   return true;
 }
 
 bool FileCache::Lookup(const FileId& id, bool touch) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) {
+  const Entry* entry = entries_.Find(id);
+  if (entry == nullptr) {
     ++misses_;
-    if (metric_misses_ != nullptr) {
-      metric_misses_->Inc();
-    }
     return false;
   }
   if (touch) {
-    policy_->OnHit(id, it->second.size);
+    policy_->OnHit(id, entry->size);
   }
   ++hits_;
-  if (metric_hits_ != nullptr) {
-    metric_hits_->Inc();
-  }
   return true;
 }
 
 bool FileCache::Remove(const FileId& id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) {
+  const Entry* entry = entries_.Find(id);
+  if (entry == nullptr) {
     return false;
   }
-  used_ -= it->second.size;
-  entries_.erase(it);
+  used_ -= entry->size;
+  entries_.Erase(id);
   policy_->OnRemove(id);
   return true;
 }
@@ -100,16 +99,16 @@ std::vector<std::pair<FileId, uint64_t>> FileCache::Entries() const {
 }
 
 std::optional<uint64_t> FileCache::SizeOf(const FileId& id) const {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) {
+  const Entry* entry = entries_.Find(id);
+  if (entry == nullptr) {
     return std::nullopt;
   }
-  return it->second.size;
+  return entry->size;
 }
 
 FileCache::ContentRef FileCache::ContentOf(const FileId& id) const {
-  auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : it->second.content;
+  const Entry* entry = entries_.Find(id);
+  return entry == nullptr ? nullptr : entry->content;
 }
 
 void FileCache::ShrinkToBudget(uint64_t budget) {

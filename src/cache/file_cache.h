@@ -12,11 +12,11 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/cache/eviction_policy.h"
+#include "src/common/flat_table.h"
 #include "src/common/file_id.h"
 #include "src/obs/metrics.h"
 
@@ -65,10 +65,16 @@ class FileCache {
   uint64_t insertions() const { return insertions_; }
   uint64_t evictions() const { return evictions_; }
 
-  // Registers this cache's tallies ("node.cache.*") in `registry`; every
-  // subsequent hit / miss / insertion / eviction increments the registry
-  // counters alongside the local fields. Pass nullptr to unbind.
+  // Registers this cache's tallies ("node.cache.*") in `registry`. The
+  // registry counters are brought up to date by SyncBoundMetrics(), not on
+  // every event: hit/miss recording on the lookup hot path stays a plain
+  // field increment, and PastNode::RefreshGauges() syncs the deltas before
+  // any snapshot is taken. Pass nullptr to unbind.
   void BindMetrics(obs::MetricsRegistry* registry);
+
+  // Pushes tallies accumulated since the last sync into the bound registry
+  // counters (no-op when unbound). Idempotent between events.
+  void SyncBoundMetrics() const;
 
  private:
   struct Entry {
@@ -81,17 +87,22 @@ class FileCache {
 
   std::unique_ptr<EvictionPolicy> policy_;
   double c_fraction_;
-  std::unordered_map<FileId, Entry, FileIdHash> entries_;
+  FlatTable<FileId, Entry, FileIdHash> entries_;
   uint64_t used_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t insertions_ = 0;
   uint64_t evictions_ = 0;
-  // Hot-path handles into the bound registry (null when unbound).
+  // Bound registry counters and the values already pushed to them; updated
+  // only inside SyncBoundMetrics (mutable: syncing is logically const).
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_insertions_ = nullptr;
   obs::Counter* metric_evictions_ = nullptr;
+  mutable uint64_t synced_hits_ = 0;
+  mutable uint64_t synced_misses_ = 0;
+  mutable uint64_t synced_insertions_ = 0;
+  mutable uint64_t synced_evictions_ = 0;
 };
 
 }  // namespace past

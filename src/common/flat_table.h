@@ -1,0 +1,245 @@
+// FlatTable: an open-addressing hash table with contiguous storage.
+//
+// The pointer-heavy std::unordered_map (one heap node per entry, bucket
+// array of pointers) is the dominant memory cost of per-node state at
+// extreme simulation scales. FlatTable keeps keys, values, and slot states
+// in three parallel arrays (SoA): a probe touches one state byte and one
+// key, entries never allocate individually, and iteration is a linear scan.
+// Linear probing over a power-of-two capacity; deletion uses tombstones,
+// which are reclaimed wholesale on the next rehash.
+//
+// Iteration order is the slot order, which is deterministic for a given
+// sequence of operations (the determinism contract all simulation code
+// relies on) but — like unordered_map — not sorted; order-sensitive
+// consumers must sort. Erasing during iteration invalidates iterators.
+#ifndef SRC_COMMON_FLAT_TABLE_H_
+#define SRC_COMMON_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace past {
+
+template <typename Key, typename Value, typename Hash>
+class FlatTable {
+ public:
+  FlatTable() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Pre-sizes the table for `n` entries without rehashing on the way there.
+  void Reserve(size_t n) {
+    size_t needed = NormalizeCapacity(n);
+    if (needed > capacity()) {
+      Rehash(needed);
+    }
+  }
+
+  Value* Find(const Key& key) {
+    size_t slot = FindSlot(key);
+    return slot == kNoSlot ? nullptr : &values_[slot];
+  }
+  const Value* Find(const Key& key) const {
+    size_t slot = FindSlot(key);
+    return slot == kNoSlot ? nullptr : &values_[slot];
+  }
+  bool Contains(const Key& key) const { return FindSlot(key) != kNoSlot; }
+
+  // Inserts `value` under `key` if absent. Returns {slot value pointer,
+  // inserted}; on conflict the existing value is untouched.
+  std::pair<Value*, bool> TryEmplace(const Key& key, Value value) {
+    GrowIfNeeded();
+    size_t slot = ProbeForInsert(key);
+    if (states_[slot] == kFull) {
+      return {&values_[slot], false};
+    }
+    OccupySlot(slot, key, std::move(value));
+    return {&values_[slot], true};
+  }
+
+  // Inserts or overwrites. Returns the stored value.
+  Value& InsertOrAssign(const Key& key, Value value) {
+    GrowIfNeeded();
+    size_t slot = ProbeForInsert(key);
+    if (states_[slot] == kFull) {
+      values_[slot] = std::move(value);
+      return values_[slot];
+    }
+    OccupySlot(slot, key, std::move(value));
+    return values_[slot];
+  }
+
+  bool Erase(const Key& key) {
+    size_t slot = FindSlot(key);
+    if (slot == kNoSlot) {
+      return false;
+    }
+    states_[slot] = kTombstone;
+    values_[slot] = Value();  // release owned resources now, not at rehash
+    --size_;
+    ++tombstones_;
+    return true;
+  }
+
+  void Clear() {
+    keys_.clear();
+    values_.clear();
+    states_.clear();
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  // --- iteration (slot order; skips empty and tombstoned slots) ---
+
+  // Dereferencing yields a pair-like proxy so existing range-for loops using
+  // structured bindings (`for (const auto& [key, value] : table)`) keep
+  // working after the switch from unordered_map.
+  struct ConstRef {
+    const Key& first;
+    const Value& second;
+  };
+  struct Ref {
+    const Key& first;
+    Value& second;
+  };
+
+  template <typename Table, typename RefT>
+  class Iterator {
+   public:
+    Iterator(Table* table, size_t slot) : table_(table), slot_(slot) { SkipHoles(); }
+    RefT operator*() const { return RefT{table_->keys_[slot_], table_->values_[slot_]}; }
+    Iterator& operator++() {
+      ++slot_;
+      SkipHoles();
+      return *this;
+    }
+    bool operator==(const Iterator& other) const { return slot_ == other.slot_; }
+    bool operator!=(const Iterator& other) const { return slot_ != other.slot_; }
+
+   private:
+    void SkipHoles() {
+      while (slot_ < table_->states_.size() && table_->states_[slot_] != kFull) {
+        ++slot_;
+      }
+    }
+    Table* table_;
+    size_t slot_;
+  };
+
+  using iterator = Iterator<FlatTable, Ref>;
+  using const_iterator = Iterator<const FlatTable, ConstRef>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, states_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, states_.size()); }
+
+ private:
+  enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+  static constexpr size_t kMinCapacity = 16;
+
+  size_t capacity() const { return states_.size(); }
+  size_t mask() const { return states_.size() - 1; }
+
+  static size_t NormalizeCapacity(size_t n) {
+    // Keep load factor under ~2/3 after inserting n entries.
+    size_t cap = kMinCapacity;
+    while (cap * 2 < n * 3 + 2) {
+      cap *= 2;
+    }
+    return cap;
+  }
+
+  size_t FindSlot(const Key& key) const {
+    if (states_.empty()) {
+      return kNoSlot;
+    }
+    size_t slot = Hash{}(key)&mask();
+    for (;;) {
+      uint8_t state = states_[slot];
+      if (state == kEmpty) {
+        return kNoSlot;
+      }
+      if (state == kFull && keys_[slot] == key) {
+        return slot;
+      }
+      slot = (slot + 1) & mask();
+    }
+  }
+
+  // First reusable slot for `key`: its existing slot if present, else the
+  // first tombstone seen, else the empty slot that ends the probe chain.
+  size_t ProbeForInsert(const Key& key) {
+    size_t slot = Hash{}(key)&mask();
+    size_t first_tombstone = kNoSlot;
+    for (;;) {
+      uint8_t state = states_[slot];
+      if (state == kEmpty) {
+        return first_tombstone != kNoSlot ? first_tombstone : slot;
+      }
+      if (state == kFull && keys_[slot] == key) {
+        return slot;
+      }
+      if (state == kTombstone && first_tombstone == kNoSlot) {
+        first_tombstone = slot;
+      }
+      slot = (slot + 1) & mask();
+    }
+  }
+
+  void OccupySlot(size_t slot, const Key& key, Value value) {
+    if (states_[slot] == kTombstone) {
+      --tombstones_;
+    }
+    states_[slot] = kFull;
+    keys_[slot] = key;
+    values_[slot] = std::move(value);
+    ++size_;
+  }
+
+  void GrowIfNeeded() {
+    if (states_.empty()) {
+      Rehash(kMinCapacity);
+      return;
+    }
+    // Rehash when live + dead slots pass 2/3 so probe chains stay short.
+    if ((size_ + tombstones_ + 1) * 3 >= capacity() * 2) {
+      Rehash(NormalizeCapacity(size_ + 1));
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    std::vector<uint8_t> old_states = std::move(states_);
+    // resize() (not assign) so move-only values (unique_ptr slots) work: the
+    // new slots are default-constructed in place, never copied from a proto.
+    keys_.clear();
+    keys_.resize(new_capacity);
+    values_.clear();
+    values_.resize(new_capacity);
+    states_.assign(new_capacity, kEmpty);
+    size_ = 0;
+    tombstones_ = 0;
+    for (size_t i = 0; i < old_states.size(); ++i) {
+      if (old_states[i] == kFull) {
+        size_t slot = ProbeForInsert(old_keys[i]);
+        OccupySlot(slot, old_keys[i], std::move(old_values[i]));
+      }
+    }
+  }
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  std::vector<uint8_t> states_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace past
+
+#endif  // SRC_COMMON_FLAT_TABLE_H_

@@ -14,11 +14,47 @@ double TorusDistance(const Coordinate& a, const Coordinate& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-Topology::Topology(uint64_t seed) : rng_(seed) {}
+Topology::Topology(uint64_t seed) : rng_(seed) {
+  cells_.resize(static_cast<size_t>(kGridDim) * kGridDim);
+}
+
+int Topology::CellCoord(double v) {
+  int c = static_cast<int>(v * kGridDim);
+  if (c < 0) {
+    c = 0;
+  }
+  if (c >= kGridDim) {
+    c = kGridDim - 1;  // v == 1.0 after wrap rounding
+  }
+  return c;
+}
+
+void Topology::GridInsert(const NodeId& id, const Coordinate& c) {
+  cells_[static_cast<size_t>(CellOf(c))].push_back(GridEntry{id, c});
+}
+
+void Topology::GridRemove(const NodeId& id, const Coordinate& c) {
+  std::vector<GridEntry>& cell = cells_[static_cast<size_t>(CellOf(c))];
+  for (size_t i = 0; i < cell.size(); ++i) {
+    if (cell[i].id == id) {
+      cell[i] = cell.back();
+      cell.pop_back();
+      return;
+    }
+  }
+}
+
+void Topology::Register(const NodeId& id, const Coordinate& c) {
+  if (const Coordinate* old = locations_.Find(id)) {
+    GridRemove(id, *old);
+  }
+  locations_.InsertOrAssign(id, c);
+  GridInsert(id, c);
+}
 
 Coordinate Topology::PlaceUniform(const NodeId& id) {
   Coordinate c{rng_.NextDouble(), rng_.NextDouble()};
-  locations_[id] = c;
+  Register(id, c);
   return c;
 }
 
@@ -32,34 +68,83 @@ Coordinate Topology::PlaceNear(const NodeId& id, const Coordinate& center, doubl
   };
   Coordinate c{wrap(center.x + spread * rng_.NextGaussian()),
                wrap(center.y + spread * rng_.NextGaussian())};
-  locations_[id] = c;
+  Register(id, c);
   return c;
 }
 
-void Topology::Remove(const NodeId& id) { locations_.erase(id); }
+void Topology::Remove(const NodeId& id) {
+  if (const Coordinate* old = locations_.Find(id)) {
+    GridRemove(id, *old);
+    locations_.Erase(id);
+  }
+}
 
-bool Topology::Contains(const NodeId& id) const { return locations_.count(id) > 0; }
+bool Topology::Contains(const NodeId& id) const { return locations_.Contains(id); }
 
 const Coordinate& Topology::LocationOf(const NodeId& id) const {
-  auto it = locations_.find(id);
-  if (it == locations_.end()) {
+  const Coordinate* c = locations_.Find(id);
+  if (c == nullptr) {
     throw std::out_of_range("Topology::LocationOf: unknown node " + id.ToHex());
   }
-  return it->second;
+  return *c;
 }
 
 double Topology::Distance(const NodeId& a, const NodeId& b) const {
   return TorusDistance(LocationOf(a), LocationOf(b));
 }
 
+void Topology::ScanCell(int cx, int cy, const Coordinate& point, NodeId& best,
+                        double& best_distance, bool& found) const {
+  const std::vector<GridEntry>& cell = cells_[static_cast<size_t>(cx * kGridDim + cy)];
+  for (const GridEntry& e : cell) {
+    double d = TorusDistance(point, e.location);
+    if (d < best_distance || (found && d == best_distance && e.id < best)) {
+      best_distance = d;
+      best = e.id;
+      found = true;
+    }
+  }
+}
+
 NodeId Topology::NearestTo(const Coordinate& point) const {
   NodeId best;
+  if (locations_.empty()) {
+    return best;
+  }
   double best_distance = std::numeric_limits<double>::infinity();
-  for (const auto& [id, location] : locations_) {
-    double d = TorusDistance(point, location);
-    if (d < best_distance) {
-      best_distance = d;
-      best = id;
+  bool found = false;
+  const int cx = CellCoord(point.x);
+  const int cy = CellCoord(point.y);
+  const double cell_size = 1.0 / kGridDim;
+  auto wrap = [](int c) { return ((c % kGridDim) + kGridDim) % kGridDim; };
+
+  for (int r = 0; r <= kGridDim / 2 + 1; ++r) {
+    // Any endpoint in a cell at Chebyshev cell-distance r is at least
+    // (r - 1) * cell_size away, so once the running best beats that bound no
+    // farther ring can improve it.
+    if (found && best_distance < static_cast<double>(r - 1) * cell_size) {
+      break;
+    }
+    if (2 * r + 1 >= kGridDim) {
+      // Ring would wrap onto itself; finish with a full sweep.
+      for (int x = 0; x < kGridDim; ++x) {
+        for (int y = 0; y < kGridDim; ++y) {
+          ScanCell(x, y, point, best, best_distance, found);
+        }
+      }
+      break;
+    }
+    if (r == 0) {
+      ScanCell(cx, cy, point, best, best_distance, found);
+      continue;
+    }
+    for (int dx = -r; dx <= r; ++dx) {
+      ScanCell(wrap(cx + dx), wrap(cy - r), point, best, best_distance, found);
+      ScanCell(wrap(cx + dx), wrap(cy + r), point, best, best_distance, found);
+    }
+    for (int dy = -r + 1; dy <= r - 1; ++dy) {
+      ScanCell(wrap(cx - r), wrap(cy + dy), point, best, best_distance, found);
+      ScanCell(wrap(cx + r), wrap(cy + dy), point, best, best_distance, found);
     }
   }
   return best;

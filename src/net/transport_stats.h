@@ -27,6 +27,34 @@ class TransportStats {
   }
   void RecordRpc() { ++rpcs_; }
 
+  // Batched accounting for a whole route: equivalent to RecordHop(d_i) +
+  // RecordMessage(64) per hop, folded into one update so the routing hot
+  // loop touches the collector once per route instead of twice per hop.
+  void RecordRoute(uint64_t hops, double total_distance) {
+    hops_ += hops;
+    total_distance_ += total_distance;
+    messages_ += hops;
+    bytes_sent_ += hops * 64;
+  }
+
+  // Folds another collector into this one (shard counters merged at epoch
+  // barriers). Field-wise addition, so merging per-shard stats in any order
+  // reproduces the serial totals exactly (doubles: same order = same sum,
+  // which the scale engine guarantees by merging in shard order).
+  void MergeFrom(const TransportStats& other) {
+    hops_ += other.hops_;
+    messages_ += other.messages_;
+    rpcs_ += other.rpcs_;
+    bytes_sent_ += other.bytes_sent_;
+    total_distance_ += other.total_distance_;
+    for (size_t i = 0; i < kMessageTypeCount; ++i) {
+      sends_[i] += other.sends_[i];
+    }
+    dropped_ += other.dropped_;
+    duplicated_ += other.duplicated_;
+    delayed_ += other.delayed_;
+  }
+
   // Per-type accounting for fabric sends; every Transport::Send lands here
   // exactly once, independent of the legacy message/rpc classification.
   void RecordSend(MessageType type) { ++sends_[static_cast<size_t>(type)]; }

@@ -119,11 +119,11 @@ NodeId PastNetwork::AddStorageNodeNear(uint64_t capacity_bytes, const Coordinate
   NodeId id;
   for (;;) {
     id = NodeId(rng_.NextU64(), rng_.NextU64());
-    if (nodes_.count(id) == 0 && pastry_.node(id) == nullptr) {
+    if (!nodes_.Contains(id) && pastry_.node(id) == nullptr) {
       break;
     }
   }
-  nodes_[id] = std::make_unique<PastNode>(id, config_, capacity_bytes, rng_);
+  nodes_.InsertOrAssign(id, std::make_unique<PastNode>(id, config_, capacity_bytes, rng_));
   total_capacity_ += capacity_bytes;
 
   Coordinate location = center;
@@ -181,13 +181,13 @@ void PastNetwork::FailStorageNode(const NodeId& id) {
 }
 
 PastNode* PastNetwork::storage_node(const NodeId& id) {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  std::unique_ptr<PastNode>* slot = nodes_.Find(id);
+  return slot == nullptr ? nullptr : slot->get();
 }
 
 const PastNode* PastNetwork::storage_node(const NodeId& id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
+  const std::unique_ptr<PastNode>* slot = nodes_.Find(id);
+  return slot == nullptr ? nullptr : slot->get();
 }
 
 std::vector<NodeId> PastNetwork::KClosestFromLeafSet(const NodeId& root, const NodeId& key,
@@ -434,13 +434,13 @@ void PastNetwork::OnNodeJoined(const NodeId& id) {
 
 void PastNetwork::OnNodeFailed(const NodeId& id) {
   // PAST-level accounting: the node's disk contents are gone.
-  auto it = nodes_.find(id);
-  if (it != nodes_.end()) {
-    total_capacity_ -= it->second->store().capacity();
-    total_stored_ -= it->second->store().used();
-    ins_.replicas_stored->Sub(static_cast<double>(it->second->store().replica_count()));
-    ins_.replicas_diverted->Sub(static_cast<double>(it->second->store().diverted_count()));
-    nodes_.erase(it);
+  std::unique_ptr<PastNode>* slot = nodes_.Find(id);
+  if (slot != nullptr) {
+    total_capacity_ -= (*slot)->store().capacity();
+    total_stored_ -= (*slot)->store().used();
+    ins_.replicas_stored->Sub(static_cast<double>((*slot)->store().replica_count()));
+    ins_.replicas_diverted->Sub(static_cast<double>((*slot)->store().diverted_count()));
+    nodes_.Erase(id);
   }
   if (!config_.enable_maintenance || !any_file_inserted_) {
     return;

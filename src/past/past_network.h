@@ -7,10 +7,10 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/file_id.h"
+#include "src/common/flat_table.h"
 #include "src/common/node_id.h"
 #include "src/net/sim_transport.h"
 #include "src/net/transport.h"
@@ -32,6 +32,7 @@ class OpEngine;
 class PastClient;
 class ReclaimOp;
 class RepairOp;
+class ScaleEngine;
 
 // Legacy value-type view of the network-level operation tallies. The live
 // data now lives in the metrics registry; this struct is built on demand by
@@ -205,6 +206,10 @@ class PastNetwork : public MembershipObserver {
   friend class PastClient;
   friend class ReclaimOp;
   friend class RepairOp;
+  // The epoch-sharded extreme-scale driver (src/sim/scale_engine.h): plans
+  // routes in parallel against frozen membership, then commits storage
+  // decisions serially through the same private helpers the ops use.
+  friend class ScaleEngine;
 
   // Single-attempt protocol executions (blocking: submit on the engine, then
   // drain). PastClient is the public doorway; see the comment on engine().
@@ -256,7 +261,10 @@ class PastNetwork : public MembershipObserver {
   Rng rng_;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<OpEngine> engine_;
-  std::unordered_map<NodeId, std::unique_ptr<PastNode>, NodeIdHash> nodes_;
+  // Flat open-addressing table (no per-entry heap nodes); iteration is slot
+  // order, deterministic for a given operation sequence. Order-sensitive
+  // consumers (StorageNodeIds) sort.
+  FlatTable<NodeId, std::unique_ptr<PastNode>, NodeIdHash> nodes_;
 
   obs::MetricsRegistry metrics_;
   std::shared_ptr<obs::TraceSink> trace_sink_;

@@ -44,6 +44,9 @@ void PastNode::RefreshGauges() const {
   metrics_.GetGauge("node.store.diverted").Set(static_cast<double>(store_.diverted_count()));
   metrics_.GetGauge("node.store.pointers").Set(static_cast<double>(store_.pointers().size()));
   if (cache_ != nullptr) {
+    // Counter deltas accumulated on the lookup hot path land here, just
+    // before any snapshot reads the registry.
+    cache_->SyncBoundMetrics();
     metrics_.GetGauge("node.cache.used_bytes").Set(static_cast<double>(cache_->used()));
     metrics_.GetGauge("node.cache.entries").Set(static_cast<double>(cache_->count()));
   }

@@ -12,7 +12,7 @@ PastryNetwork::PastryNetwork(const PastryConfig& config, uint64_t seed)
 NodeId PastryNetwork::RandomNodeId() {
   for (;;) {
     NodeId id(rng_.NextU64(), rng_.NextU64());
-    if (nodes_.count(id) == 0) {
+    if (!index_.Contains(id)) {
       return id;
     }
   }
@@ -25,6 +25,19 @@ PastryNode::ProximityFn PastryNetwork::MakeProximityFn(const NodeId& id) {
     }
     return topology_.Distance(id, other);
   };
+}
+
+PastryNetwork::NodeIndex PastryNetwork::InstallNode(const NodeId& id,
+                                                    std::unique_ptr<PastryNode> node) {
+  auto [slot, inserted] = index_.TryEmplace(id, static_cast<NodeIndex>(slots_.size()));
+  if (inserted) {
+    slots_.push_back(std::move(node));
+    alive_bits_.push_back(1);
+  } else {
+    slots_[*slot] = std::move(node);
+    alive_bits_[*slot] = 1;
+  }
+  return *slot;
 }
 
 NodeId PastryNetwork::CreateNode() {
@@ -46,7 +59,7 @@ NodeId PastryNetwork::CreateNodeNear(const Coordinate& center, double spread) {
 }
 
 bool PastryNetwork::Join(const NodeId& id, const Coordinate& location) {
-  if (nodes_.count(id) != 0 && alive_[id]) {
+  if (IsAlive(id)) {
     return false;
   }
 
@@ -61,8 +74,7 @@ bool PastryNetwork::Join(const NodeId& id, const Coordinate& location) {
   topology_.PlaceNear(id, location, 0.0);
   auto node = std::make_unique<PastryNode>(id, config_, MakeProximityFn(id));
   PastryNode* x = node.get();
-  nodes_[id] = std::move(node);
-  alive_[id] = true;
+  InstallNode(id, std::move(node));
 
   if (have_seed) {
     // Route the special join message from the seed toward the new id; the
@@ -107,7 +119,7 @@ bool PastryNetwork::Join(const NodeId& id, const Coordinate& location) {
     AnnounceNewNode(*x);
   }
 
-  ring_[id.value()] = id;
+  ring_.Insert(id);
   NotifyJoined(id);
   return true;
 }
@@ -146,12 +158,12 @@ void PastryNetwork::FailNode(const NodeId& id) {
 }
 
 void PastryNetwork::FailNodeSilently(const NodeId& id) {
-  auto it = alive_.find(id);
-  if (it == alive_.end() || !it->second) {
+  const NodeIndex* idx = index_.Find(id);
+  if (idx == nullptr || alive_bits_[*idx] == 0) {
     return;
   }
-  it->second = false;
-  ring_.erase(id.value());
+  alive_bits_[*idx] = 0;
+  ring_.Erase(id);
   topology_.Remove(id);
 }
 
@@ -159,13 +171,41 @@ void PastryNetwork::RepairAfterFailure(const NodeId& failed) {
   // All members of the failed node's leaf set detect the failure, purge the
   // reference, and rebuild from the leaf sets of their remaining members —
   // overlap among adjacent leaf sets makes the replacement reachable.
+  //
+  // Leaf-set references to `failed` are confined to its former ring
+  // neighborhood: a leaf set tracks the l/2 numerically closest live ids per
+  // side, so only nodes within ~l live-ring positions can legitimately hold
+  // it. Scanning a 2l window per side around the failed id's former position
+  // (instead of the full ring) makes repair O(l) per failure instead of
+  // O(n) — at 100k nodes the full scan made each crash a 100k-probe sweep
+  // and dominated churn-heavy runs. Routing tables and neighborhood sets
+  // elsewhere may keep a stale entry; every consumer filters through
+  // IsAlive, routing Forgets dead entries on contact, and
+  // RepairRoutingTables() batch-repairs lazily — the paper's keep-alive
+  // model. Small rings (< 4l nodes) degenerate to the full scan.
+  if (ring_.empty()) {
+    return;
+  }
+  const size_t n = ring_.size();
+  const size_t window = static_cast<size_t>(config_.leaf_set_size) * 2;
+  const size_t count = std::min(n, 2 * window);
   std::vector<NodeId> affected;
-  for (const auto& [value, id] : ring_) {
-    (void)value;
+  auto consider = [&](const NodeId& id) {
     PastryNode* w = node(id);
     if (w != nullptr && (w->leaf_set().Contains(failed) || w->routing_table().Remove(failed) ||
                          w->neighborhood().Contains(failed))) {
       affected.push_back(id);
+    }
+  };
+  if (count == n) {
+    for (const NodeId& id : ring_) {
+      consider(id);
+    }
+  } else {
+    size_t start = ring_.LowerBound(failed.value());  // failed itself is erased
+    size_t first = (start + n - window) % n;
+    for (size_t i = 0; i < count; ++i) {
+      consider(ring_.at((first + i) % n));
     }
   }
   for (const NodeId& id : affected) {
@@ -193,8 +233,7 @@ size_t PastryNetwork::DetectAndRepair() {
   // One keep-alive round: collect every dead node still referenced by a live
   // leaf set, then run the standard repair for each.
   std::vector<NodeId> detected;
-  for (const auto& [value, id] : ring_) {
-    (void)value;
+  for (const NodeId& id : ring_) {
     PastryNode* w = node(id);
     for (const NodeId& member : w->leaf_set().All()) {
       stats_.RecordMessage(16);  // keep-alive probe
@@ -212,23 +251,22 @@ size_t PastryNetwork::DetectAndRepair() {
 }
 
 bool PastryNetwork::RecoverNode(const NodeId& id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end() || alive_[id]) {
+  const NodeIndex* idx = index_.Find(id);
+  if (idx == nullptr || alive_bits_[*idx] != 0) {
     return false;
   }
   // A recovering node contacts the nodes in its last known leaf set, obtains
   // their current leaf sets, and rebuilds. We reuse the join machinery with
-  // the node's previous id; its stale state is discarded first.
+  // the node's previous id; its stale state is discarded first (the index
+  // stays interned — Join overwrites the slot).
   Coordinate location{rng_.NextDouble(), rng_.NextDouble()};
-  nodes_.erase(it);
-  alive_.erase(id);
+  slots_[*idx].reset();
   return Join(id, location);
 }
 
 size_t PastryNetwork::RepairRoutingTables() {
   size_t repaired = 0;
-  for (const auto& [value, id] : ring_) {
-    (void)value;
+  for (const NodeId& id : ring_) {
     PastryNode* w = node(id);
     RoutingTable& table = w->routing_table();
     for (int row = 0; row < table.rows(); ++row) {
@@ -262,6 +300,14 @@ size_t PastryNetwork::RepairRoutingTables() {
 }
 
 RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const StopFn& stop) {
+  return Route(from, key, stop, RouteOptions{});
+}
+
+RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const StopFn& stop,
+                                 const RouteOptions& options) {
+  TransportStats& stats = options.stats != nullptr ? *options.stats : stats_;
+  Rng* rng = options.rng != nullptr ? options.rng : &rng_;
+
   RouteResult result;
   if (!IsAlive(from)) {
     return result;
@@ -273,121 +319,71 @@ RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const St
     return result;
   }
   // Hop bound as a safety net; Pastry terminates in ~log_2^b(N) steps.
-  int max_hops = 8 * NodeId::NumDigits(config_.b);
+  const int max_hops = 8 * NodeId::NumDigits(config_.b);
   // Constructed once per route, not once per hop: AliveFn is a std::function
   // and rebuilding it every hop allocates on the insert/lookup hot path.
   PastryNode::AliveFn alive = [this](const NodeId& id) { return IsAlive(id); };
   result.path.reserve(static_cast<size_t>(NodeId::NumDigits(config_.b)) / 2);
   // Hoisted out of the hop loop: almost every deployment has no malicious
-  // nodes, and the per-hop hash lookup is measurable at routing rates.
+  // nodes, and the per-hop probe is measurable at routing rates.
   const bool any_malicious = !malicious_.empty();
+  // Stats accounting is batched: hops and distance accumulate in the result
+  // and land in the collector exactly once per route (RecordRoute), keeping
+  // per-hop work down to the forwarding decision itself. The origin's
+  // location is carried across hops so each hop costs one location probe.
+  const Coordinate* current_loc = &topology_.LocationOf(current);
+  // Scratch for deferred-forget mode, reused across hops; each batch of dead
+  // references is paired with the node that observed them.
+  std::vector<NodeId> hop_dead;
   for (int hop = 0; hop < max_hops; ++hop) {
     PastryNode* n = node(current);
-    std::optional<NodeId> next = n->NextHop(key, alive, &rng_);
-    if (!next) {
-      return result;  // current node is the destination
+    std::optional<NodeId> next;
+    if (options.deferred_forgets != nullptr) {
+      hop_dead.clear();
+      next = n->NextHop(key, alive, rng, &hop_dead);
+      for (const NodeId& dead : hop_dead) {
+        options.deferred_forgets->push_back({current, dead});
+      }
+    } else {
+      next = n->NextHop(key, alive, rng, nullptr);
     }
-    double d = topology_.Distance(current, *next);
-    stats_.RecordHop(d);
-    stats_.RecordMessage(64);
-    result.distance += d;
+    if (!next) {
+      break;  // current node is the destination
+    }
+    const Coordinate* next_loc = &topology_.LocationOf(*next);
+    result.distance += TorusDistance(*current_loc, *next_loc);
+    current_loc = next_loc;
     current = *next;
     result.path.push_back(current);
     // A malicious node accepts the message and silently drops it; the
     // message never reaches the application at this or any further node.
     if (any_malicious && IsMalicious(current)) {
       result.delivered = false;
-      return result;
+      break;
     }
     if (stop && stop(current)) {
       result.stopped_early = true;
-      return result;
+      break;
+    }
+    if (hop + 1 == max_hops) {
+      PAST_LOG(kWarning) << "routing to " << key.ToHex() << " exceeded hop bound";
     }
   }
-  PAST_LOG(kWarning) << "routing to " << key.ToHex() << " exceeded hop bound";
+  stats.RecordRoute(static_cast<uint64_t>(result.hops()), result.distance);
   return result;
 }
 
 void PastryNetwork::SetMalicious(const NodeId& id, bool malicious) {
-  malicious_[id] = malicious;
+  malicious_.InsertOrAssign(id, malicious ? uint8_t{1} : uint8_t{0});
 }
 
 bool PastryNetwork::IsMalicious(const NodeId& id) const {
-  auto it = malicious_.find(id);
-  return it != malicious_.end() && it->second;
-}
-
-bool PastryNetwork::IsAlive(const NodeId& id) const {
-  auto it = alive_.find(id);
-  return it != alive_.end() && it->second;
-}
-
-PastryNode* PastryNetwork::node(const NodeId& id) {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-const PastryNode* PastryNetwork::node(const NodeId& id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second.get();
-}
-
-std::vector<NodeId> PastryNetwork::live_nodes() const {
-  std::vector<NodeId> out;
-  out.reserve(ring_.size());
-  for (const auto& [value, id] : ring_) {
-    (void)value;
-    out.push_back(id);
-  }
-  return out;
-}
-
-std::vector<NodeId> PastryNetwork::KClosestLive(const NodeId& key, size_t k) const {
-  std::vector<NodeId> out;
-  if (ring_.empty()) {
-    return out;
-  }
-  k = std::min(k, ring_.size());
-  // Walk outward from the key position in both directions, picking whichever
-  // side is closer by ring distance at each step.
-  auto forward = ring_.lower_bound(key.value());
-  auto backward = forward;
-  auto advance_fwd = [&](std::map<uint128, NodeId>::const_iterator& it) {
-    if (it == ring_.end()) {
-      it = ring_.begin();
-    }
-  };
-  advance_fwd(forward);
-  auto retreat_bwd = [&](std::map<uint128, NodeId>::const_iterator& it) {
-    if (it == ring_.begin()) {
-      it = ring_.end();
-    }
-    --it;
-  };
-  retreat_bwd(backward);
-
-  // Because k <= ring size, the two cursors sweep disjoint arcs until the
-  // final take (where they can only meet on the same element, and CloserTo
-  // is strict so the backward copy is taken exactly once). No membership
-  // scan of `out` is needed per step.
-  out.reserve(k);
-  while (out.size() < k) {
-    const NodeId& f = forward->second;
-    const NodeId& b = backward->second;
-    if (f.CloserTo(key, b)) {
-      out.push_back(f);
-      ++forward;
-      advance_fwd(forward);
-    } else {
-      out.push_back(b);
-      retreat_bwd(backward);
-    }
-  }
-  return out;
+  const uint8_t* flag = malicious_.Find(id);
+  return flag != nullptr && *flag != 0;
 }
 
 NodeId PastryNetwork::ClosestLive(const NodeId& key) const {
-  std::vector<NodeId> closest = KClosestLive(key, 1);
+  std::vector<NodeId> closest = ring_.KClosest(key, 1);
   return closest.empty() ? NodeId() : closest.front();
 }
 
@@ -409,45 +405,37 @@ void PastryNetwork::NotifyFailed(const NodeId& id) {
 
 size_t PastryNetwork::CountLeafSetViolations() const {
   size_t violations = 0;
-  size_t per_side = static_cast<size_t>(config_.leaf_set_size) / 2;
-  for (const auto& [value, id] : ring_) {
-    (void)value;
-    const PastryNode* n = node(id);
-    // Ground truth: walk the ring in each direction.
-    auto it = ring_.find(id.value());
-    auto fwd = it;
+  const size_t per_side = static_cast<size_t>(config_.leaf_set_size) / 2;
+  const size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId& id = ring_.at(i);
+    const PastryNode* node_ptr = node(id);
+    // Ground truth: walk the ring in each direction by index.
     std::vector<NodeId> expect_larger;
-    for (size_t i = 0; i < per_side && expect_larger.size() < ring_.size() - 1; ++i) {
-      ++fwd;
-      if (fwd == ring_.end()) {
-        fwd = ring_.begin();
-      }
-      if (fwd->second == id) {
+    for (size_t step = 1; step <= per_side && expect_larger.size() < n - 1; ++step) {
+      size_t j = (i + step) % n;
+      if (j == i) {
         break;
       }
-      expect_larger.push_back(fwd->second);
+      expect_larger.push_back(ring_.at(j));
     }
-    auto bwd = it;
     std::vector<NodeId> expect_smaller;
-    for (size_t i = 0; i < per_side && expect_smaller.size() < ring_.size() - 1; ++i) {
-      if (bwd == ring_.begin()) {
-        bwd = ring_.end();
-      }
-      --bwd;
-      if (bwd->second == id) {
+    for (size_t step = 1; step <= per_side && expect_smaller.size() < n - 1; ++step) {
+      size_t j = (i + n - (step % n)) % n;
+      if (j == i) {
         break;
       }
-      expect_smaller.push_back(bwd->second);
+      expect_smaller.push_back(ring_.at(j));
     }
     for (const NodeId& e : expect_larger) {
-      if (std::find(n->leaf_set().larger().begin(), n->leaf_set().larger().end(), e) ==
-          n->leaf_set().larger().end()) {
+      if (std::find(node_ptr->leaf_set().larger().begin(), node_ptr->leaf_set().larger().end(),
+                    e) == node_ptr->leaf_set().larger().end()) {
         ++violations;
       }
     }
     for (const NodeId& e : expect_smaller) {
-      if (std::find(n->leaf_set().smaller().begin(), n->leaf_set().smaller().end(), e) ==
-          n->leaf_set().smaller().end()) {
+      if (std::find(node_ptr->leaf_set().smaller().begin(), node_ptr->leaf_set().smaller().end(),
+                    e) == node_ptr->leaf_set().smaller().end()) {
         ++violations;
       }
     }

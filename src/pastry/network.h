@@ -5,22 +5,31 @@
 // and communicate by direct invocation, while proximity comes from the
 // emulated topology. Ground-truth oracles (the sorted ring of live ids) are
 // exposed for invariant checking in tests, never used on routing paths.
+//
+// Node state is flat: every id ever joined is interned to a dense NodeIndex
+// into parallel arrays (node slot, alive bit), membership checks are
+// open-addressing probes over contiguous memory, and the live ring is a
+// sorted array (SortedRing) instead of a std::map. Indices are stable for
+// the lifetime of the network — failure and recovery flip the alive bit but
+// never reassign the index — which is what lets the sharded scale engine
+// partition nodes by index range.
 #ifndef SRC_PASTRY_NETWORK_H_
 #define SRC_PASTRY_NETWORK_H_
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_table.h"
 #include "src/common/node_id.h"
 #include "src/common/rng.h"
 #include "src/net/topology.h"
 #include "src/net/transport_stats.h"
 #include "src/pastry/config.h"
 #include "src/pastry/node.h"
+#include "src/pastry/ring.h"
 
 namespace past {
 
@@ -50,16 +59,40 @@ struct RouteResult {
   NodeId destination() const { return path.empty() ? NodeId() : path.back(); }
 };
 
+// A dead reference observed during routing with Forget deferred: `observer`
+// saw `dead` in its leaf set or routing table while forwarding. The scale
+// engine applies the corresponding Forget calls at its epoch barrier, in a
+// canonical order, so parallel route phases stay read-only.
+struct DeferredForget {
+  NodeId observer;
+  NodeId dead;
+};
+
+// Redirections for a single Route call; all fields default to the network's
+// own state. The sharded scale engine points them at per-shard collectors so
+// parallel routing touches no shared mutable state.
+struct RouteOptions {
+  TransportStats* stats = nullptr;  // hop/message accounting sink
+  Rng* rng = nullptr;               // randomized-routing source
+  // Collect (observer, dead) pairs instead of calling Forget inline.
+  std::vector<DeferredForget>* deferred_forgets = nullptr;
+};
+
 class PastryNetwork {
  public:
   // Stop predicate evaluated at every node a message visits (including the
   // origin); returning true terminates routing at that node.
   using StopFn = std::function<bool(const NodeId&)>;
 
+  // Dense per-node index; stable from first join for the network's lifetime.
+  using NodeIndex = uint32_t;
+  static constexpr NodeIndex kInvalidIndex = static_cast<NodeIndex>(-1);
+
   PastryNetwork(const PastryConfig& config, uint64_t seed);
 
   const PastryConfig& config() const { return config_; }
   Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
   TransportStats& stats() { return stats_; }
   const TransportStats& stats() const { return stats_; }
   Rng& rng() { return rng_; }
@@ -109,6 +142,12 @@ class PastryNetwork {
   // fires. Accounts hops and proximity distance in stats().
   RouteResult Route(const NodeId& from, const NodeId& key, const StopFn& stop = nullptr);
 
+  // Same, with per-call redirection of stats/rng/forget handling (see
+  // RouteOptions). With `deferred_forgets` set the call leaves all node
+  // state untouched.
+  RouteResult Route(const NodeId& from, const NodeId& key, const StopFn& stop,
+                    const RouteOptions& options);
+
   // --- adversarial model (paper section 2.3) ---
 
   // Marks a node as malicious: it accepts messages routed to it but does not
@@ -120,14 +159,38 @@ class PastryNetwork {
 
   // --- queries ---
 
-  bool IsAlive(const NodeId& id) const;
-  PastryNode* node(const NodeId& id);
-  const PastryNode* node(const NodeId& id) const;
+  bool IsAlive(const NodeId& id) const {
+    const NodeIndex* idx = index_.Find(id);
+    return idx != nullptr && alive_bits_[*idx] != 0;
+  }
+  PastryNode* node(const NodeId& id) {
+    const NodeIndex* idx = index_.Find(id);
+    return idx == nullptr ? nullptr : slots_[*idx].get();
+  }
+  const PastryNode* node(const NodeId& id) const {
+    const NodeIndex* idx = index_.Find(id);
+    return idx == nullptr ? nullptr : slots_[*idx].get();
+  }
   size_t live_count() const { return ring_.size(); }
-  std::vector<NodeId> live_nodes() const;
+  std::vector<NodeId> live_nodes() const { return ring_.ids(); }
+
+  // --- dense-index access (scale engine, invariant sweeps) ---
+
+  // Total interned ids (live + dead); indices are [0, node_count()).
+  size_t node_count() const { return slots_.size(); }
+  NodeIndex IndexOf(const NodeId& id) const {
+    const NodeIndex* idx = index_.Find(id);
+    return idx == nullptr ? kInvalidIndex : *idx;
+  }
+  PastryNode* node_at(NodeIndex index) { return slots_[index].get(); }
+  const PastryNode* node_at(NodeIndex index) const { return slots_[index].get(); }
+  bool alive_at(NodeIndex index) const { return alive_bits_[index] != 0; }
+  const SortedRing& ring() const { return ring_; }
 
   // Ground-truth oracle: the k live nodes numerically closest to `key`.
-  std::vector<NodeId> KClosestLive(const NodeId& key, size_t k) const;
+  std::vector<NodeId> KClosestLive(const NodeId& key, size_t k) const {
+    return ring_.KClosest(key, k);
+  }
 
   // Ground-truth oracle: the live node numerically closest to `key`.
   NodeId ClosestLive(const NodeId& key) const;
@@ -148,15 +211,23 @@ class PastryNetwork {
   void RepairAfterFailure(const NodeId& failed);
   void NotifyJoined(const NodeId& id);
   void NotifyFailed(const NodeId& id);
+  // Interns `id` (or returns its existing index) and installs `node` in its
+  // slot with the alive bit set.
+  NodeIndex InstallNode(const NodeId& id, std::unique_ptr<PastryNode> node);
 
   PastryConfig config_;
   Rng rng_;
   Topology topology_;
   TransportStats stats_;
-  std::unordered_map<NodeId, std::unique_ptr<PastryNode>, NodeIdHash> nodes_;
-  std::unordered_map<NodeId, bool, NodeIdHash> alive_;
-  std::unordered_map<NodeId, bool, NodeIdHash> malicious_;
-  std::map<uint128, NodeId> ring_;  // live nodes ordered by id (oracle + seeds)
+  // Interned node table: id -> dense index into the parallel arrays below.
+  FlatTable<NodeId, NodeIndex, NodeIdHash> index_;
+  std::vector<std::unique_ptr<PastryNode>> slots_;  // by NodeIndex
+  std::vector<uint8_t> alive_bits_;                 // by NodeIndex
+  // Sparse: most networks have no malicious nodes; the hot path only checks
+  // per hop once any id has ever been marked (mirrors the old map's
+  // emptiness hoist).
+  FlatTable<NodeId, uint8_t, NodeIdHash> malicious_;
+  SortedRing ring_;  // live nodes ordered by id (oracle + seeds)
   std::vector<MembershipObserver*> observers_;
 };
 

@@ -26,7 +26,8 @@ void PastryNode::Forget(const NodeId& other) {
   neighborhood_.Remove(other);
 }
 
-NodeId PastryNode::ClosestAliveLeaf(const NodeId& key, const AliveFn& alive) {
+NodeId PastryNode::ClosestAliveLeaf(const NodeId& key, const AliveFn& alive,
+                                    std::vector<NodeId>* deferred_dead) {
   // Scans the two side vectors in place instead of materializing All():
   // this runs on every final routing hop. Overlapping sides (small networks)
   // just scan a member twice, which cannot change the arg-min; `dead` stays
@@ -36,7 +37,7 @@ NodeId PastryNode::ClosestAliveLeaf(const NodeId& key, const AliveFn& alive) {
   auto scan = [&](const std::vector<NodeId>& side) {
     for (const NodeId& member : side) {
       if (!alive(member)) {
-        dead.push_back(member);
+        (deferred_dead != nullptr ? *deferred_dead : dead).push_back(member);
         continue;
       }
       if (member.CloserTo(key, best)) {
@@ -76,7 +77,8 @@ std::vector<NodeId> PastryNode::ValidCandidates(const NodeId& key, const AliveFn
   return candidates;
 }
 
-std::optional<NodeId> PastryNode::NextHop(const NodeId& key, const AliveFn& alive, Rng* rng) {
+std::optional<NodeId> PastryNode::NextHop(const NodeId& key, const AliveFn& alive, Rng* rng,
+                                          std::vector<NodeId>* deferred_dead) {
   // Randomized routing (paper section 2.3): occasionally pick any valid
   // choice to route around malicious or silently failed nodes on the path.
   if (rng != nullptr && config_.route_randomization > 0.0 &&
@@ -91,7 +93,7 @@ std::optional<NodeId> PastryNode::NextHop(const NodeId& key, const AliveFn& aliv
   // Case 1: key is within the leaf set's range; deliver to the numerically
   // closest member (possibly ourselves).
   if (leaf_set_.Covers(key)) {
-    NodeId best = ClosestAliveLeaf(key, alive);
+    NodeId best = ClosestAliveLeaf(key, alive, deferred_dead);
     if (best == id_) {
       return std::nullopt;
     }
@@ -105,7 +107,11 @@ std::optional<NodeId> PastryNode::NextHop(const NodeId& key, const AliveFn& aliv
     if (alive(*entry)) {
       return *entry;
     }
-    Forget(*entry);
+    if (deferred_dead != nullptr) {
+      deferred_dead->push_back(*entry);
+    } else {
+      Forget(*entry);
+    }
   }
 
   // Case 3 (rare): no such entry; forward to any known node sharing at least

@@ -46,11 +46,19 @@ class PastryNode {
   // enables route randomization, a random valid next hop (sharing at least as
   // long a prefix and numerically strictly closer to `key`) may be chosen
   // instead of the best one.
-  std::optional<NodeId> NextHop(const NodeId& key, const AliveFn& alive, Rng* rng = nullptr);
+  //
+  // When `deferred_dead` is non-null the call is read-only: dead references
+  // are appended there instead of being forgotten, and the caller applies
+  // Forget later. The sharded scale engine routes in parallel with this form
+  // (Phase A must not mutate node state) and replays the forgets in canonical
+  // order at the barrier.
+  std::optional<NodeId> NextHop(const NodeId& key, const AliveFn& alive, Rng* rng = nullptr,
+                                std::vector<NodeId>* deferred_dead = nullptr);
 
  private:
   // Best alive member of {self} ∪ leaf set by ring distance to key.
-  NodeId ClosestAliveLeaf(const NodeId& key, const AliveFn& alive);
+  NodeId ClosestAliveLeaf(const NodeId& key, const AliveFn& alive,
+                          std::vector<NodeId>* deferred_dead);
 
   // All alive known nodes that are valid Pastry forwarding choices for `key`:
   // shared prefix >= ours and strictly numerically closer.

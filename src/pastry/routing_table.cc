@@ -8,13 +8,25 @@ RoutingTable::RoutingTable(const NodeId& owner, int b, ProximityFn proximity)
       rows_(NodeId::NumDigits(b)),
       columns_(1 << b),
       proximity_(std::move(proximity)),
-      slots_(static_cast<size_t>(rows_ * columns_)) {}
+      row_slots_(static_cast<size_t>(rows_)) {}
+
+std::vector<std::optional<NodeId>>& RoutingTable::EnsureRow(int row) {
+  auto& slots = row_slots_[static_cast<size_t>(row)];
+  if (slots.empty()) {
+    slots.resize(static_cast<size_t>(columns_));
+  }
+  return slots;
+}
 
 std::optional<NodeId> RoutingTable::Get(int row, int column) const {
   if (row < 0 || row >= rows_ || column < 0 || column >= columns_) {
     return std::nullopt;
   }
-  return slots_[static_cast<size_t>(row * columns_ + column)];
+  const auto& slots = row_slots_[static_cast<size_t>(row)];
+  if (slots.empty()) {
+    return std::nullopt;
+  }
+  return slots[static_cast<size_t>(column)];
 }
 
 std::optional<std::pair<int, int>> RoutingTable::SlotFor(const NodeId& id) const {
@@ -30,7 +42,7 @@ bool RoutingTable::Consider(const NodeId& id) {
   if (!slot) {
     return false;
   }
-  auto& entry = slots_[static_cast<size_t>(slot->first * columns_ + slot->second)];
+  auto& entry = EnsureRow(slot->first)[static_cast<size_t>(slot->second)];
   if (!entry) {
     entry = id;
     ++populated_;
@@ -51,7 +63,11 @@ bool RoutingTable::Remove(const NodeId& id) {
   if (!slot) {
     return false;
   }
-  auto& entry = slots_[static_cast<size_t>(slot->first * columns_ + slot->second)];
+  auto& slots = row_slots_[static_cast<size_t>(slot->first)];
+  if (slots.empty()) {
+    return false;
+  }
+  auto& entry = slots[static_cast<size_t>(slot->second)];
   if (entry && *entry == id) {
     entry.reset();
     --populated_;
@@ -63,9 +79,11 @@ bool RoutingTable::Remove(const NodeId& id) {
 std::vector<NodeId> RoutingTable::Entries() const {
   std::vector<NodeId> out;
   out.reserve(populated_);
-  for (const auto& slot : slots_) {
-    if (slot) {
-      out.push_back(*slot);
+  for (const auto& slots : row_slots_) {
+    for (const auto& slot : slots) {
+      if (slot) {
+        out.push_back(*slot);
+      }
     }
   }
   return out;
@@ -76,8 +94,7 @@ std::vector<NodeId> RoutingTable::Row(int row) const {
   if (row < 0 || row >= rows_) {
     return out;
   }
-  for (int c = 0; c < columns_; ++c) {
-    const auto& slot = slots_[static_cast<size_t>(row * columns_ + c)];
+  for (const auto& slot : row_slots_[static_cast<size_t>(row)]) {
     if (slot) {
       out.push_back(*slot);
     }

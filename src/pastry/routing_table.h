@@ -53,12 +53,18 @@ class RoutingTable {
   // The slot `id` belongs to, or nullopt for the owner itself.
   std::optional<std::pair<int, int>> SlotFor(const NodeId& id) const;
 
+  // Rows are allocated on first use: with random nodeIds only the first
+  // ~log_16(N) rows ever populate (about 5 at 100k nodes), so eagerly
+  // allocating all 32 rows wastes ~10x the memory the table actually needs —
+  // which at 100k nodes is the difference between fitting in RAM or not.
+  std::vector<std::optional<NodeId>>& EnsureRow(int row);
+
   NodeId owner_;
   int b_;
   int rows_;
   int columns_;
   ProximityFn proximity_;
-  std::vector<std::optional<NodeId>> slots_;  // rows_ x columns_
+  std::vector<std::vector<std::optional<NodeId>>> row_slots_;  // [rows_], each empty or columns_
   size_t populated_ = 0;
 };
 

@@ -9,7 +9,7 @@ bool NodeStore::StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
   if (size > free_bytes()) {
     return false;
   }
-  auto [it, inserted] = replicas_.try_emplace(
+  auto [entry, inserted] = replicas_.TryEmplace(
       id, ReplicaEntry{kind, size, std::move(certificate), std::move(content)});
   if (!inserted) {
     return false;  // fileId collision: later insert is rejected (section 2)
@@ -21,66 +21,62 @@ bool NodeStore::StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
   return true;
 }
 
-bool NodeStore::HasReplica(const FileId& id) const { return replicas_.count(id) > 0; }
+bool NodeStore::HasReplica(const FileId& id) const { return replicas_.Contains(id); }
 
-const ReplicaEntry* NodeStore::GetReplica(const FileId& id) const {
-  auto it = replicas_.find(id);
-  return it == replicas_.end() ? nullptr : &it->second;
-}
+const ReplicaEntry* NodeStore::GetReplica(const FileId& id) const { return replicas_.Find(id); }
 
 std::optional<uint64_t> NodeStore::RemoveReplica(const FileId& id) {
-  auto it = replicas_.find(id);
-  if (it == replicas_.end()) {
+  const ReplicaEntry* entry = replicas_.Find(id);
+  if (entry == nullptr) {
     return std::nullopt;
   }
-  uint64_t size = it->second.size;
+  uint64_t size = entry->size;
   used_ -= size;
-  if (it->second.kind == ReplicaKind::kPrimary) {
+  if (entry->kind == ReplicaKind::kPrimary) {
     --primary_count_;
   }
-  replicas_.erase(it);
+  replicas_.Erase(id);
   return size;
 }
 
 bool NodeStore::SetReplicaKind(const FileId& id, ReplicaKind kind) {
-  auto it = replicas_.find(id);
-  if (it == replicas_.end()) {
+  ReplicaEntry* entry = replicas_.Find(id);
+  if (entry == nullptr) {
     return false;
   }
-  if (it->second.kind != kind) {
+  if (entry->kind != kind) {
     if (kind == ReplicaKind::kPrimary) {
       ++primary_count_;
     } else {
       --primary_count_;
     }
-    it->second.kind = kind;
+    entry->kind = kind;
   }
   return true;
 }
 
 bool NodeStore::TestOnlyCorruptDropReplica(const FileId& id) {
-  auto it = replicas_.find(id);
-  if (it == replicas_.end()) {
+  const ReplicaEntry* entry = replicas_.Find(id);
+  if (entry == nullptr) {
     return false;
   }
   // Deliberately leaves used_ charging for the vanished entry.
-  if (it->second.kind == ReplicaKind::kPrimary) {
+  if (entry->kind == ReplicaKind::kPrimary) {
     --primary_count_;
   }
-  replicas_.erase(it);
+  replicas_.Erase(id);
   return true;
 }
 
 void NodeStore::InstallPointer(const FileId& id, const NodeId& holder, PointerRole role,
                                uint64_t size) {
-  pointers_[id] = DiversionPointer{holder, role, size};
+  pointers_.InsertOrAssign(id, DiversionPointer{holder, role, size});
 }
 
 const DiversionPointer* NodeStore::GetPointer(const FileId& id) const {
-  auto it = pointers_.find(id);
-  return it == pointers_.end() ? nullptr : &it->second;
+  return pointers_.Find(id);
 }
 
-bool NodeStore::RemovePointer(const FileId& id) { return pointers_.erase(id) > 0; }
+bool NodeStore::RemovePointer(const FileId& id) { return pointers_.Erase(id); }
 
 }  // namespace past

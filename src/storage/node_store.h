@@ -13,10 +13,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/file_id.h"
+#include "src/common/flat_table.h"
 #include "src/common/node_id.h"
 #include "src/crypto/certificates.h"
 
@@ -80,18 +80,18 @@ class NodeStore {
   // replica being migrated/promoted after membership change).
   bool SetReplicaKind(const FileId& id, ReplicaKind kind);
 
-  const std::unordered_map<FileId, ReplicaEntry, FileIdHash>& replicas() const {
-    return replicas_;
-  }
+  // Open-addressing table; iteration (structured bindings) and size() work
+  // as with the former unordered_map, in deterministic slot order.
+  using ReplicaTable = FlatTable<FileId, ReplicaEntry, FileIdHash>;
+  const ReplicaTable& replicas() const { return replicas_; }
 
   // --- diversion pointers ---
 
   void InstallPointer(const FileId& id, const NodeId& holder, PointerRole role, uint64_t size);
   const DiversionPointer* GetPointer(const FileId& id) const;
   bool RemovePointer(const FileId& id);
-  const std::unordered_map<FileId, DiversionPointer, FileIdHash>& pointers() const {
-    return pointers_;
-  }
+  using PointerTable = FlatTable<FileId, DiversionPointer, FileIdHash>;
+  const PointerTable& pointers() const { return pointers_; }
 
   // --- test-only fault injection ---
 
@@ -113,8 +113,8 @@ class NodeStore {
   uint64_t capacity_;
   uint64_t used_ = 0;
   size_t primary_count_ = 0;
-  std::unordered_map<FileId, ReplicaEntry, FileIdHash> replicas_;
-  std::unordered_map<FileId, DiversionPointer, FileIdHash> pointers_;
+  ReplicaTable replicas_;
+  PointerTable pointers_;
 };
 
 }  // namespace past

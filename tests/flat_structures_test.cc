@@ -1,0 +1,243 @@
+// Cross-checks for the flattened hot structures against their pointer-based
+// reference counterparts: FlatTable vs std::unordered_map, SortedRing vs a
+// std::map two-cursor walk, and the grid-indexed Topology::NearestTo vs a
+// linear scan. Each check runs a randomized op sequence over a seed bank so
+// the structures agree on every intermediate state, not just the final one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/flat_table.h"
+#include "src/common/node_id.h"
+#include "src/common/rng.h"
+#include "src/net/topology.h"
+#include "src/pastry/ring.h"
+
+namespace past {
+namespace {
+
+NodeId Id(uint64_t hi, uint64_t lo) { return NodeId(hi, lo); }
+
+struct U64Hash {
+  size_t operator()(uint64_t v) const {
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<size_t>(v);
+  }
+};
+
+// --- FlatTable vs std::unordered_map ---
+
+TEST(FlatTableTest, MatchesUnorderedMapAcrossSeedBank) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    FlatTable<uint64_t, int, U64Hash> table;
+    std::unordered_map<uint64_t, int> reference;
+    // A small key universe forces collisions, overwrites, and erase/re-insert
+    // cycles through tombstoned slots.
+    const uint64_t universe = 64 + rng.NextBelow(192);
+    for (int step = 0; step < 4000; ++step) {
+      uint64_t key = rng.NextBelow(universe) * 0x9e3779b97f4a7c15ULL;
+      switch (rng.NextBelow(4)) {
+        case 0: {
+          int value = static_cast<int>(rng.NextBelow(1000));
+          auto [slot, inserted] = table.TryEmplace(key, value);
+          auto [it, ref_inserted] = reference.try_emplace(key, value);
+          ASSERT_EQ(inserted, ref_inserted);
+          ASSERT_EQ(*slot, it->second);
+          break;
+        }
+        case 1: {
+          int value = static_cast<int>(rng.NextBelow(1000));
+          table.InsertOrAssign(key, value);
+          reference[key] = value;
+          break;
+        }
+        case 2:
+          ASSERT_EQ(table.Erase(key), reference.erase(key) > 0);
+          break;
+        default: {
+          const int* found = table.Find(key);
+          auto it = reference.find(key);
+          ASSERT_EQ(found != nullptr, it != reference.end());
+          if (found != nullptr) {
+            ASSERT_EQ(*found, it->second);
+          }
+          ASSERT_EQ(table.Contains(key), it != reference.end());
+          break;
+        }
+      }
+      ASSERT_EQ(table.size(), reference.size());
+    }
+    // Full-contents equality via iteration.
+    std::vector<std::pair<uint64_t, int>> got;
+    for (const auto& [key, value] : table) {
+      got.emplace_back(key, value);
+    }
+    std::vector<std::pair<uint64_t, int>> want(reference.begin(), reference.end());
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "seed " << seed;
+  }
+}
+
+TEST(FlatTableTest, MoveOnlyValuesSurviveRehash) {
+  // nodes_ in PastNetwork stores unique_ptr values; growth must rehash by
+  // moving slots, never copying.
+  FlatTable<uint64_t, std::unique_ptr<int>, U64Hash> table;
+  for (uint64_t i = 0; i < 300; ++i) {
+    table.InsertOrAssign(i, std::make_unique<int>(static_cast<int>(i * 7)));
+  }
+  for (uint64_t i = 0; i < 300; i += 3) {
+    EXPECT_TRUE(table.Erase(i));
+  }
+  for (uint64_t i = 300; i < 600; ++i) {
+    table.TryEmplace(i, std::make_unique<int>(static_cast<int>(i * 7)));
+  }
+  ASSERT_EQ(table.size(), 500u);
+  for (uint64_t i = 0; i < 600; ++i) {
+    std::unique_ptr<int>* slot = table.Find(i);
+    if (i < 300 && i % 3 == 0) {
+      EXPECT_EQ(slot, nullptr) << i;
+    } else {
+      ASSERT_NE(slot, nullptr) << i;
+      EXPECT_EQ(**slot, static_cast<int>(i * 7));
+    }
+  }
+}
+
+TEST(FlatTableTest, ReserveAvoidsGrowthRehash) {
+  FlatTable<uint64_t, int, U64Hash> table;
+  table.Reserve(1000);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    table.TryEmplace(i, static_cast<int>(i));
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(table.Find(i), nullptr);
+  }
+}
+
+// --- SortedRing vs a std::map-based reference ---
+
+// The pre-flattening oracle: a std::map keyed by id value, k-closest via a
+// two-cursor walk outward from the lower bound.
+class MapRingReference {
+ public:
+  bool Insert(const NodeId& id) { return ids_.emplace(id.value(), id).second; }
+  bool Erase(const NodeId& id) { return ids_.erase(id.value()) > 0; }
+  bool Contains(const NodeId& id) const { return ids_.count(id.value()) > 0; }
+  size_t size() const { return ids_.size(); }
+
+  std::vector<NodeId> KClosest(const NodeId& key, size_t k) const {
+    std::vector<NodeId> all;
+    all.reserve(ids_.size());
+    for (const auto& [value, id] : ids_) {
+      all.push_back(id);
+    }
+    std::sort(all.begin(), all.end(),
+              [&key](const NodeId& a, const NodeId& b) { return a.CloserTo(key, b); });
+    if (all.size() > k) {
+      all.resize(k);
+    }
+    return all;
+  }
+
+ private:
+  std::map<uint128, NodeId> ids_;
+};
+
+TEST(SortedRingTest, MatchesMapReferenceAcrossSeedBank) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    SortedRing ring;
+    MapRingReference reference;
+    for (int step = 0; step < 2500; ++step) {
+      NodeId id(rng.NextBelow(8), rng.NextBelow(512));
+      switch (rng.NextBelow(4)) {
+        case 0:
+        case 1:
+          ASSERT_EQ(ring.Insert(id), reference.Insert(id));
+          break;
+        case 2:
+          ASSERT_EQ(ring.Erase(id), reference.Erase(id));
+          break;
+        default:
+          ASSERT_EQ(ring.Contains(id), reference.Contains(id));
+          break;
+      }
+      ASSERT_EQ(ring.size(), reference.size());
+      if (step % 50 == 0 && !ring.empty()) {
+        NodeId key(rng.NextBelow(8), rng.NextBelow(512));
+        for (size_t k : {size_t{1}, size_t{5}, size_t{32}}) {
+          ASSERT_EQ(ring.KClosest(key, k), reference.KClosest(key, k))
+              << "seed " << seed << " step " << step << " k " << k;
+        }
+      }
+    }
+    // The array is sorted and IndexOf/LowerBound agree with std::lower_bound.
+    const std::vector<NodeId>& ids = ring.ids();
+    ASSERT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(ring.IndexOf(ids[i]), i);
+      ASSERT_EQ(ring.LowerBound(ids[i].value()), i);
+    }
+  }
+}
+
+TEST(SortedRingTest, LowerBoundEdgeCases) {
+  SortedRing ring;
+  EXPECT_EQ(ring.LowerBound(uint128(0)), 0u);
+  ring.Insert(Id(0, 100));
+  ring.Insert(Id(0, 200));
+  ring.Insert(Id(0, 300));
+  EXPECT_EQ(ring.LowerBound(uint128(50)), 0u);
+  EXPECT_EQ(ring.LowerBound(uint128(100)), 0u);
+  EXPECT_EQ(ring.LowerBound(uint128(101)), 1u);
+  EXPECT_EQ(ring.LowerBound(uint128(300)), 2u);
+  EXPECT_EQ(ring.LowerBound(uint128(301)), 3u);  // size(): callers wrap to 0
+}
+
+// --- Topology grid NearestTo vs linear scan ---
+
+TEST(TopologyTest, NearestToMatchesLinearScan) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Topology topology(seed);
+    Rng rng(seed * 977);
+    std::vector<std::pair<NodeId, Coordinate>> placed;
+    for (int i = 0; i < 400; ++i) {
+      NodeId id(rng.NextU64(), rng.NextU64());
+      placed.emplace_back(id, topology.PlaceUniform(id));
+    }
+    // Interleave removals so the grid's per-cell lists see churn.
+    for (int i = 0; i < 100; ++i) {
+      size_t victim = rng.NextBelow(placed.size());
+      topology.Remove(placed[victim].first);
+      placed.erase(placed.begin() + static_cast<long>(victim));
+    }
+    for (int probe = 0; probe < 200; ++probe) {
+      Coordinate point{rng.NextDouble(), rng.NextDouble()};
+      NodeId best;
+      double best_distance = -1.0;
+      for (const auto& [id, location] : placed) {
+        double d = TorusDistance(location, point);
+        if (best_distance < 0.0 || d < best_distance ||
+            (d == best_distance && id < best)) {
+          best = id;
+          best_distance = d;
+        }
+      }
+      ASSERT_EQ(topology.NearestTo(point), best) << "seed " << seed << " probe " << probe;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace past

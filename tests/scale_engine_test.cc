@@ -1,0 +1,164 @@
+// Shard-invariance and consistency tests for the epoch-sharded scale engine.
+//
+// The determinism contract is that --jobs changes only wall-clock time: runs
+// with 1/2/4/8 shards must produce bit-identical network state and op
+// schedules. These tests pin that contract at tier-1 sizes (hundreds of
+// nodes); the 20-seed soak and the 10k-node smoke in CI cover larger runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/scale_engine.h"
+
+namespace past {
+namespace {
+
+ScaleConfig SmallConfig(uint64_t seed) {
+  ScaleConfig config;
+  config.nodes = 260;
+  config.seed = seed;
+  config.epochs = 3;
+  config.inserts_per_epoch = 60;
+  config.lookups_per_epoch = 60;
+  config.crashes_per_epoch = 6;
+  config.joins_per_epoch = 3;
+  config.sweep_period = 2;
+  config.node_capacity = 4'000'000;
+  config.mean_file_size = 40'000;
+  return config;
+}
+
+struct RunWitness {
+  std::string state;
+  std::string schedule;
+  ScaleReport report;
+};
+
+RunWitness RunWith(ScaleConfig config, size_t jobs) {
+  config.jobs = jobs;
+  ScaleEngine engine(config);
+  ScaleReport report = engine.Run();
+  return {report.state_fingerprint, report.schedule_fingerprint, report};
+}
+
+TEST(ScaleEngineTest, ShardCountInvariantAcrossSeeds) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    RunWitness serial = RunWith(SmallConfig(seed), 1);
+    for (size_t jobs : {size_t{2}, size_t{4}, size_t{8}}) {
+      RunWitness sharded = RunWith(SmallConfig(seed), jobs);
+      EXPECT_EQ(sharded.state, serial.state) << "seed " << seed << " jobs " << jobs;
+      EXPECT_EQ(sharded.schedule, serial.schedule) << "seed " << seed << " jobs " << jobs;
+      EXPECT_EQ(sharded.report.inserts_stored, serial.report.inserts_stored);
+      EXPECT_EQ(sharded.report.lookups_found, serial.report.lookups_found);
+      EXPECT_EQ(sharded.report.route_hops, serial.report.route_hops);
+    }
+  }
+}
+
+TEST(ScaleEngineTest, DifferentSeedsDiverge) {
+  RunWitness a = RunWith(SmallConfig(11), 2);
+  RunWitness b = RunWith(SmallConfig(12), 2);
+  EXPECT_NE(a.state, b.state);
+  EXPECT_NE(a.schedule, b.schedule);
+}
+
+TEST(ScaleEngineTest, RerunIsReproducible) {
+  RunWitness first = RunWith(SmallConfig(7), 4);
+  RunWitness second = RunWith(SmallConfig(7), 4);
+  EXPECT_EQ(first.state, second.state);
+  EXPECT_EQ(first.schedule, second.schedule);
+}
+
+TEST(ScaleEngineTest, ShardStatsSumToOpOrderTotals) {
+  ScaleConfig config = SmallConfig(3);
+  config.jobs = 4;
+  ScaleEngine engine(config);
+  engine.Run();
+  TransportStats merged;
+  for (const TransportStats& shard : engine.shard_stats()) {
+    merged.MergeFrom(shard);
+  }
+  const TransportStats& totals = engine.op_route_totals();
+  EXPECT_EQ(merged.hops(), totals.hops());
+  EXPECT_EQ(merged.messages(), totals.messages());
+  EXPECT_EQ(merged.bytes_sent(), totals.bytes_sent());
+  EXPECT_EQ(merged.rpcs(), totals.rpcs());
+  // Doubles accumulate in different orders (shard order vs op order), so the
+  // sums agree only up to rounding.
+  EXPECT_NEAR(merged.total_distance(), totals.total_distance(),
+              1e-9 * (1.0 + totals.total_distance()));
+}
+
+TEST(ScaleEngineTest, ReportIsCoherent) {
+  ScaleConfig config = SmallConfig(9);
+  config.jobs = 2;
+  ScaleEngine engine(config);
+  ScaleReport report = engine.Run();
+
+  EXPECT_EQ(report.inserts, config.epochs * config.inserts_per_epoch);
+  EXPECT_LE(report.inserts_stored, report.inserts);
+  EXPECT_GT(report.inserts_stored, 0u);
+  EXPECT_LE(report.lookups_found, report.lookups);
+  // Lookups target committed files on a network with full replication and
+  // light churn; the overwhelming majority must be found.
+  EXPECT_GT(report.lookups_found * 10, report.lookups * 9);
+  EXPECT_GT(report.route_hops, 0u);
+  EXPECT_EQ(report.files_tracked, report.inserts_stored);
+  EXPECT_GT(report.utilization, 0.0);
+  EXPECT_LT(report.utilization, 1.0);
+  EXPECT_EQ(report.state_fingerprint.size(), 40u);  // SHA-1 hex
+  EXPECT_EQ(report.schedule_fingerprint.size(), 40u);
+
+  // Churn happened and stayed bounded.
+  size_t expected_live = config.nodes;
+  for (const ScaleEpochStats& epoch : engine.epoch_stats()) {
+    expected_live -= epoch.crashes;
+    expected_live += epoch.joins;
+  }
+  EXPECT_EQ(report.live_nodes, expected_live);
+}
+
+TEST(ScaleEngineTest, MeanFieldWindowIsPopulated) {
+  ScaleConfig config = SmallConfig(5);
+  config.jobs = 2;
+  // sweep_period=2 with 3 epochs leaves a one-epoch measurement window after
+  // the sweep at the end of epoch 2.
+  ScaleEngine engine(config);
+  ScaleReport report = engine.Run();
+  ASSERT_FALSE(report.replica_histogram.empty());
+  ASSERT_EQ(report.replica_histogram.size(), report.predicted_histogram.size());
+  EXPECT_EQ(report.epochs_since_sweep, 1u);
+  EXPECT_GT(report.eligible_files, 0u);
+  EXPECT_GT(report.survival_probability, 0.0);
+  EXPECT_LE(report.survival_probability, 1.0);
+  // Histogram masses agree: both sum to the eligible-file count.
+  uint64_t empirical_total = 0;
+  for (uint64_t count : report.replica_histogram) {
+    empirical_total += count;
+  }
+  double predicted_total = 0.0;
+  for (double mass : report.predicted_histogram) {
+    predicted_total += mass;
+  }
+  EXPECT_EQ(empirical_total, report.eligible_files);
+  EXPECT_NEAR(predicted_total, static_cast<double>(report.eligible_files), 1e-6);
+  EXPECT_GE(report.tv_distance, 0.0);
+  EXPECT_LE(report.tv_distance, 1.0);
+}
+
+TEST(ScaleEngineTest, NoChurnKeepsEverythingFound) {
+  ScaleConfig config = SmallConfig(2);
+  config.crashes_per_epoch = 0;
+  config.joins_per_epoch = 0;
+  config.sweep_period = 0;
+  config.jobs = 4;
+  ScaleEngine engine(config);
+  ScaleReport report = engine.Run();
+  EXPECT_EQ(report.inserts_stored, report.inserts);
+  EXPECT_EQ(report.lookups_found, report.lookups);
+  EXPECT_EQ(report.live_nodes, config.nodes);
+}
+
+}  // namespace
+}  // namespace past

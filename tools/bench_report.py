@@ -18,6 +18,12 @@ optimization landed). --check always validates structure; with
 --min-speedup it additionally requires at least one single-run hot-path
 metric (routes_per_sec, sha1_mb_per_sec, inserts_per_sec) to improve by the
 given factor over the baseline.
+
+Both gates (--min-speedup / --max-regression) refuse single-run candidates:
+the report must carry "runs" >= 2 and a "cov" section (bench_regression
+--runs N measures the metrics interleaved and emits per-metric means and
+coefficients of variation). CoV above 0.15 on a headline metric prints a
+noise warning.
 """
 
 import argparse
@@ -72,6 +78,37 @@ def check(report, min_speedup, max_regression=None):
         errors.append(f"mode must be 'smoke' or 'full', got {report.get('mode')!r}")
     if not isinstance(report.get("jobs"), int) or report.get("jobs", 0) < 1:
         errors.append(f"jobs must be a positive integer, got {report.get('jobs')!r}")
+    runs = report.get("runs", 1)
+    if not isinstance(runs, int) or runs < 1:
+        errors.append(f"runs must be a positive integer, got {runs!r}")
+        runs = 1
+
+    # Gating a single-run candidate is meaningless: one sample cannot tell a
+    # real regression from machine-load noise. bench_regression --runs N
+    # produces interleaved multi-run means plus per-metric CoV.
+    if (min_speedup is not None or max_regression is not None) and runs < 2:
+        errors.append(
+            "speedup/regression gates need interleaved multi-run means: "
+            f"report has runs={runs}, re-measure with bench_regression --runs 3"
+        )
+
+    cov = report.get("cov")
+    if cov is not None:
+        if not isinstance(cov, dict):
+            errors.append("'cov' must be an object")
+        else:
+            for key, value in cov.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                    errors.append(f"cov: '{key}' must be a non-negative number, got {value!r}")
+            noisy = [
+                f"{key} cov={value:.3f}"
+                for key, value in cov.items()
+                if isinstance(value, (int, float)) and value > 0.15
+            ]
+            if noisy:
+                print("warning: noisy headline metric(s): " + ", ".join(noisy))
+    elif runs >= 2:
+        errors.append("multi-run report (runs >= 2) must carry a 'cov' section")
 
     metrics = report.get("metrics")
     if not isinstance(metrics, dict):
@@ -143,13 +180,22 @@ def fmt(value):
 def print_report(report):
     metrics = report.get("metrics", {})
     baseline = report.get("baseline")
-    print(f"bench_regression report ({report.get('mode')} mode, jobs={report.get('jobs')})")
-    header = f"  {'metric':<28}{'current':>14}"
+    cov = report.get("cov") or {}
+    runs = report.get("runs", 1)
+    print(
+        f"bench_regression report ({report.get('mode')} mode, "
+        f"jobs={report.get('jobs')}, runs={runs})"
+    )
+    header = f"  {'metric':<28}{'current':>14}{'cov':>8}"
     if baseline:
         header += f"{'baseline':>14}{'speedup':>10}"
     print(header)
     for key in METRIC_KEYS:
         line = f"  {key:<28}{fmt(metrics.get(key, '-')):>14}"
+        if key in cov:
+            line += f"{cov[key]:>8.3f}"
+        else:
+            line += f"{'-':>8}"
         if baseline:
             old = baseline.get(key)
             line += f"{fmt(old) if old is not None else '-':>14}"

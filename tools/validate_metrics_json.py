@@ -1,10 +1,23 @@
 #!/usr/bin/env python3
 """Validates a --metrics-json dump from the bench/harness binaries.
 
-Checks structural invariants (sections present, histogram buckets sum to the
-recorded count) and that the metric families the experiments depend on —
-insert, lookup, cache, and diversion — actually appear. Exits nonzero with a
-message per problem, so CI can gate on any bench run's dump:
+Two dump formats are recognized:
+
+* The metrics-snapshot format (counters / gauges / histograms) every
+  instrumented bench emits. Checks structural invariants (sections present,
+  histogram buckets sum to the recorded count) and that the metric families
+  the experiments depend on — insert, lookup, cache, and diversion —
+  actually appear.
+
+* The per-shard scale-engine format ("schema": "past-scale-metrics-v1",
+  bench_scale --metrics-json). Checks that the per-shard route accounting
+  sums exactly to the merged totals on every integer field (hops, messages,
+  bytes_sent, rpcs), that the merged totals equal the canonical op-order
+  totals the serial commit phase recorded (the shard decomposition must be
+  lossless), and that the mean-field histograms are mass-consistent.
+
+Exits nonzero with a message per problem, so CI can gate on any bench run's
+dump:
 
     build/bench/bench_fig8_caching --nodes 100 --metrics-json metrics.json
     python3 tools/validate_metrics_json.py metrics.json
@@ -134,6 +147,103 @@ def validate(doc):
     return errors
 
 
+SCALE_SCHEMA = "past-scale-metrics-v1"
+SHARD_INT_FIELDS = ("hops", "messages", "bytes_sent", "rpcs")
+
+
+def validate_scale(doc):
+    errors = []
+    for section in ("config", "shards", "merged", "op_totals", "report"):
+        if section not in doc:
+            errors.append(f"missing section: {section!r}")
+    if errors:
+        return errors
+
+    shards = doc["shards"]
+    merged = doc["merged"]
+    op_totals = doc["op_totals"]
+    if not isinstance(shards, list) or not shards:
+        return ["'shards' must be a non-empty list"]
+    jobs = doc["config"].get("jobs")
+    if len(shards) != jobs:
+        errors.append(f"config says jobs={jobs} but dump has {len(shards)} shards")
+
+    # The shard decomposition must be lossless: per-shard integers sum to the
+    # merged totals exactly, and the merged totals equal what the serial
+    # commit phase accounted in canonical op order.
+    for field in SHARD_INT_FIELDS:
+        shard_sum = 0
+        for shard in shards:
+            value = shard.get(field)
+            if not isinstance(value, int) or value < 0:
+                errors.append(f"shard {shard.get('shard')}: {field!r} not a non-negative int")
+                break
+            shard_sum += value
+        else:
+            if shard_sum != merged.get(field):
+                errors.append(
+                    f"shard sums diverge from merged: {field} "
+                    f"{shard_sum} != {merged.get(field)}"
+                )
+            if merged.get(field) != op_totals.get(field):
+                errors.append(
+                    f"merged diverges from op-order totals: {field} "
+                    f"{merged.get(field)} != {op_totals.get(field)}"
+                )
+
+    # Distance is a double accumulated in different orders (shard order vs op
+    # order); require agreement only up to relative rounding.
+    shard_distance = sum(s.get("distance", 0.0) for s in shards)
+    for name, a, b in (
+        ("shards vs merged", shard_distance, merged.get("distance", 0.0)),
+        ("merged vs op_totals", merged.get("distance", 0.0), op_totals.get("distance", 0.0)),
+    ):
+        if abs(a - b) > 1e-6 * (1.0 + abs(b)):
+            errors.append(f"distance mismatch ({name}): {a} != {b}")
+
+    report = doc["report"]
+    for key in (
+        "inserts",
+        "inserts_stored",
+        "lookups",
+        "lookups_found",
+        "events",
+        "state_fingerprint",
+        "schedule_fingerprint",
+    ):
+        if key not in report:
+            errors.append(f"report: missing {key!r}")
+    if not errors:
+        if report["inserts_stored"] > report["inserts"]:
+            errors.append("report: inserts_stored exceeds inserts")
+        if report["lookups_found"] > report["lookups"]:
+            errors.append("report: lookups_found exceeds lookups")
+        for key in ("state_fingerprint", "schedule_fingerprint"):
+            if len(report[key]) != 40:
+                errors.append(f"report: {key} is not a SHA-1 hex digest")
+
+    mean_field = doc.get("mean_field")
+    if mean_field is not None:
+        empirical = mean_field.get("empirical", [])
+        predicted = mean_field.get("predicted", [])
+        eligible = mean_field.get("eligible", 0)
+        if len(empirical) != len(predicted):
+            errors.append("mean_field: empirical/predicted length mismatch")
+        if sum(empirical) != eligible:
+            errors.append(
+                f"mean_field: empirical histogram sums to {sum(empirical)} "
+                f"but eligible is {eligible}"
+            )
+        if predicted and abs(sum(predicted) - eligible) > 0.05 * (1.0 + eligible):
+            errors.append(
+                f"mean_field: predicted mass {sum(predicted)} far from eligible {eligible}"
+            )
+        tv = mean_field.get("tv_distance", 0.0)
+        if not 0.0 <= tv <= 1.0:
+            errors.append(f"mean_field: tv_distance {tv} outside [0, 1]")
+    return errors
+
+
 def main(argv):
     if len(argv) != 2:
         print(f"usage: {argv[0]} <metrics.json>", file=sys.stderr)
@@ -144,6 +254,20 @@ def main(argv):
     except (OSError, json.JSONDecodeError) as err:
         print(f"error: cannot parse {argv[1]}: {err}", file=sys.stderr)
         return 1
+    if doc.get("schema") == SCALE_SCHEMA:
+        errors = validate_scale(doc)
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        if errors:
+            return 1
+        report = doc["report"]
+        print(
+            f"ok: {argv[1]} valid scale dump "
+            f"({doc['config']['nodes']} nodes, {len(doc['shards'])} shards; "
+            f"shard sums == merged == op-order totals; "
+            f"{report['inserts_stored']}/{report['inserts']} inserts stored)"
+        )
+        return 0
     errors = validate(doc)
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
