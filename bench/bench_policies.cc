@@ -1,0 +1,135 @@
+// Placement-policy x cooperative-cache ablation under adversarial workloads.
+//
+// Sweeps every (placement, coop-cache, workload) cell over the generators in
+// src/workload/adversarial.h and reports, per cell: insert failure ratio,
+// global cache hit ratio, modeled p50/p95 fetch latency, and the coop tier's
+// probe/hit counters. The final summary lines compare coop-on vs coop-off
+// hit ratios per workload — the flash-crowd row is where brokered hits pay.
+//
+// Flags (besides the common --nodes/--files/--refs/--seed/--jobs):
+//   --placement kclosest|residual|random|all   (default all)
+//   --coop-cache 0|1|all                        (default all)
+//   --workload flash|diurnal|drift|regional|all (default all)
+//   --smoke                                     tiny scale for CI
+#include <cstring>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace past;
+  BenchStopwatch stopwatch;
+  CommandLine cli(argc, argv);
+  ExperimentConfig base = BenchConfig(cli);
+  if (cli.Has("--smoke")) {
+    if (!cli.Has("--nodes")) {
+      base.num_nodes = 60;
+    }
+    base.catalog_size = static_cast<uint32_t>(cli.GetInt("--files", 4000));
+    base.total_references = static_cast<uint64_t>(cli.GetInt("--refs", 40000));
+  } else {
+    if (!cli.Has("--nodes")) {
+      base.num_nodes = 120;
+    }
+    base.catalog_size = static_cast<uint32_t>(cli.GetInt("--files", 15000));
+    base.total_references = static_cast<uint64_t>(cli.GetInt("--refs", 150000));
+  }
+  base.cache_mode = CacheMode::kGreedyDualSize;
+  base.cache_insertion_cost_cap = cli.GetDouble("--insertion-cap", 0.5);
+  base.adversarial = true;
+  PrintHeader("Policy ablation: placement x coop-cache x adversarial workload", base);
+
+  std::vector<PlacementKind> placements;
+  {
+    std::string flag = cli.GetString("--placement", "all");
+    if (flag == "all") {
+      placements = {PlacementKind::kKClosestDiversion, PlacementKind::kResidualPerformance,
+                    PlacementKind::kRandomizedCacheSize};
+    } else {
+      std::optional<PlacementKind> kind = PlacementKindFromName(flag.c_str());
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "error: unknown --placement %s\n", flag.c_str());
+        return 2;
+      }
+      placements = {*kind};
+    }
+  }
+  std::vector<bool> coop_modes;
+  {
+    std::string flag = cli.GetString("--coop-cache", "all");
+    if (flag == "all") {
+      coop_modes = {false, true};
+    } else {
+      coop_modes = {flag != "0"};
+    }
+  }
+  std::vector<AdversarialKind> workloads;
+  {
+    std::string flag = cli.GetString("--workload", "all");
+    if (flag == "all") {
+      workloads = {AdversarialKind::kFlashCrowd, AdversarialKind::kDiurnal,
+                   AdversarialKind::kZipfDrift, AdversarialKind::kRegionalFailure};
+    } else {
+      AdversarialKind kind;
+      if (!AdversarialKindFromName(flag.c_str(), &kind)) {
+        std::fprintf(stderr, "error: unknown --workload %s\n", flag.c_str());
+        return 2;
+      }
+      workloads = {kind};
+    }
+  }
+
+  // Coop iterates innermost (off before on) so (a) each coop pair shares a
+  // workload/placement prefix for the summary diff and (b) with
+  // --metrics-json the surviving dump comes from a coop-enabled cell, which
+  // is the schema the validator exercises.
+  struct Cell {
+    AdversarialKind workload;
+    PlacementKind placement;
+    bool coop;
+  };
+  std::vector<Cell> cells;
+  std::vector<ExperimentConfig> configs;
+  for (AdversarialKind w : workloads) {
+    for (PlacementKind p : placements) {
+      for (bool coop : coop_modes) {
+        ExperimentConfig config = base;
+        config.adversarial_kind = w;
+        config.placement = p;
+        config.residual_shed_load =
+            static_cast<uint64_t>(cli.GetInt("--residual-shed-load", 64));
+        config.coop_cache = coop;
+        cells.push_back({w, p, coop});
+        configs.push_back(config);
+      }
+    }
+  }
+
+  std::vector<ExperimentResult> results = RunExperimentSuite(configs, BenchSuiteOptions(cli));
+
+  std::printf(
+      "workload,placement,coop,failure_ratio,hit_ratio,p50_ms,p95_ms,coop_probes,coop_hits\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    std::printf("%s,%s,%d,%.4f,%.4f,%.2f,%.2f,%llu,%llu\n",
+                AdversarialKindName(cells[i].workload), PlacementKindName(cells[i].placement),
+                cells[i].coop ? 1 : 0, r.failure_ratio, r.global_cache_hit_rate,
+                r.lookup_latency_p50_ms, r.lookup_latency_p95_ms,
+                static_cast<unsigned long long>(
+                    r.metrics.CounterValue("past.cache.coop.probes")),
+                static_cast<unsigned long long>(
+                    r.metrics.CounterValue("past.cache.coop.hits")));
+  }
+
+  // Coop-on vs coop-off deltas, per (workload, placement) pair.
+  if (coop_modes.size() == 2) {
+    for (size_t i = 0; i + 1 < results.size(); i += 2) {
+      double off = results[i].global_cache_hit_rate;
+      double on = results[i + 1].global_cache_hit_rate;
+      std::printf("# %s/%s: coop hit ratio %.4f vs local-only %.4f (%+.4f)\n",
+                  AdversarialKindName(cells[i].workload),
+                  PlacementKindName(cells[i].placement), on, off, on - off);
+    }
+  }
+  PrintBenchFooter(stopwatch);
+  return 0;
+}

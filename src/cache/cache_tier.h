@@ -1,0 +1,51 @@
+// CacheTier: one layer of the lookup cache chain.
+//
+// The lookup path consults an ordered chain of tiers before falling back to
+// the replica holders. Two kinds of tier exist:
+//
+//  * Route-side tiers answer ServesAt(): can the file be served from cache
+//    at this node, right now? The classic per-node GD-S/LRU cache
+//    (LocalCacheTier) is this kind; the routing stop predicate asks every
+//    tier at every hop.
+//
+//  * Brokered tiers answer ProbeTarget()/ResolveProbe(): before routing at
+//    all, the origin sends one kCacheProbe to a broker node (picked by
+//    ProbeTarget), which resolves it against its directory shard — the
+//    cooperative tier modeled on fs123's distrib_cache_backend.
+//
+// Determinism rules: tier answers must be pure functions of simulation
+// state (stores, caches, directory, membership) — no wall clock, no
+// un-seeded randomness — so runs replay bit-identically. A tier must never
+// fabricate a hit: a stale answer is surfaced by the fetch failing at the
+// holder and must degrade to a clean miss, never a wrong read.
+#ifndef SRC_CACHE_CACHE_TIER_H_
+#define SRC_CACHE_CACHE_TIER_H_
+
+#include <optional>
+
+#include "src/common/file_id.h"
+#include "src/common/node_id.h"
+
+namespace past {
+
+class CacheTier {
+ public:
+  virtual ~CacheTier() = default;
+
+  virtual const char* name() const = 0;
+
+  // True if this tier can serve `file` at `node` right now. Called from the
+  // routing stop predicate; may record hit/miss tallies.
+  virtual bool ServesAt(const NodeId& node, const FileId& file) = 0;
+
+  // For brokered tiers: the broker `origin` should probe for this file, or
+  // nullopt if this tier does not broker (or no broker is reachable).
+  virtual std::optional<NodeId> ProbeTarget(const NodeId& origin, const FileId& file) = 0;
+
+  // At the broker: resolve a probe to a holder node, or nullopt for a miss.
+  virtual std::optional<NodeId> ResolveProbe(const NodeId& broker, const FileId& file) = 0;
+};
+
+}  // namespace past
+
+#endif  // SRC_CACHE_CACHE_TIER_H_

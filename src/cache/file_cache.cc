@@ -2,8 +2,11 @@
 
 namespace past {
 
-FileCache::FileCache(std::unique_ptr<EvictionPolicy> policy, double c_fraction)
-    : policy_(std::move(policy)), c_fraction_(c_fraction) {}
+FileCache::FileCache(std::unique_ptr<EvictionPolicy> policy, double c_fraction,
+                     double insertion_cost_cap)
+    : policy_(std::move(policy)),
+      c_fraction_(c_fraction),
+      insertion_cost_cap_(insertion_cost_cap) {}
 
 void FileCache::BindMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -38,6 +41,9 @@ void FileCache::EvictEntry(const FileId& id) {
     used_ -= entry->size;
     entries_.Erase(id);
     ++evictions_;
+    if (removal_listener_) {
+      removal_listener_(id);
+    }
   }
 }
 
@@ -49,6 +55,17 @@ bool FileCache::Insert(const FileId& id, uint64_t size, uint64_t budget, Content
   // cache size is the portion of the disk not used by replicas.
   if (size == 0 || static_cast<double>(size) >= c_fraction_ * static_cast<double>(budget)) {
     return false;
+  }
+  // Insertion-cost cap (flash-crowd guard): refuse an admission that would
+  // have to evict more than the configured fraction of the budget, so a
+  // burst of requests for one hot file cannot churn the whole cache. The
+  // check runs before any eviction so a refused insert leaves the cache
+  // untouched.
+  if (insertion_cost_cap_ > 0.0) {
+    uint64_t need = used_ + size > budget ? used_ + size - budget : 0;
+    if (static_cast<double>(need) > insertion_cost_cap_ * static_cast<double>(budget)) {
+      return false;
+    }
   }
   // Make room.
   while (used_ + size > budget) {
@@ -86,6 +103,9 @@ bool FileCache::Remove(const FileId& id) {
   used_ -= entry->size;
   entries_.Erase(id);
   policy_->OnRemove(id);
+  if (removal_listener_) {
+    removal_listener_(id);
+  }
   return true;
 }
 

@@ -6,27 +6,51 @@
 #include <stdexcept>
 
 #include "src/common/logging.h"
+#include "src/net/latency_model.h"
 
 namespace past {
 namespace {
 
 constexpr uint64_t kUnlimitedQuota = 1ULL << 62;
 
-Trace MakeTrace(const ExperimentConfig& config) {
+// A generated trace plus the regional-failure injection point (SIZE_MAX for
+// workloads without one).
+struct TraceBundle {
+  Trace trace;
+  size_t failure_event_index = SIZE_MAX;
+  uint32_t failed_cluster = 0;
+};
+
+TraceBundle MakeTrace(const ExperimentConfig& config) {
   uint32_t catalog = config.catalog_size != 0
                          ? config.catalog_size
                          : static_cast<uint32_t>(config.num_nodes * 800);
+  TraceBundle bundle;
+  if (config.adversarial) {
+    AdversarialConfig ac;
+    ac.kind = config.adversarial_kind;
+    ac.catalog_size = catalog;
+    ac.total_references = config.total_references;
+    ac.seed = config.seed + 1;
+    AdversarialTrace at = GenerateAdversarialTrace(ac);
+    bundle.trace = std::move(at.trace);
+    bundle.failure_event_index = at.failure_event_index;
+    bundle.failed_cluster = at.failed_cluster;
+    return bundle;
+  }
   if (config.workload == WorkloadKind::kWeb) {
     WebTraceConfig wc;
     wc.catalog_size = catalog;
     wc.total_references = config.total_references;
     wc.seed = config.seed + 1;
-    return GenerateWebTrace(wc);
+    bundle.trace = GenerateWebTrace(wc);
+    return bundle;
   }
   FilesystemTraceConfig fc;
   fc.catalog_size = catalog;
   fc.seed = config.seed + 1;
-  return GenerateFilesystemTrace(fc);
+  bundle.trace = GenerateFilesystemTrace(fc);
+  return bundle;
 }
 
 }  // namespace
@@ -92,7 +116,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
 
   ExperimentResult result;
-  Trace trace = MakeTrace(config);
+  TraceBundle bundle = MakeTrace(config);
+  Trace& trace = bundle.trace;
 
   // Bytes the trace will try to insert (first references only).
   uint64_t insert_bytes = 0;
@@ -130,8 +155,13 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   past_config.enable_replica_diversion = config.replica_diversion;
   past_config.enable_file_diversion = config.file_diversion;
   past_config.diversion_selection = config.diversion_selection;
+  past_config.placement = config.placement;
+  past_config.residual_shed_load = config.residual_shed_load;
   past_config.cache_mode = config.cache_mode;
   past_config.cache_fraction_c = config.cache_fraction_c;
+  past_config.enable_coop_cache = config.coop_cache;
+  past_config.coop_directory_limit = config.coop_directory_limit;
+  past_config.cache_insertion_cost_cap = config.cache_insertion_cost_cap;
   past_config.enable_maintenance = false;  // no churn during trace replay
 
   PastryConfig pastry_config;
@@ -186,6 +216,10 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   uint64_t window_lookups = 0;
   uint64_t window_hits = 0;
   uint64_t window_hops = 0;
+  // Modeled fetch latency per successful lookup, for the policy benches'
+  // percentile reporting (the replay itself runs over InlineTransport).
+  const LatencyModel latency_model = LatencyModel::Lan();
+  std::vector<double> lookup_latencies;
 
   size_t sample_every = std::max<uint64_t>(1, insert_events / std::max<size_t>(1, config.curve_samples));
 
@@ -215,7 +249,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     window_hops = 0;
   };
 
-  for (const TraceEvent& event : trace.events) {
+  for (size_t event_index = 0; event_index < trace.events.size(); ++event_index) {
+    const TraceEvent& event = trace.events[event_index];
+    if (event_index == bundle.failure_event_index) {
+      // Correlated regional failure: half of the doomed cluster's nodes die
+      // at once (cached copies and coop pointers in the region die with
+      // them). Clients keep their access nodes — the generator guarantees
+      // no post-failure requests originate in the failed cluster.
+      const auto& doomed = nodes_by_cluster[bundle.failed_cluster % num_clusters];
+      for (size_t i = 0; i < doomed.size() / 2; ++i) {
+        network.FailStorageNode(doomed[i]);
+      }
+    }
     PastClient& client = *clients[event.client];
     if (event.op == TraceOp::kInsert) {
       uint64_t size = trace.file_sizes[event.file_index];
@@ -251,6 +296,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         if (r.served_from_cache) {
           ++window_hits;
         }
+        lookup_latencies.push_back(
+            latency_model.FetchLatencyMs(r.hops, r.distance, r.file_size));
       }
     }
   }
@@ -285,6 +332,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                                ? 0.0
                                : static_cast<double>(counters.lookup_hops_total) /
                                      static_cast<double>(counters.lookups_found);
+  if (!lookup_latencies.empty()) {
+    auto percentile = [&lookup_latencies](double q) {
+      size_t idx = static_cast<size_t>(q * static_cast<double>(lookup_latencies.size() - 1));
+      std::nth_element(lookup_latencies.begin(), lookup_latencies.begin() + idx,
+                       lookup_latencies.end());
+      return lookup_latencies[idx];
+    };
+    result.lookup_latency_p50_ms = percentile(0.50);
+    result.lookup_latency_p95_ms = percentile(0.95);
+  }
 
   result.metrics = network.SnapshotMetrics();
   if (trace_sink != nullptr) {

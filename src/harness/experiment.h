@@ -13,6 +13,7 @@
 #include "src/obs/trace.h"
 #include "src/past/client.h"
 #include "src/past/past_network.h"
+#include "src/workload/adversarial.h"
 #include "src/workload/capacity.h"
 #include "src/workload/trace.h"
 #include "src/workload/trace_generator.h"
@@ -37,9 +38,30 @@ struct ExperimentConfig {
   bool file_diversion = true;
   DiversionSelection diversion_selection = DiversionSelection::kMaxFreeSpace;
 
+  // Placement policy (src/storage/policies.h). The default reproduces the
+  // paper's k-closest + replica-diversion behavior bit for bit.
+  PlacementKind placement = PlacementKind::kKClosestDiversion;
+  // ResidualPerformance load-shedding threshold (0 = never shed).
+  uint64_t residual_shed_load = 0;
+
   // Caching.
   CacheMode cache_mode = CacheMode::kNone;
   double cache_fraction_c = 1.0;
+  // Cooperative cache tier: leaf-set neighbors broker cache hits for each
+  // other (kCacheProbe/kCacheReply round trip before falling back to the
+  // route).
+  bool coop_cache = false;
+  size_t coop_directory_limit = 0;
+  // Flash-crowd eviction guard: cap on the fraction of the cache budget one
+  // insertion may evict (0 = unlimited; see FileCache).
+  double cache_insertion_cost_cap = 0.0;
+
+  // Adversarial workload: when `adversarial` is set, the trace comes from
+  // GenerateAdversarialTrace(adversarial_kind) instead of `workload`, and a
+  // kRegionalFailure trace fails half the nodes of the doomed cluster at
+  // the failure point mid-replay.
+  bool adversarial = false;
+  AdversarialKind adversarial_kind = AdversarialKind::kFlashCrowd;
 
   // Workload. catalog_size == 0 auto-sizes to num_nodes * 800, preserving the
   // paper's files-per-node ratio (1,863,055 uniques / 2250 nodes ≈ 830),
@@ -113,6 +135,10 @@ struct ExperimentResult {
   uint64_t lookups = 0;
   double global_cache_hit_rate = 0.0;
   double avg_lookup_hops = 0.0;
+  // Modeled fetch latency percentiles over successful lookups (LAN model
+  // applied to each lookup's hops/distance/size; 0 when there were none).
+  double lookup_latency_p50_ms = 0.0;
+  double lookup_latency_p95_ms = 0.0;
 
   std::vector<CurveSample> curve;
   std::vector<FailureRecord> failures;

@@ -1,0 +1,75 @@
+#include "src/past/cache_tiers.h"
+
+#include "src/past/past_network.h"
+
+namespace past {
+namespace {
+
+// Deterministic rendezvous weight for (node, file): both sides of an
+// advertise/probe pair must agree on the broker given the same candidate
+// set, so the weight depends only on the two ids (splitmix64 finalizer over
+// the combined hashes).
+uint64_t RendezvousWeight(const NodeId& node, const FileId& file) {
+  uint64_t x = static_cast<uint64_t>(NodeIdHash{}(node)) * 0x9e3779b97f4a7c15ULL;
+  x ^= static_cast<uint64_t>(FileIdHash{}(file));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+bool LocalCacheTier::ServesAt(const NodeId& node, const FileId& file) {
+  PastNode* pn = net_.storage_node(node);
+  if (pn == nullptr || pn->cache() == nullptr) {
+    return false;
+  }
+  return pn->cache()->Lookup(file);
+}
+
+std::optional<NodeId> CooperativeCacheTier::ProbeTarget(const NodeId& origin,
+                                                        const FileId& file) {
+  const PastryNode* node = net_.overlay().node(origin);
+  if (node == nullptr) {
+    return std::nullopt;
+  }
+  std::optional<NodeId> best;
+  uint64_t best_weight = 0;
+  for (const NodeId& candidate : node->leaf_set().All()) {
+    if (candidate == origin || !net_.overlay().IsAlive(candidate)) {
+      continue;
+    }
+    uint64_t weight = RendezvousWeight(candidate, file);
+    // Strict > with the candidate order fixed by the leaf set keeps the
+    // winner deterministic even on (astronomically unlikely) weight ties.
+    if (!best || weight > best_weight) {
+      best = candidate;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> CooperativeCacheTier::ResolveProbe(const NodeId& broker,
+                                                         const FileId& file) {
+  PastNode* pn = net_.storage_node(broker);
+  if (pn != nullptr && pn->cache() != nullptr && pn->cache()->SizeOf(file).has_value()) {
+    return broker;  // the broker itself holds a cached copy
+  }
+  std::optional<NodeId> holder = net_.coop_directory().Resolve(broker, file);
+  if (!holder) {
+    return std::nullopt;
+  }
+  if (!net_.overlay().IsAlive(*holder)) {
+    // Holder silently gone (failure detection has not reaped it yet): drop
+    // the stale pointer and report a miss.
+    net_.coop_directory().RetractHolder(*holder, file);
+    return std::nullopt;
+  }
+  return holder;
+}
+
+}  // namespace past

@@ -1,0 +1,72 @@
+// The PAST cache-tier chain (src/cache/cache_tier.h implementations).
+//
+//  * LocalCacheTier — the route-side per-node GD-S/LRU cache; ServesAt is
+//    exactly the pre-refactor stop-predicate cache check (same Lookup call,
+//    same hit/miss tallies), so the default chain is bit-identical to the
+//    inlined code it replaced.
+//
+//  * CooperativeCacheTier — neighbors broker cache hits for each other
+//    (fs123 distrib_cache_backend idiom). Each file's broker is the
+//    rendezvous-hash winner among the local leaf set; holders advertise
+//    cached copies to *their* broker, origins probe *theirs*. The two views
+//    usually coincide inside one neighborhood; when they disagree the probe
+//    is a clean miss and the lookup falls back to routing — cooperation is
+//    opportunistic, never authoritative.
+#ifndef SRC_PAST_CACHE_TIERS_H_
+#define SRC_PAST_CACHE_TIERS_H_
+
+#include <optional>
+
+#include "src/cache/cache_tier.h"
+
+namespace past {
+
+class PastNetwork;
+
+class LocalCacheTier : public CacheTier {
+ public:
+  explicit LocalCacheTier(PastNetwork& net) : net_(net) {}
+
+  const char* name() const override { return "local"; }
+  bool ServesAt(const NodeId& node, const FileId& file) override;
+  std::optional<NodeId> ProbeTarget(const NodeId&, const FileId&) override {
+    return std::nullopt;
+  }
+  std::optional<NodeId> ResolveProbe(const NodeId&, const FileId&) override {
+    return std::nullopt;
+  }
+
+ private:
+  PastNetwork& net_;
+};
+
+class CooperativeCacheTier : public CacheTier {
+ public:
+  explicit CooperativeCacheTier(PastNetwork& net) : net_(net) {}
+
+  const char* name() const override { return "coop"; }
+
+  // The cooperative tier never serves at a route hop itself; it brokers.
+  bool ServesAt(const NodeId&, const FileId&) override { return false; }
+
+  // Rendezvous-hash winner over `origin`'s live leaf-set members (origin
+  // excluded); nullopt when the leaf set is empty.
+  std::optional<NodeId> ProbeTarget(const NodeId& origin, const FileId& file) override;
+
+  // Broker-side: the broker's own cached copy wins, else its directory
+  // shard. A directory entry whose holder has silently died is dropped and
+  // reported as a miss.
+  std::optional<NodeId> ResolveProbe(const NodeId& broker, const FileId& file) override;
+
+  // The broker a holder advertises to (same rendezvous rule, holder's view).
+  std::optional<NodeId> BrokerFor(const NodeId& node, const FileId& file) {
+    return ProbeTarget(node, file);
+  }
+
+ private:
+  PastNetwork& net_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PAST_CACHE_TIERS_H_

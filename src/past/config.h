@@ -8,14 +8,9 @@
 
 namespace past {
 
-// How a diverting node picks the leaf-set member to hold a diverted replica.
-// The paper's policy is "maximal remaining free space"; the alternatives
-// exist for the ablation bench.
-enum class DiversionSelection {
-  kMaxFreeSpace,  // paper policy
-  kRandom,        // random eligible node
-  kFirstFit,      // first eligible node that would accept
-};
+// DiversionSelection now lives in src/storage/policies.h next to the
+// PlacementPolicy layer it parameterizes; it is re-exported here through the
+// include above.
 
 enum class CacheMode {
   kNone,
@@ -48,7 +43,32 @@ struct PastConfig {
   double cache_fraction_c = 1.0;
 
   // Diversion target selection policy (ablation; paper uses kMaxFreeSpace).
+  // Consumed by the KClosestDiversion placement policy.
   DiversionSelection diversion_selection = DiversionSelection::kMaxFreeSpace;
+
+  // Replica placement strategy (src/storage/policies.h). The default
+  // reproduces the paper's k-closest-with-diversion scheme bit-identically;
+  // the alternatives are ablated by bench_policies.
+  PlacementKind placement = PlacementKind::kKClosestDiversion;
+
+  // ResidualPerformance placement: recent-load level at which a primary
+  // sheds the replica into the leaf set. 0 disables shedding.
+  uint64_t residual_shed_load = 0;
+
+  // Cooperative cache tier (modeled on fs123's distrib_cache_backend): on a
+  // lookup the origin first probes a leaf-set broker for a cached copy held
+  // anywhere in the neighborhood before falling back to routing toward the
+  // replica holders. Requires cache_mode != kNone to have any effect.
+  bool enable_coop_cache = false;
+
+  // Per-broker cap on cooperative directory entries (0 = unlimited).
+  // Advertisements beyond the cap are dropped, not evicted.
+  size_t coop_directory_limit = 0;
+
+  // Flash-crowd guard: a file is admitted to a node's cache only if making
+  // room for it would evict at most this fraction of the cache budget
+  // (insertion-cost cap). 0 disables the cap (pre-refactor behavior).
+  double cache_insertion_cost_cap = 0.0;
 
   // When true, membership changes trigger replica maintenance (section 3.5).
   // Storage experiments without churn disable it to skip the scan.

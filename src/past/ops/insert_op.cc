@@ -149,9 +149,10 @@ void InsertOp::OnStoreReplica(const Delivery&) {
     AckRoot(t, false);
     return;
   }
-  if (pn->WouldAcceptPrimary(size_) &&
+  if (net_.ShouldStorePrimary(t, size_) &&
       pn->StoreReplica(certificate_.file_id, ReplicaKind::kPrimary, size_, cert_ref_, content_)) {
     created_.push_back({t, /*is_pointer=*/false});
+    pn->NoteServedOp();
     net_.total_stored_ += size_;
     net_.ins_.replicas_stored->Add(1);
     ++result_.replicas_stored;
@@ -183,6 +184,7 @@ void InsertOp::OnDivertReply(const Delivery&) {
                                  content_);
   if (stored_at_b_) {
     created_.push_back({*divert_target_, /*is_pointer=*/false});
+    b->NoteServedOp();
     net_.total_stored_ += size_;
     net_.ins_.replicas_stored->Add(1);
     net_.ins_.replicas_diverted->Add(1);

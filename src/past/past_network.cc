@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/past/cache_tiers.h"
 #include "src/past/ops/insert_op.h"
 #include "src/past/ops/lookup_op.h"
 #include "src/past/ops/op_engine.h"
@@ -12,12 +13,36 @@
 #include "src/past/ops/repair_op.h"
 
 namespace past {
+namespace {
+
+// Adapts the network's seeded Rng onto the placement-entropy interface so
+// policy draws are part of the deterministic replay (the kRandom diversion
+// selection consumes exactly the draw the pre-refactor inline code did).
+class RngPlacementEntropy : public PlacementEntropy {
+ public:
+  explicit RngPlacementEntropy(Rng& rng) : rng_(rng) {}
+  uint64_t NextBelow(uint64_t bound) override { return rng_.NextBelow(bound); }
+
+ private:
+  Rng& rng_;
+};
+
+PlacementOptions PlacementOptionsFrom(const PastConfig& config) {
+  PlacementOptions options;
+  options.diversion_selection = config.diversion_selection;
+  options.residual_shed_load = config.residual_shed_load;
+  return options;
+}
+
+}  // namespace
 
 PastNetwork::PastNetwork(const PastConfig& config, const PastryConfig& pastry_config,
                          uint64_t seed)
     : config_(config), pastry_config_(pastry_config), pastry_(pastry_config, seed),
       rng_(seed ^ 0x9e3779b97f4a7c15ULL),
-      transport_(std::make_unique<InlineTransport>(&pastry_.stats())) {
+      placement_(MakePlacementPolicy(config.placement, PlacementOptionsFrom(config))),
+      transport_(std::make_unique<InlineTransport>(&pastry_.stats())),
+      coop_dir_(config.coop_directory_limit) {
   pastry_.AddObserver(this);
   ins_.insert_attempts = &metrics_.GetCounter("past.insert.attempts");
   ins_.insert_failures = &metrics_.GetCounter("past.insert.failures");
@@ -36,6 +61,21 @@ PastNetwork::PastNetwork(const PastConfig& config, const PastryConfig& pastry_co
   ins_.lookup_hops = &metrics_.GetHistogram("past.lookup.hops", obs::HopBuckets());
   ins_.lookup_distance =
       &metrics_.GetHistogram("past.lookup.distance", obs::DistanceBuckets());
+  ins_.cache_local_hits = &metrics_.GetCounter("past.cache.local_hits");
+  ins_.cache_tier_misses = &metrics_.GetCounter("past.cache.tier_misses");
+  ins_.coop_probes = &metrics_.GetCounter("past.cache.coop.probes");
+  ins_.coop_forwards = &metrics_.GetCounter("past.cache.coop.broker_forwards");
+  ins_.coop_hits = &metrics_.GetCounter("past.cache.coop.hits");
+  ins_.coop_stale = &metrics_.GetCounter("past.cache.coop.stale");
+  ins_.coop_timeouts = &metrics_.GetCounter("past.cache.coop.probe_timeouts");
+  ins_.coop_probe_latency = &metrics_.GetHistogram("past.cache.coop.probe_latency_ms",
+                                                   obs::ExponentialBuckets(1.0, 2.0, 14));
+  cache_tiers_.push_back(std::make_unique<LocalCacheTier>(*this));
+  if (config_.enable_coop_cache && config_.cache_mode != CacheMode::kNone) {
+    auto coop = std::make_unique<CooperativeCacheTier>(*this);
+    coop_tier_ = coop.get();
+    cache_tiers_.push_back(std::move(coop));
+  }
   engine_ = std::make_unique<OpEngine>(*this);
 }
 
@@ -86,6 +126,10 @@ obs::MetricsSnapshot PastNetwork::SnapshotMetrics() const {
   snapshot.gauges["past.capacity_bytes"] = static_cast<double>(total_capacity_);
   snapshot.gauges["past.stored_bytes"] = static_cast<double>(total_stored_);
   snapshot.gauges["past.nodes_live"] = static_cast<double>(pastry_.live_count());
+  snapshot.gauges["past.cache.coop.directory_entries"] = static_cast<double>(coop_dir_.size());
+  snapshot.counters["past.cache.coop.advertised"] = coop_dir_.advertised();
+  snapshot.counters["past.cache.coop.retracted"] = coop_dir_.retracted();
+  snapshot.counters["past.cache.coop.overflowed"] = coop_dir_.overflowed();
   pastry_.stats().ExportTo(snapshot, "net.");
   for (const auto& [id, node] : nodes_) {
     if (!pastry_.IsAlive(id)) {
@@ -125,6 +169,16 @@ NodeId PastNetwork::AddStorageNodeNear(uint64_t capacity_bytes, const Coordinate
   }
   nodes_.InsertOrAssign(id, std::make_unique<PastNode>(id, config_, capacity_bytes, rng_));
   total_capacity_ += capacity_bytes;
+  if (coop_tier_ != nullptr) {
+    // Every departure from this node's cache — eviction, reclaim purge,
+    // replica displacement — retracts any brokered pointer immediately, so
+    // a coop pointer never outlives the cached copy it names.
+    PastNode* pn = storage_node(id);
+    if (pn != nullptr && pn->cache() != nullptr) {
+      pn->cache()->SetRemovalListener(
+          [this, id](const FileId& file) { coop_dir_.RetractHolder(id, file); });
+    }
+  }
 
   Coordinate location = center;
   if (spread > 0.0) {
@@ -262,6 +316,27 @@ bool PastNetwork::IsAmongKClosest(const NodeId& node, const NodeId& key, size_t 
   return true;
 }
 
+PlacementCandidate PastNetwork::MakePlacementCandidate(const PastNode& node,
+                                                       uint64_t size) const {
+  PlacementCandidate candidate;
+  candidate.id = node.id();
+  candidate.free_bytes = node.store().free_bytes();
+  candidate.capacity_bytes = node.store().capacity();
+  candidate.recent_load = node.recent_load();
+  candidate.accepts_diverted = node.WouldAcceptDiverted(size);
+  return candidate;
+}
+
+bool PastNetwork::ShouldStorePrimary(const NodeId& node, uint64_t size) {
+  const PastNode* pn = storage_node(node);
+  if (pn == nullptr) {
+    return false;
+  }
+  RngPlacementEntropy entropy(rng_);
+  return placement_->ShouldStorePrimary(MakePlacementCandidate(*pn, size),
+                                        pn->WouldAcceptPrimary(size), size, entropy);
+}
+
 std::optional<NodeId> PastNetwork::ChooseDiversionTarget(const NodeId& primary,
                                                          const std::vector<NodeId>& k_closest,
                                                          const FileId& file_id, uint64_t size) {
@@ -269,7 +344,10 @@ std::optional<NodeId> PastNetwork::ChooseDiversionTarget(const NodeId& primary,
   if (node == nullptr) {
     return std::nullopt;
   }
-  std::vector<NodeId> eligible;
+  // Candidate snapshots are built in leaf-set iteration order — the order
+  // the pre-refactor inline selection scanned — so a policy's tie-breaks
+  // and draws line up with the legacy behavior.
+  std::vector<PlacementCandidate> eligible;
   for (const NodeId& candidate : node->leaf_set().All()) {
     if (!pastry_.IsAlive(candidate)) {
       continue;
@@ -281,32 +359,17 @@ std::optional<NodeId> PastNetwork::ChooseDiversionTarget(const NodeId& primary,
     if (pn == nullptr || pn->store().HasReplica(file_id)) {
       continue;  // must not already hold a replica of this file
     }
-    eligible.push_back(candidate);
+    eligible.push_back(MakePlacementCandidate(*pn, size));
   }
   if (eligible.empty()) {
     return std::nullopt;
   }
-  switch (config_.diversion_selection) {
-    case DiversionSelection::kMaxFreeSpace: {
-      // Paper policy: the eligible node with maximal remaining free space.
-      return *std::max_element(eligible.begin(), eligible.end(),
-                               [&](const NodeId& a, const NodeId& b) {
-                                 return storage_node(a)->store().free_bytes() <
-                                        storage_node(b)->store().free_bytes();
-                               });
-    }
-    case DiversionSelection::kRandom:
-      return eligible[rng_.NextBelow(eligible.size())];
-    case DiversionSelection::kFirstFit: {
-      for (const NodeId& candidate : eligible) {
-        if (storage_node(candidate)->WouldAcceptDiverted(size)) {
-          return candidate;
-        }
-      }
-      return eligible.front();
-    }
+  RngPlacementEntropy entropy(rng_);
+  std::optional<size_t> pick = placement_->ChooseDiversionTarget(eligible, size, entropy);
+  if (!pick || *pick >= eligible.size()) {
+    return std::nullopt;
   }
-  return std::nullopt;
+  return eligible[*pick].id;
 }
 
 void PastNetwork::RollbackInsert(const FileId& file_id,
@@ -339,9 +402,30 @@ void PastNetwork::CacheAlongPath(const std::vector<NodeId>& path, const FileId& 
   }
   for (const NodeId& id : path) {
     PastNode* pn = storage_node(id);
-    if (pn != nullptr) {
-      pn->CacheFile(file_id, size, content);
+    if (pn != nullptr && pn->CacheFile(file_id, size, content) && coop_tier_ != nullptr) {
+      AdvertiseCachedCopy(id, file_id);
     }
+  }
+}
+
+bool PastNetwork::CacheServesAt(const NodeId& node, const FileId& file) {
+  for (const std::unique_ptr<CacheTier>& tier : cache_tiers_) {
+    if (tier->ServesAt(node, file)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PastNetwork::AdvertiseCachedCopy(const NodeId& holder, const FileId& file) {
+  if (coop_tier_ == nullptr) {
+    return;
+  }
+  // Advertisement is metadata gossip riding the existing cache fill; it is
+  // modeled as zero-cost (fs123 batches these off the request path).
+  std::optional<NodeId> broker = coop_tier_->BrokerFor(holder, file);
+  if (broker) {
+    coop_dir_.Advertise(*broker, file, holder);
   }
 }
 
@@ -442,6 +526,8 @@ void PastNetwork::OnNodeFailed(const NodeId& id) {
     ins_.replicas_diverted->Sub(static_cast<double>((*slot)->store().diverted_count()));
     nodes_.Erase(id);
   }
+  // Cooperative pointers brokered by or naming the failed node die with it.
+  coop_dir_.OnNodeFailed(id);
   if (!config_.enable_maintenance || !any_file_inserted_) {
     return;
   }
@@ -466,6 +552,12 @@ std::vector<NodeId> PastNetwork::StorageNodeIds() const {
 void PastNetwork::MaintenanceSweep() {
   if (!any_file_inserted_) {
     return;
+  }
+  // Age the placement load signal: each sweep halves every node's
+  // recent-load tally so residual-performance ranking reacts to current
+  // traffic, not lifetime totals.
+  for (const auto& [id, node] : nodes_) {
+    node->DecayRecentLoad();
   }
   RestoreInvariants(pastry_.live_nodes());
 

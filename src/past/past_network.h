@@ -9,6 +9,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/cache/cache_tier.h"
+#include "src/cache/coop_directory.h"
 #include "src/common/file_id.h"
 #include "src/common/flat_table.h"
 #include "src/common/node_id.h"
@@ -25,6 +27,7 @@
 namespace past {
 
 class AsyncOp;
+class CooperativeCacheTier;
 class InsertOp;
 class LookupOp;
 class OpCore;
@@ -135,6 +138,17 @@ class PastNetwork : public MembershipObserver {
   const PastNode* storage_node(const NodeId& id) const;
   size_t node_count() const { return nodes_.size(); }
 
+  // --- cooperative cache ---
+
+  // Brokered-pointer state behind the cooperative cache tier. Exposed for
+  // invariant audits and tests; empty unless config().enable_coop_cache.
+  CoopDirectory& coop_directory() { return coop_dir_; }
+  const CoopDirectory& coop_directory() const { return coop_dir_; }
+
+  // Non-null when the cooperative tier is active (enable_coop_cache with a
+  // cache mode configured).
+  CooperativeCacheTier* coop_tier() { return coop_tier_; }
+
   // --- client-visible operations ---
 
   // All client operations go through a PastClient (src/past/client.h): either
@@ -230,6 +244,15 @@ class PastNetwork : public MembershipObserver {
   std::vector<NodeId> KClosestFromLeafSet(const NodeId& root, const NodeId& key,
                                           size_t k) const;
 
+  // Placement-policy verdict for storing a primary replica of `size` bytes
+  // at `node` (one of the k closest). Wraps the node's threshold test with
+  // the configured PlacementPolicy; under the default KClosestDiversion the
+  // answer is exactly WouldAcceptPrimary.
+  bool ShouldStorePrimary(const NodeId& node, uint64_t size);
+
+  // Snapshot of one node's placement-relevant state.
+  PlacementCandidate MakePlacementCandidate(const PastNode& node, uint64_t size) const;
+
   // True if `node` is one of the k closest to `key` according to its own
   // leaf set — the insert/reclaim routing stop predicate.
   bool IsAmongKClosest(const NodeId& node, const NodeId& key, size_t k) const;
@@ -244,9 +267,19 @@ class PastNetwork : public MembershipObserver {
   // Rolls back replicas and pointers created by a failed insert attempt.
   void RollbackInsert(const FileId& file_id, const std::vector<PendingStore>& stores);
 
-  // Caches the file along a route (section 4).
+  // Caches the file along a route (section 4). With the cooperative tier
+  // active, every successful admission is advertised to the holder's broker.
   void CacheAlongPath(const std::vector<NodeId>& path, const FileId& file_id, uint64_t size,
                       const FileContentRef& content);
+
+  // True if any cache tier can serve `file` at `node` (the routing stop
+  // predicate's cache arm). With the default chain this is exactly the
+  // pre-refactor per-node cache check.
+  bool CacheServesAt(const NodeId& node, const FileId& file);
+
+  // Records holder's cached copy with its rendezvous broker (no-op without
+  // the cooperative tier).
+  void AdvertiseCachedCopy(const NodeId& holder, const FileId& file);
 
   // Replica maintenance (section 3.5) over a set of nodes' file tables.
   void RestoreInvariants(const std::vector<NodeId>& region);
@@ -259,6 +292,10 @@ class PastNetwork : public MembershipObserver {
   PastryConfig pastry_config_;
   PastryNetwork pastry_;
   Rng rng_;
+  // The replica placement strategy (src/storage/policies.h); all placement
+  // decisions — primary accept and diversion-target choice — route through
+  // it, drawing entropy exclusively from rng_.
+  std::unique_ptr<PlacementPolicy> placement_;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<OpEngine> engine_;
   // Flat open-addressing table (no per-entry heap nodes); iteration is slot
@@ -287,8 +324,25 @@ class PastNetwork : public MembershipObserver {
     obs::HistogramMetric* insert_hops = nullptr;
     obs::HistogramMetric* lookup_hops = nullptr;
     obs::HistogramMetric* lookup_distance = nullptr;
+    // Per-tier cache accounting: local route-side hits vs brokered
+    // cooperative hits vs lookups every tier missed.
+    obs::Counter* cache_local_hits = nullptr;
+    obs::Counter* cache_tier_misses = nullptr;
+    obs::Counter* coop_probes = nullptr;
+    obs::Counter* coop_forwards = nullptr;
+    obs::Counter* coop_hits = nullptr;
+    obs::Counter* coop_stale = nullptr;
+    obs::Counter* coop_timeouts = nullptr;
+    obs::HistogramMetric* coop_probe_latency = nullptr;
   };
   Instruments ins_;
+
+  // The lookup cache chain: LocalCacheTier always; CooperativeCacheTier
+  // appended when enabled. coop_tier_ aliases the coop entry (never owned
+  // separately).
+  std::vector<std::unique_ptr<CacheTier>> cache_tiers_;
+  CooperativeCacheTier* coop_tier_ = nullptr;
+  CoopDirectory coop_dir_;
 
   uint64_t total_capacity_ = 0;
   uint64_t total_stored_ = 0;

@@ -11,9 +11,11 @@ std::unique_ptr<FileCache> MakeCache(const PastConfig& config) {
     case CacheMode::kNone:
       return nullptr;
     case CacheMode::kLru:
-      return std::make_unique<FileCache>(std::make_unique<LruPolicy>(), config.cache_fraction_c);
+      return std::make_unique<FileCache>(std::make_unique<LruPolicy>(), config.cache_fraction_c,
+                                         config.cache_insertion_cost_cap);
     case CacheMode::kGreedyDualSize:
-      return std::make_unique<FileCache>(std::make_unique<GdsPolicy>(), config.cache_fraction_c);
+      return std::make_unique<FileCache>(std::make_unique<GdsPolicy>(), config.cache_fraction_c,
+                                         config.cache_insertion_cost_cap);
   }
   return nullptr;
 }
@@ -32,6 +34,7 @@ PastNode::PastNode(const NodeId& id, const PastConfig& config, uint64_t capacity
   metrics_.GetCounter("node.cache.misses");
   metrics_.GetCounter("node.cache.insertions");
   metrics_.GetCounter("node.cache.evictions");
+  load_ops_ = &metrics_.GetCounter("node.load.ops");
   if (cache_ != nullptr) {
     cache_->BindMetrics(&metrics_);
   }

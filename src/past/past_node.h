@@ -41,6 +41,18 @@ class PastNode {
   bool WouldAcceptPrimary(uint64_t size) const;
   bool WouldAcceptDiverted(uint64_t size) const;
 
+  // Load signal for placement policies: served-operation count since the
+  // last decay. Incremented when this node stores a replica for an insert or
+  // serves a fetch; halved by MaintenanceSweep so the tally tracks *recent*
+  // load rather than lifetime traffic. The cumulative count is exported as
+  // the per-node obs counter "node.load.ops".
+  uint64_t recent_load() const { return recent_load_; }
+  void NoteServedOp() {
+    ++recent_load_;
+    load_ops_->Inc();
+  }
+  void DecayRecentLoad() { recent_load_ /= 2; }
+
   // Stores a replica, displacing cached content as needed. The caller has
   // already run the policy check. Returns false if it physically cannot fit.
   bool StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
@@ -68,6 +80,8 @@ class PastNode {
   mutable obs::MetricsRegistry metrics_;
   std::unique_ptr<FileCache> cache_;
   Smartcard card_;
+  uint64_t recent_load_ = 0;
+  obs::Counter* load_ops_ = nullptr;  // "node.load.ops", created in the ctor
 };
 
 }  // namespace past

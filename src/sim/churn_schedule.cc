@@ -18,6 +18,26 @@ constexpr std::array<const char*, kSimEventClassCount> kClassNames = {
 
 const char* ToString(SimEventClass cls) { return kClassNames[static_cast<size_t>(cls)]; }
 
+const char* ToString(ScheduleShape shape) {
+  switch (shape) {
+    case ScheduleShape::kNone:
+      return "none";
+    case ScheduleShape::kFlashCrowd:
+      return "flash";
+  }
+  return "unknown";
+}
+
+std::optional<ScheduleShape> ScheduleShapeFromName(std::string_view name) {
+  if (name == "none") {
+    return ScheduleShape::kNone;
+  }
+  if (name == "flash") {
+    return ScheduleShape::kFlashCrowd;
+  }
+  return std::nullopt;
+}
+
 std::optional<SimEventClass> SimEventClassFromName(std::string_view name) {
   for (size_t i = 0; i < kClassNames.size(); ++i) {
     if (name == kClassNames[i]) {
@@ -60,6 +80,16 @@ std::vector<ScheduledEvent> ChurnScheduler::Generate() const {
     // is a function of its index alone, not of earlier class choices.
     ev.pick = rng.NextU64();
     ev.aux = rng.NextU64();
+    // Shapes transform the drawn event in place — no extra draws, so the
+    // entropy stream (and thus every unshaped schedule) stays identical.
+    if (options_.shape == ScheduleShape::kFlashCrowd && ev.cls == SimEventClass::kLookup &&
+        options_.num_events > 0) {
+      double t = static_cast<double>(i) / static_cast<double>(options_.num_events);
+      if (t >= options_.shape_start && t < options_.shape_end) {
+        uint64_t hot = options_.shape_hot_files == 0 ? 1 : options_.shape_hot_files;
+        ev.pick %= hot;
+      }
+    }
     schedule.push_back(ev);
   }
   return schedule;

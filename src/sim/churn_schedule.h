@@ -40,6 +40,26 @@ struct ScheduledEvent {
   uint64_t aux = 0;   // secondary entropy (file size, partition duration)
 };
 
+// Adversarial shaping of the generated timeline. Shapes are pure per-index
+// transforms applied AFTER the entropy draws: with kNone the schedule is
+// byte-identical to the pre-shape generator, and any shape commutes with
+// the minimizer's truncation/filtering (an event's final form depends only
+// on its own index and draws). The soak's picks are raw entropy resolved
+// against live state, so only concentration-style shapes are expressible
+// here; the geography-aware adversarial workloads live in
+// src/workload/adversarial.h and drive the trace benches.
+enum class ScheduleShape : uint8_t {
+  kNone = 0,
+  // Inside the [shape_start, shape_end) window, lookup picks collapse onto
+  // a hot set of `shape_hot_files` subjects — a flash crowd.
+  kFlashCrowd,
+};
+inline constexpr size_t kScheduleShapeCount = 2;
+
+// Stable lowercase names ("none", "flash") used by repro files.
+const char* ToString(ScheduleShape shape);
+std::optional<ScheduleShape> ScheduleShapeFromName(std::string_view name);
+
 struct ScheduleOptions {
   size_t num_events = 160;
   // Relative class frequencies; they need not sum to anything.
@@ -49,6 +69,13 @@ struct ScheduleOptions {
   double join_weight = 0.8;
   double crash_weight = 0.8;
   double partition_weight = 0.6;
+
+  // Adversarial shape (see ScheduleShape). Defaults keep the timeline
+  // identical to the unshaped generator.
+  ScheduleShape shape = ScheduleShape::kNone;
+  double shape_start = 0.3;
+  double shape_end = 0.7;
+  uint64_t shape_hot_files = 2;
 };
 
 class ChurnScheduler {

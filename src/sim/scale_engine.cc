@@ -227,9 +227,10 @@ void ScaleEngine::CommitInsert(Op& op, ScaleEpochStats& stats) {
       if (pn == nullptr) {
         continue;
       }
-      if (pn->WouldAcceptPrimary(op.size) &&
+      if (net_->ShouldStorePrimary(t, op.size) &&
           pn->StoreReplica(op.file, ReplicaKind::kPrimary, op.size, nullptr, nullptr)) {
         created.push_back({t, /*is_pointer=*/false});
+        pn->NoteServedOp();
         net_->total_stored_ += op.size;
         net_->ins_.replicas_stored->Add(1);
         continue;
@@ -243,6 +244,7 @@ void ScaleEngine::CommitInsert(Op& op, ScaleEpochStats& stats) {
           if (b != nullptr && b->WouldAcceptDiverted(op.size) &&
               b->StoreReplica(op.file, ReplicaKind::kDiverted, op.size, nullptr, nullptr)) {
             created.push_back({*divert, /*is_pointer=*/false});
+            b->NoteServedOp();
             net_->total_stored_ += op.size;
             net_->ins_.replicas_stored->Add(1);
             net_->ins_.replicas_diverted->Add(1);

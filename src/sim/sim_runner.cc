@@ -48,6 +48,7 @@ class Execution {
     PastConfig pconfig;
     pconfig.k = config_.k;
     pconfig.cache_mode = CacheMode::kGreedyDualSize;
+    pconfig.enable_coop_cache = config_.coop_cache;
     pconfig.enable_maintenance = true;
     deployment_ = BuildDeployment(config_.num_nodes, config_.capacity_per_node, pconfig,
                                   config_.seed ^ 0x5eedc0deULL);
@@ -569,6 +570,11 @@ std::string SerializeSimConfig(const SimConfig& config, std::string_view failure
   out << "join_weight=" << config.schedule.join_weight << '\n';
   out << "crash_weight=" << config.schedule.crash_weight << '\n';
   out << "partition_weight=" << config.schedule.partition_weight << '\n';
+  out << "shape=" << ToString(config.schedule.shape) << '\n';
+  out << "shape_start=" << config.schedule.shape_start << '\n';
+  out << "shape_end=" << config.schedule.shape_end << '\n';
+  out << "shape_hot_files=" << config.schedule.shape_hot_files << '\n';
+  out << "coop_cache=" << (config.coop_cache ? 1 : 0) << '\n';
   out << "checkpoint_every=" << config.checkpoint_every << '\n';
   out << "max_in_flight=" << config.max_in_flight << '\n';
   out << "max_events=" << (config.max_events == kAllEvents ? 0 : config.max_events) << '\n';
@@ -646,6 +652,20 @@ std::optional<SimConfig> ParseSimConfig(const std::string& text) {
       config.schedule.crash_weight = as_double();
     } else if (key == "partition_weight") {
       config.schedule.partition_weight = as_double();
+    } else if (key == "shape") {
+      std::optional<ScheduleShape> shape = ScheduleShapeFromName(value);
+      if (!shape.has_value()) {
+        return std::nullopt;
+      }
+      config.schedule.shape = *shape;
+    } else if (key == "shape_start") {
+      config.schedule.shape_start = as_double();
+    } else if (key == "shape_end") {
+      config.schedule.shape_end = as_double();
+    } else if (key == "shape_hot_files") {
+      config.schedule.shape_hot_files = as_u64();
+    } else if (key == "coop_cache") {
+      config.coop_cache = as_u64() != 0;
     } else if (key == "checkpoint_every") {
       config.checkpoint_every = static_cast<size_t>(as_u64());
     } else if (key == "max_in_flight") {

@@ -45,6 +45,10 @@ struct SimConfig {
   size_t num_clients = 3;
   uint64_t quota_per_client = 48'000'000;
 
+  // Cooperative cache tier (PastConfig::enable_coop_cache) on every node.
+  // Default off: the soak's baseline fingerprints predate the coop tier.
+  bool coop_cache = false;
+
   // Timeline.
   ScheduleOptions schedule;
   // Invariant checkpoint every this many schedule positions (a final

@@ -1,0 +1,178 @@
+#include <algorithm>
+#include <cstring>
+
+#include "src/storage/policies.h"
+
+namespace past {
+namespace {
+
+// The paper's scheme, factored out of the formerly inlined decision sites in
+// past_network.cc / insert_op.cc. Given the same candidate order and entropy
+// source it reproduces the pre-refactor behavior draw-for-draw: the
+// kMaxFreeSpace branch keeps the *first* maximum (std::max_element
+// semantics), kRandom consumes exactly one NextBelow(eligible.size()) draw,
+// and kFirstFit scans in order.
+class KClosestDiversion : public PlacementPolicy {
+ public:
+  explicit KClosestDiversion(DiversionSelection selection) : selection_(selection) {}
+
+  const char* name() const override { return "kclosest"; }
+
+  bool ShouldStorePrimary(const PlacementCandidate&, bool policy_accepts, uint64_t,
+                          PlacementEntropy&) const override {
+    return policy_accepts;
+  }
+
+  std::optional<size_t> ChooseDiversionTarget(const std::vector<PlacementCandidate>& eligible,
+                                              uint64_t, PlacementEntropy& entropy) const override {
+    switch (selection_) {
+      case DiversionSelection::kMaxFreeSpace: {
+        // Paper policy: the eligible node with maximal remaining free space.
+        size_t best = 0;
+        for (size_t i = 1; i < eligible.size(); ++i) {
+          if (eligible[best].free_bytes < eligible[i].free_bytes) {
+            best = i;
+          }
+        }
+        return best;
+      }
+      case DiversionSelection::kRandom:
+        return static_cast<size_t>(entropy.NextBelow(eligible.size()));
+      case DiversionSelection::kFirstFit: {
+        for (size_t i = 0; i < eligible.size(); ++i) {
+          if (eligible[i].accepts_diverted) {
+            return i;
+          }
+        }
+        return 0;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  DiversionSelection selection_;
+};
+
+// RPDP-style residual-performance placement: candidates are scored by
+// residual capacity discounted by recent load, so diverted replicas steer
+// away from nodes that are both full and hot. A primary that is itself hot
+// sheds the replica into the leaf set (the diversion path) even when the
+// free-space threshold would accept it.
+class ResidualPerformance : public PlacementPolicy {
+ public:
+  explicit ResidualPerformance(uint64_t shed_load) : shed_load_(shed_load) {}
+
+  const char* name() const override { return "residual"; }
+
+  bool ShouldStorePrimary(const PlacementCandidate& self, bool policy_accepts, uint64_t,
+                          PlacementEntropy&) const override {
+    if (!policy_accepts) {
+      return false;
+    }
+    return shed_load_ == 0 || self.recent_load < shed_load_;
+  }
+
+  std::optional<size_t> ChooseDiversionTarget(const std::vector<PlacementCandidate>& eligible,
+                                              uint64_t, PlacementEntropy&) const override {
+    // Residual score: free bytes per unit of recent load. Ties keep the
+    // earliest candidate so replays are order-stable.
+    size_t best = 0;
+    double best_score = Score(eligible[0]);
+    for (size_t i = 1; i < eligible.size(); ++i) {
+      double score = Score(eligible[i]);
+      if (score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+ private:
+  static double Score(const PlacementCandidate& c) {
+    return static_cast<double>(c.free_bytes) / (1.0 + static_cast<double>(c.recent_load));
+  }
+
+  uint64_t shed_load_;
+};
+
+// Sarshar–Roychowdhury random structure: each diverted replica attaches to
+// an eligible node with probability proportional to its advertised capacity,
+// so large nodes accumulate proportionally more content — the
+// capacity-weighted random graph whose cache-size distribution their
+// analysis optimizes.
+class RandomizedCacheSize : public PlacementPolicy {
+ public:
+  const char* name() const override { return "random"; }
+
+  bool ShouldStorePrimary(const PlacementCandidate&, bool policy_accepts, uint64_t,
+                          PlacementEntropy&) const override {
+    return policy_accepts;
+  }
+
+  std::optional<size_t> ChooseDiversionTarget(const std::vector<PlacementCandidate>& eligible,
+                                              uint64_t, PlacementEntropy& entropy) const override {
+    uint64_t total = 0;
+    for (const PlacementCandidate& c : eligible) {
+      total += c.capacity_bytes;
+    }
+    if (total == 0) {
+      return static_cast<size_t>(entropy.NextBelow(eligible.size()));
+    }
+    uint64_t draw = entropy.NextBelow(total);
+    uint64_t prefix = 0;
+    for (size_t i = 0; i < eligible.size(); ++i) {
+      prefix += eligible[i].capacity_bytes;
+      if (draw < prefix) {
+        return i;
+      }
+    }
+    return eligible.size() - 1;
+  }
+};
+
+}  // namespace
+
+const char* PlacementKindName(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kKClosestDiversion:
+      return "kclosest";
+    case PlacementKind::kResidualPerformance:
+      return "residual";
+    case PlacementKind::kRandomizedCacheSize:
+      return "random";
+  }
+  return "unknown";
+}
+
+std::optional<PlacementKind> PlacementKindFromName(const char* name) {
+  if (name == nullptr) {
+    return std::nullopt;
+  }
+  if (std::strcmp(name, "kclosest") == 0) {
+    return PlacementKind::kKClosestDiversion;
+  }
+  if (std::strcmp(name, "residual") == 0) {
+    return PlacementKind::kResidualPerformance;
+  }
+  if (std::strcmp(name, "random") == 0) {
+    return PlacementKind::kRandomizedCacheSize;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind,
+                                                     const PlacementOptions& options) {
+  switch (kind) {
+    case PlacementKind::kKClosestDiversion:
+      return std::make_unique<KClosestDiversion>(options.diversion_selection);
+    case PlacementKind::kResidualPerformance:
+      return std::make_unique<ResidualPerformance>(options.residual_shed_load);
+    case PlacementKind::kRandomizedCacheSize:
+      return std::make_unique<RandomizedCacheSize>();
+  }
+  return nullptr;
+}
+
+}  // namespace past

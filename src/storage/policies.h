@@ -1,15 +1,42 @@
-// Storage management policies (paper section 3.3.1).
+// Storage management policies (paper section 3.3.1) and the pluggable
+// placement layer built on top of them.
 //
-// A node N rejects a file D when S_D / F_N > t, where S_D is the file size,
-// F_N the node's remaining free space, and t a threshold: t_pri for nodes
-// acting as primary replica stores (among the k numerically closest) and
-// t_div (< t_pri) for nodes asked to hold a diverted replica. The policy
-// discriminates against large files as utilization rises, which keeps room
-// for the many small files and defers insert failures to high utilization.
+// Two levels of decision live here:
+//
+//  * StoragePolicy — the per-node accept/reject threshold test. A node N
+//    rejects a file D when S_D / F_N > t, where S_D is the file size, F_N
+//    the node's remaining free space, and t a threshold: t_pri for nodes
+//    acting as primary replica stores (among the k numerically closest) and
+//    t_div (< t_pri) for nodes asked to hold a diverted replica. The policy
+//    discriminates against large files as utilization rises, which keeps
+//    room for the many small files and defers insert failures to high
+//    utilization.
+//
+//  * PlacementPolicy — the network-level strategy deciding *where* replicas
+//    land: whether a k-closest node stores the primary itself, and which
+//    leaf-set member receives a diverted replica. The paper's scheme
+//    (k-closest with replica diversion by maximal free space) is one
+//    implementation; alternatives are ablated by bench_policies.
+//
+// Determinism rules for PlacementPolicy implementations:
+//  * Decisions must be pure functions of the candidate lists handed in plus
+//    draws taken through the provided PlacementEntropy — never from any
+//    other source of randomness — so a run is exactly reproducible from its
+//    seed and the scale engine's --jobs N replay stays bit-identical.
+//  * Candidates arrive in the caller's deterministic order (leaf-set
+//    iteration order); a policy that ranks must break ties by position so
+//    two nodes with equal scores resolve identically on every replay.
+//  * Implementations must not retain state between calls; all load/capacity
+//    signals ride in the PlacementCandidate snapshot.
 #ifndef SRC_STORAGE_POLICIES_H_
 #define SRC_STORAGE_POLICIES_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/node_id.h"
 
 namespace past {
 
@@ -40,6 +67,95 @@ struct StoragePolicy {
     return static_cast<double>(file_size) <= threshold * static_cast<double>(free_bytes);
   }
 };
+
+// How a diverting node picks the leaf-set member to hold a diverted replica
+// under the default KClosestDiversion placement. The paper's policy is
+// "maximal remaining free space"; the alternatives exist for the ablation
+// bench.
+enum class DiversionSelection {
+  kMaxFreeSpace,  // paper policy
+  kRandom,        // random eligible node
+  kFirstFit,      // first eligible node that would accept
+};
+
+// A snapshot of one node's placement-relevant state, taken by the caller at
+// decision time. `recent_load` is the node's served-operation tally since
+// the last maintenance decay (see PastNode::NoteServedOp), backed by the
+// obs counter "node.load.ops".
+struct PlacementCandidate {
+  NodeId id;
+  uint64_t free_bytes = 0;
+  uint64_t capacity_bytes = 0;
+  uint64_t recent_load = 0;
+  // Verdict of StoragePolicy::AcceptDiverted for the file being placed.
+  bool accepts_diverted = false;
+};
+
+// The only randomness a placement decision may consume. The caller adapts
+// this onto the network's seeded Rng so the draw sequence is part of the
+// deterministic replay.
+class PlacementEntropy {
+ public:
+  virtual ~PlacementEntropy() = default;
+  // Uniform in [0, bound), bound > 0.
+  virtual uint64_t NextBelow(uint64_t bound) = 0;
+};
+
+// Strategy interface for replica placement. Both entry points mirror the
+// two decision sites in the insert protocol (and its scale-engine replay):
+// should the k-closest node `self` hold the primary, and — when it does not
+// — which eligible leaf-set member takes the diverted replica.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // Whether `self` (one of the k numerically closest) should store the
+  // primary replica. `policy_accepts` is the StoragePolicy threshold
+  // verdict for `self`; implementations may only tighten it (returning true
+  // when the threshold rejects would overcommit the store).
+  virtual bool ShouldStorePrimary(const PlacementCandidate& self, bool policy_accepts,
+                                  uint64_t size, PlacementEntropy& entropy) const = 0;
+
+  // Picks the diverted-replica target from `eligible` (non-empty, in the
+  // caller's deterministic order). Returns an index into `eligible`, or
+  // nullopt to decline diversion entirely.
+  virtual std::optional<size_t> ChooseDiversionTarget(
+      const std::vector<PlacementCandidate>& eligible, uint64_t size,
+      PlacementEntropy& entropy) const = 0;
+};
+
+enum class PlacementKind {
+  // The paper's scheme: every k-closest node that passes the threshold test
+  // stores the primary; diversion targets follow DiversionSelection.
+  // Bit-identical to the pre-refactor inlined logic.
+  kKClosestDiversion,
+  // RPDP-style residual-performance placement: a hot primary sheds the
+  // replica into the leaf set, and diversion targets are ranked by residual
+  // capacity discounted by recent load.
+  kResidualPerformance,
+  // Sarshar–Roychowdhury random structure: diversion targets are drawn with
+  // probability proportional to advertised capacity, growing a
+  // capacity-weighted random placement graph.
+  kRandomizedCacheSize,
+};
+
+const char* PlacementKindName(PlacementKind kind);
+// Parses the names accepted by bench_policies --placement
+// ("kclosest", "residual", "random"); nullopt for anything else.
+std::optional<PlacementKind> PlacementKindFromName(const char* name);
+
+struct PlacementOptions {
+  DiversionSelection diversion_selection = DiversionSelection::kMaxFreeSpace;
+  // ResidualPerformance: a primary whose recent_load is at or above this
+  // sheds the replica into the leaf set even when the threshold test
+  // passes. 0 disables shedding.
+  uint64_t residual_shed_load = 0;
+};
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind,
+                                                     const PlacementOptions& options);
 
 }  // namespace past
 

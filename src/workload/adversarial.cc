@@ -1,0 +1,174 @@
+#include "src/workload/adversarial.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/distributions.h"
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+// Uniform client within a contiguous cluster block (same partition rule as
+// Trace::ClusterOf).
+uint32_t ClientInCluster(uint32_t cluster, uint32_t num_clients, uint32_t num_clusters,
+                         Rng& rng) {
+  uint32_t begin = cluster * num_clients / num_clusters;
+  uint32_t end = (cluster + 1) * num_clients / num_clusters;
+  if (end <= begin) {
+    end = begin + 1;
+  }
+  return begin + static_cast<uint32_t>(rng.NextBelow(end - begin));
+}
+
+// Uniform client from any cluster except `excluded` (survivor of a regional
+// failure). Falls back to uniform when there is only one cluster.
+uint32_t ClientOutsideCluster(uint32_t excluded, uint32_t num_clients, uint32_t num_clusters,
+                              Rng& rng) {
+  if (num_clusters <= 1) {
+    return static_cast<uint32_t>(rng.NextBelow(num_clients));
+  }
+  uint32_t cluster = static_cast<uint32_t>(rng.NextBelow(num_clusters - 1));
+  if (cluster >= excluded) {
+    ++cluster;
+  }
+  return ClientInCluster(cluster, num_clients, num_clusters, rng);
+}
+
+}  // namespace
+
+const char* AdversarialKindName(AdversarialKind kind) {
+  switch (kind) {
+    case AdversarialKind::kFlashCrowd:
+      return "flash";
+    case AdversarialKind::kDiurnal:
+      return "diurnal";
+    case AdversarialKind::kZipfDrift:
+      return "drift";
+    case AdversarialKind::kRegionalFailure:
+      return "regional";
+  }
+  return "unknown";
+}
+
+bool AdversarialKindFromName(const char* name, AdversarialKind* kind) {
+  if (std::strcmp(name, "flash") == 0) {
+    *kind = AdversarialKind::kFlashCrowd;
+  } else if (std::strcmp(name, "diurnal") == 0) {
+    *kind = AdversarialKind::kDiurnal;
+  } else if (std::strcmp(name, "drift") == 0) {
+    *kind = AdversarialKind::kZipfDrift;
+  } else if (std::strcmp(name, "regional") == 0) {
+    *kind = AdversarialKind::kRegionalFailure;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+AdversarialTrace GenerateAdversarialTrace(const AdversarialConfig& config) {
+  Rng rng(config.seed);
+  AdversarialTrace out;
+  Trace& trace = out.trace;
+  trace.num_clients = config.num_clients;
+  trace.num_clusters = config.num_clusters;
+
+  FileSizeDistribution size_dist(config.median_size, config.mean_size, config.tail_fraction,
+                                 config.tail_alpha, config.max_size);
+  trace.file_sizes.reserve(config.catalog_size);
+  for (uint32_t i = 0; i < config.catalog_size; ++i) {
+    trace.file_sizes.push_back(size_dist.Sample(rng));
+  }
+
+  Zipf popularity(config.catalog_size, config.zipf_alpha);
+  std::vector<bool> seen(config.catalog_size, false);
+  std::vector<uint32_t> home_cluster(config.catalog_size, 0);
+  trace.events.reserve(config.total_references);
+
+  const uint64_t total = config.total_references;
+  const size_t failure_event =
+      config.kind == AdversarialKind::kRegionalFailure
+          ? static_cast<size_t>(config.failure_at * static_cast<double>(total))
+          : SIZE_MAX;
+  // Drift rotates the rank->file mapping by one stride per phase; stride 0
+  // (single phase or tiny catalog) degenerates to the plain Zipf stream.
+  const uint32_t drift_stride =
+      config.drift_phases > 0 ? config.catalog_size / config.drift_phases : 0;
+
+  for (uint64_t r = 0; r < total; ++r) {
+    double t = total == 0 ? 0.0 : static_cast<double>(r) / static_cast<double>(total);
+
+    // --- pick the file ---
+    uint32_t f = static_cast<uint32_t>(popularity.Sample(rng));
+    switch (config.kind) {
+      case AdversarialKind::kFlashCrowd:
+        if (t >= config.flash_start && t < config.flash_end &&
+            rng.NextBool(config.flash_intensity)) {
+          // The crowd converges on the top-ranked files (rank 0 is hottest).
+          f = config.flash_hot_files <= 1
+                  ? 0
+                  : static_cast<uint32_t>(rng.NextBelow(config.flash_hot_files));
+        }
+        break;
+      case AdversarialKind::kZipfDrift: {
+        uint32_t phase = config.drift_phases == 0
+                             ? 0
+                             : static_cast<uint32_t>(t * config.drift_phases);
+        f = (f + phase * drift_stride) % config.catalog_size;
+        break;
+      }
+      case AdversarialKind::kDiurnal:
+      case AdversarialKind::kRegionalFailure:
+        break;
+    }
+
+    // --- pick the client ---
+    bool failed_region_dark =
+        config.kind == AdversarialKind::kRegionalFailure && r >= failure_event;
+    if (!seen[f]) {
+      seen[f] = true;
+      uint32_t client =
+          failed_region_dark
+              ? ClientOutsideCluster(config.failed_cluster, config.num_clients,
+                                     config.num_clusters, rng)
+              : static_cast<uint32_t>(rng.NextBelow(config.num_clients));
+      home_cluster[f] = trace.ClusterOf(client);
+      trace.events.push_back({TraceOp::kInsert, f, client});
+      continue;
+    }
+
+    uint32_t client;
+    if (config.kind == AdversarialKind::kDiurnal) {
+      // The active cluster advances through diurnal_periods cycles; the
+      // sinusoid swings how strongly requests concentrate there.
+      double cycle = t * config.diurnal_periods;
+      uint32_t active =
+          static_cast<uint32_t>(cycle * config.num_clusters) % config.num_clusters;
+      double swing = 0.5 * (1.0 + std::sin(2.0 * M_PI * cycle));
+      double affinity = config.cluster_affinity +
+                        (config.diurnal_peak_affinity - config.cluster_affinity) * swing;
+      if (rng.NextBool(affinity)) {
+        client = ClientInCluster(active, config.num_clients, config.num_clusters, rng);
+      } else {
+        client = static_cast<uint32_t>(rng.NextBelow(config.num_clients));
+      }
+    } else if (rng.NextBool(config.cluster_affinity) &&
+               !(failed_region_dark && home_cluster[f] == config.failed_cluster)) {
+      client = ClientInCluster(home_cluster[f], config.num_clients, config.num_clusters, rng);
+    } else if (failed_region_dark) {
+      client = ClientOutsideCluster(config.failed_cluster, config.num_clients,
+                                    config.num_clusters, rng);
+    } else {
+      client = static_cast<uint32_t>(rng.NextBelow(config.num_clients));
+    }
+    trace.events.push_back({TraceOp::kLookup, f, client});
+  }
+
+  if (failure_event != SIZE_MAX && failure_event < trace.events.size()) {
+    out.failure_event_index = failure_event;
+    out.failed_cluster = config.failed_cluster;
+  }
+  return out;
+}
+
+}  // namespace past

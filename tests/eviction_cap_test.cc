@@ -1,0 +1,118 @@
+// Flash-crowd eviction guard: with an insertion-cost cap, admitting one hot
+// file can never churn more than the configured fraction of the cache
+// budget, under both GD-S and LRU, across a bank of randomized cache
+// populations. Without the cap, one admission may evict everything — the
+// failure mode the guard exists for.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/cache/file_cache.h"
+#include "src/cache/gds_policy.h"
+#include "src/cache/lru_policy.h"
+#include "src/common/rng.h"
+
+namespace past {
+namespace {
+
+constexpr uint64_t kBudget = 100'000;
+constexpr double kCap = 0.25;
+
+FileId MakeFileId(uint32_t tag) {
+  std::array<uint8_t, 20> bytes{};
+  bytes[0] = static_cast<uint8_t>(tag >> 24);
+  bytes[1] = static_cast<uint8_t>(tag >> 16);
+  bytes[2] = static_cast<uint8_t>(tag >> 8);
+  bytes[3] = static_cast<uint8_t>(tag);
+  return FileId(bytes);
+}
+
+std::unique_ptr<EvictionPolicy> MakePolicy(bool gds) {
+  if (gds) {
+    return std::unique_ptr<EvictionPolicy>(new GdsPolicy());
+  }
+  return std::unique_ptr<EvictionPolicy>(new LruPolicy());
+}
+
+// Fills the cache with small files of randomized sizes, stopping just
+// before the first admission that would need an eviction.
+uint32_t Populate(FileCache& cache, Rng& rng) {
+  uint32_t id = 1;
+  for (; id < 1000; ++id) {
+    uint64_t size = 500 + rng.NextBelow(2000);
+    if (cache.used() + size > kBudget) {
+      break;
+    }
+    EXPECT_TRUE(cache.Insert(MakeFileId(id), size, kBudget));
+  }
+  return id;
+}
+
+class EvictionCapSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvictionCapSeeds, HotFileCannotChurnWholeCacheUnderEitherPolicy) {
+  for (bool gds : {true, false}) {
+    FileCache cache(MakePolicy(gds), 1.0, kCap);
+    Rng rng(GetParam());
+    Populate(cache, rng);
+    uint64_t used_before = cache.used();
+    size_t count_before = cache.count();
+    ASSERT_GT(count_before, 20u);
+
+    // A flash-crowd admission: one file nearly as large as the budget. The
+    // cap must refuse it outright — evicting room for it would churn far
+    // more than kCap of the budget — leaving the population untouched.
+    EXPECT_FALSE(cache.Insert(MakeFileId(900'000), kBudget - 1000, kBudget));
+    EXPECT_EQ(cache.used(), used_before);
+    EXPECT_EQ(cache.count(), count_before);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // An admission within the cap still works: evicting up to kCap of the
+    // budget is allowed, so moderate files keep flowing.
+    uint64_t modest = static_cast<uint64_t>(kCap * kBudget) / 2;
+    EXPECT_TRUE(cache.Insert(MakeFileId(900'001), modest, kBudget));
+    EXPECT_LE(cache.used(), kBudget);
+  }
+}
+
+TEST_P(EvictionCapSeeds, UncappedCacheIsChurnedByHotFile) {
+  // Control: without the cap the same hot admission succeeds by evicting
+  // nearly everything — demonstrating the failure mode the cap prevents.
+  FileCache cache(MakePolicy(/*gds=*/true), 1.0, /*insertion_cost_cap=*/0.0);
+  Rng rng(GetParam());
+  Populate(cache, rng);
+  size_t count_before = cache.count();
+  ASSERT_GT(count_before, 20u);
+  EXPECT_TRUE(cache.Insert(MakeFileId(900'000), kBudget - 1000, kBudget));
+  EXPECT_LT(cache.count(), count_before / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedBank, EvictionCapSeeds,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+TEST(EvictionCapTest, EvictedBytesBoundedByCapPlusOneVictim) {
+  // Direct accounting check: the cap bounds the bytes an admission *must*
+  // evict; whole-file eviction granularity may overshoot by at most one
+  // victim, so actual churn stays below cap * budget + max file size.
+  constexpr uint64_t kMaxFile = 30'500;
+  for (bool gds : {true, false}) {
+    FileCache cache(MakePolicy(gds), 1.0, kCap);
+    Rng rng(99);
+    uint32_t next = Populate(cache, rng);
+    for (uint32_t i = 0; i < 200; ++i) {
+      uint64_t before = cache.used();
+      uint64_t size = 500 + rng.NextBelow(30'000);
+      if (cache.Insert(MakeFileId(next + i), size, kBudget)) {
+        // evicted = before + size - after (all admissions conserve bytes).
+        uint64_t evicted = before + size - cache.used();
+        EXPECT_LE(static_cast<double>(evicted), kCap * kBudget + kMaxFile)
+            << (gds ? "gds" : "lru") << " admission " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace past

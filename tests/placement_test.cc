@@ -1,0 +1,174 @@
+// PlacementPolicy unit tests: the k-closest default must reproduce the
+// paper's decision rules exactly (first-max free space, one draw for
+// kRandom), and the alternative policies' scoring/shedding semantics are
+// pinned here so bench_policies ablations stay meaningful across refactors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/storage/policies.h"
+
+namespace past {
+namespace {
+
+// Deterministic entropy that replays a scripted list of raw draws (reduced
+// mod bound) and counts how many draws a policy consumed.
+class ScriptedEntropy : public PlacementEntropy {
+ public:
+  explicit ScriptedEntropy(std::vector<uint64_t> draws = {}) : draws_(std::move(draws)) {}
+
+  uint64_t NextBelow(uint64_t bound) override {
+    ++calls_;
+    if (draws_.empty()) {
+      return 0;
+    }
+    uint64_t raw = draws_[next_ % draws_.size()];
+    ++next_;
+    return raw % bound;
+  }
+
+  size_t calls() const { return calls_; }
+
+ private:
+  std::vector<uint64_t> draws_;
+  size_t next_ = 0;
+  size_t calls_ = 0;
+};
+
+PlacementCandidate Candidate(uint64_t free_bytes, uint64_t capacity = 0, uint64_t load = 0,
+                             bool accepts = true) {
+  PlacementCandidate c;
+  c.free_bytes = free_bytes;
+  c.capacity_bytes = capacity == 0 ? free_bytes : capacity;
+  c.recent_load = load;
+  c.accepts_diverted = accepts;
+  return c;
+}
+
+std::unique_ptr<PlacementPolicy> Make(PlacementKind kind, PlacementOptions options = {}) {
+  return MakePlacementPolicy(kind, options);
+}
+
+TEST(PlacementKindTest, NamesRoundTrip) {
+  for (PlacementKind kind :
+       {PlacementKind::kKClosestDiversion, PlacementKind::kResidualPerformance,
+        PlacementKind::kRandomizedCacheSize}) {
+    std::optional<PlacementKind> parsed = PlacementKindFromName(PlacementKindName(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(PlacementKindFromName("bogus").has_value());
+  EXPECT_FALSE(PlacementKindFromName(nullptr).has_value());
+}
+
+TEST(KClosestDiversionTest, PrimaryFollowsThresholdVerdictWithoutDraws) {
+  auto policy = Make(PlacementKind::kKClosestDiversion);
+  ScriptedEntropy entropy;
+  EXPECT_TRUE(policy->ShouldStorePrimary(Candidate(1000), true, 100, entropy));
+  EXPECT_FALSE(policy->ShouldStorePrimary(Candidate(1000), false, 100, entropy));
+  EXPECT_EQ(entropy.calls(), 0u);
+}
+
+TEST(KClosestDiversionTest, MaxFreeSpaceKeepsFirstMaximum) {
+  auto policy = Make(PlacementKind::kKClosestDiversion);
+  ScriptedEntropy entropy;
+  std::vector<PlacementCandidate> eligible = {Candidate(5), Candidate(9), Candidate(9),
+                                              Candidate(3)};
+  std::optional<size_t> pick = policy->ChooseDiversionTarget(eligible, 100, entropy);
+  ASSERT_TRUE(pick.has_value());
+  // std::max_element semantics: ties resolve to the earliest candidate, so
+  // replays are independent of how the tie arose.
+  EXPECT_EQ(*pick, 1u);
+  EXPECT_EQ(entropy.calls(), 0u);
+}
+
+TEST(KClosestDiversionTest, RandomSelectionConsumesExactlyOneDraw) {
+  PlacementOptions options;
+  options.diversion_selection = DiversionSelection::kRandom;
+  auto policy = Make(PlacementKind::kKClosestDiversion, options);
+  ScriptedEntropy entropy({2});
+  std::vector<PlacementCandidate> eligible = {Candidate(1), Candidate(2), Candidate(3),
+                                              Candidate(4)};
+  std::optional<size_t> pick = policy->ChooseDiversionTarget(eligible, 100, entropy);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);
+  EXPECT_EQ(entropy.calls(), 1u);
+}
+
+TEST(KClosestDiversionTest, FirstFitScansInCallerOrder) {
+  PlacementOptions options;
+  options.diversion_selection = DiversionSelection::kFirstFit;
+  auto policy = Make(PlacementKind::kKClosestDiversion, options);
+  ScriptedEntropy entropy;
+  std::vector<PlacementCandidate> eligible = {
+      Candidate(1, 0, 0, false), Candidate(2, 0, 0, false), Candidate(3, 0, 0, true),
+      Candidate(4, 0, 0, true)};
+  EXPECT_EQ(policy->ChooseDiversionTarget(eligible, 100, entropy), std::optional<size_t>(2));
+}
+
+TEST(ResidualPerformanceTest, HotPrimaryShedsIntoLeafSet) {
+  PlacementOptions options;
+  options.residual_shed_load = 10;
+  auto policy = Make(PlacementKind::kResidualPerformance, options);
+  ScriptedEntropy entropy;
+  EXPECT_TRUE(policy->ShouldStorePrimary(Candidate(1000, 0, 9), true, 100, entropy));
+  EXPECT_FALSE(policy->ShouldStorePrimary(Candidate(1000, 0, 10), true, 100, entropy));
+  // Shedding only tightens the threshold verdict, never overrides a reject.
+  EXPECT_FALSE(policy->ShouldStorePrimary(Candidate(1000, 0, 0), false, 100, entropy));
+}
+
+TEST(ResidualPerformanceTest, ZeroShedLoadDisablesShedding) {
+  auto policy = Make(PlacementKind::kResidualPerformance);
+  ScriptedEntropy entropy;
+  EXPECT_TRUE(policy->ShouldStorePrimary(Candidate(1000, 0, 1'000'000), true, 100, entropy));
+}
+
+TEST(ResidualPerformanceTest, DiversionRanksFreeBytesPerUnitLoad) {
+  auto policy = Make(PlacementKind::kResidualPerformance);
+  ScriptedEntropy entropy;
+  // A: 1000 free / (1+9) load = 100. B: 500 free / (1+0) = 500. B wins even
+  // though A has more raw space — load discounts it.
+  std::vector<PlacementCandidate> eligible = {Candidate(1000, 0, 9), Candidate(500, 0, 0)};
+  EXPECT_EQ(policy->ChooseDiversionTarget(eligible, 100, entropy), std::optional<size_t>(1));
+  // Equal scores keep the earliest candidate (replay order stability).
+  std::vector<PlacementCandidate> tied = {Candidate(400, 0, 0), Candidate(400, 0, 0)};
+  EXPECT_EQ(policy->ChooseDiversionTarget(tied, 100, entropy), std::optional<size_t>(0));
+  EXPECT_EQ(entropy.calls(), 0u);
+}
+
+TEST(RandomizedCacheSizeTest, DrawsProportionalToCapacity) {
+  auto policy = Make(PlacementKind::kRandomizedCacheSize);
+  std::vector<PlacementCandidate> eligible = {Candidate(0, 10), Candidate(0, 30),
+                                              Candidate(0, 60)};
+  // Capacity prefix sums are [10, 40, 100]; a draw lands in the first bucket
+  // whose prefix exceeds it.
+  struct Case {
+    uint64_t draw;
+    size_t expect;
+  };
+  for (const Case& c : std::vector<Case>{{0, 0}, {9, 0}, {10, 1}, {39, 1}, {40, 2}, {99, 2}}) {
+    ScriptedEntropy entropy({c.draw});
+    std::optional<size_t> pick = policy->ChooseDiversionTarget(eligible, 100, entropy);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, c.expect) << "draw " << c.draw;
+    EXPECT_EQ(entropy.calls(), 1u);
+  }
+}
+
+TEST(RandomizedCacheSizeTest, ZeroTotalCapacityFallsBackToUniform) {
+  auto policy = Make(PlacementKind::kRandomizedCacheSize);
+  std::vector<PlacementCandidate> eligible = {Candidate(0, 0), Candidate(0, 0),
+                                              Candidate(0, 0)};
+  ScriptedEntropy entropy({1});
+  EXPECT_EQ(policy->ChooseDiversionTarget(eligible, 100, entropy), std::optional<size_t>(1));
+  EXPECT_EQ(entropy.calls(), 1u);
+}
+
+TEST(PlacementPolicyTest, FactoryReportsNames) {
+  EXPECT_STREQ(Make(PlacementKind::kKClosestDiversion)->name(), "kclosest");
+  EXPECT_STREQ(Make(PlacementKind::kResidualPerformance)->name(), "residual");
+  EXPECT_STREQ(Make(PlacementKind::kRandomizedCacheSize)->name(), "random");
+}
+
+}  // namespace
+}  // namespace past

@@ -1,0 +1,104 @@
+// Golden bit-identity guard for the default simulation path. The placement
+// and cache-tier layers are pluggable, but with the defaults (k-closest
+// diversion, no coop tier) every refactor must reproduce these SHA-1
+// fingerprints exactly — the same 20-seed bank, in serial and overlapped
+// (max_in_flight=4) mode, that the PR-gate fingerprint harness records.
+//
+// If a change to placement, caching, or the lookup state machine breaks
+// these on purpose (a deliberate default-behavior change), regenerate the
+// table by printing schedule/state fingerprints for seeds 1..20 in both
+// modes and say so in the PR.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/sim/sim_runner.h"
+
+namespace past {
+namespace {
+
+struct GoldenFingerprint {
+  uint64_t seed;
+  const char* schedule;
+  const char* state;
+};
+
+constexpr GoldenFingerprint kSerialGolden[] = {
+    {1, "db60572640d3680f0b6c9b10cd515f3392fc7dc6", "12f709844c4ab039f0ff795b48455cf74a80551a"},
+    {2, "b7d19ec74cfb076233d14eb720409bd6a66f2ef1", "f76fb349b45a97558e49394de2cbc71f156fbb0e"},
+    {3, "c79fa2e2572eb35b100ba39b6844f6e4d502ff70", "e93e426e8ba63f1eda2100970b2d153e84e3a8de"},
+    {4, "14899a5c58205a1342eb665fae1dbebc49375cfa", "1414d694a716ac96ea64dd855844e8fee16d07be"},
+    {5, "57c07e36b919459c548e0da1df7a98a0218c2b26", "65d8b64a87537c5b892df8fca4c216659ea44a03"},
+    {6, "e05e90331627129d0853cca09beb50e67677ea72", "0360932fc4b8200214ecb47c212f8c3d372881fe"},
+    {7, "575f4e50c6e937856481899b77e67ef903ff59c6", "d88660650550b970724ea75106ddfb31365c93bf"},
+    {8, "449bbaada58fed8b20ea85fda95e4c8719f8571a", "15a3fb0d14bb78e9bc94c26205a44db4fa6d9255"},
+    {9, "8a4e7b31f493390cc9651030dd7a7edf698e8eb1", "5186f6b96f9775f6b4795d62249a8176f2e5717b"},
+    {10, "6a11205aa54b9192e35eb4adc3173add5d6146df", "ce7cec6cb8b292deb8f681f1a7270b0d82194229"},
+    {11, "b54efc0162782df4ee211a6d747b502f2a4f2b95", "c1731cb9b7cf9d030e1e32d8333ff541b6a6412d"},
+    {12, "c74bfded5cf881cbcf9d36f306eb360225a0ad38", "ac55e0ad60bd9f0b9b84d73742e734c9dd3ed463"},
+    {13, "60d252e89cc6f9165e19489dc28f9d25bd38b908", "917eeee303973b729eaf9b3ab86e0ab5ebfe4810"},
+    {14, "4e33d0ed5f124910dbd6707606a4e7f8189d62f7", "3aaced1cd8aad699490e310d4bd72e9a006d2989"},
+    {15, "5fd62ce0ebc785ae401fb2894035d2ea5b4d7ef3", "9f5ecee6edacb91d5db8fd3a6dd501044ab2f3db"},
+    {16, "ca4469584362f256a628e52476a48c7e268c4fc2", "a9cb25ee5d5b727039984b5c3739003c9c6a1e51"},
+    {17, "42f216485cd7f4433b34a8740e96c6fadc433124", "12c749df6984f248e842ce2c99715e3d6c15fed1"},
+    {18, "09ebb9d5af7c01f8c48ce7ed5cce593e0f7dc24b", "58efaa3e8ff2d9c6432ff8615c3e5386eaae8a23"},
+    {19, "5c7240054c99c43f81ac59006787115c941bd93f", "1e726568f2c3b58d54facb990f9275a1cafd95b3"},
+    {20, "65c1360810bbf5c701e6252c9a0bfdfb7662a50e", "e1864297eb99d76331f3d6372a54a64460ab2817"},
+};
+
+constexpr GoldenFingerprint kOverlapGolden[] = {
+    {1, "db60572640d3680f0b6c9b10cd515f3392fc7dc6", "86fff864d1d07099f6f044be8591a2d762bc33bb"},
+    {2, "b7d19ec74cfb076233d14eb720409bd6a66f2ef1", "85b6e6b202a50e4f6d99d9685e4d1a3056870ce5"},
+    {3, "c79fa2e2572eb35b100ba39b6844f6e4d502ff70", "8eeb3e1782c440134c0096d73c3c60e222e0c6aa"},
+    {4, "14899a5c58205a1342eb665fae1dbebc49375cfa", "706f0821051f9cfd554958fcf140c4cd8cf501d9"},
+    {5, "57c07e36b919459c548e0da1df7a98a0218c2b26", "4e2a09e7491fc75769fe50f17adcfbfcd6f17a50"},
+    {6, "e05e90331627129d0853cca09beb50e67677ea72", "6d7c6ca1eb293c0bce0dfc34db75817b0f4bd222"},
+    {7, "575f4e50c6e937856481899b77e67ef903ff59c6", "4bdf00b08ce9bed2774682b692ebe0d62373365d"},
+    {8, "449bbaada58fed8b20ea85fda95e4c8719f8571a", "c797ed46c7a0a2ec71970abb0dc3dc95e5032c4e"},
+    {9, "8a4e7b31f493390cc9651030dd7a7edf698e8eb1", "d424bbce5c7b83d57aaf92b855636695ed0cd18d"},
+    {10, "6a11205aa54b9192e35eb4adc3173add5d6146df", "77839f77406706f75c1dd24a04329a95d0f10c48"},
+    {11, "b54efc0162782df4ee211a6d747b502f2a4f2b95", "ee5b48e4e3175d3b4eea9fc3049dbc1c58ff7729"},
+    {12, "c74bfded5cf881cbcf9d36f306eb360225a0ad38", "4022c0276590506ec991d7eacf289e586333431e"},
+    {13, "60d252e89cc6f9165e19489dc28f9d25bd38b908", "f80b1319f0d58e7a7ee6a628ca2ef79fe85b3c64"},
+    {14, "4e33d0ed5f124910dbd6707606a4e7f8189d62f7", "fbf51ad1f2efb15c31fe7557ee36e0cf6f227a60"},
+    {15, "5fd62ce0ebc785ae401fb2894035d2ea5b4d7ef3", "ec451d5bddce36fb573f5ef9eea5d38d27b963f4"},
+    {16, "ca4469584362f256a628e52476a48c7e268c4fc2", "eb4b2a3953d41c435d302b7062903b63c35f9696"},
+    {17, "42f216485cd7f4433b34a8740e96c6fadc433124", "1e4c8e4f009316e74079f39890049dd0af42df13"},
+    {18, "09ebb9d5af7c01f8c48ce7ed5cce593e0f7dc24b", "cc47b8c105d2f9a25477bf02682f6f127329edac"},
+    {19, "5c7240054c99c43f81ac59006787115c941bd93f", "fe6a3bfe8e6875c300b6bc0adaa9ccc13e758d8f"},
+    {20, "65c1360810bbf5c701e6252c9a0bfdfb7662a50e", "eabecffb827b20764e9cb96ef76cce205b199546"},
+};
+
+class SerialGoldenSeeds : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SerialGoldenSeeds, DefaultPathMatchesGoldenFingerprints) {
+  const GoldenFingerprint& golden = kSerialGolden[GetParam()];
+  SimConfig config;
+  config.seed = golden.seed;
+  SimResult result = SimRunner(config).Run();
+  ASSERT_TRUE(result.ok) << "seed " << golden.seed << ": " << result.failure;
+  EXPECT_EQ(result.schedule_fingerprint, golden.schedule) << "seed " << golden.seed;
+  EXPECT_EQ(result.state_fingerprint, golden.state) << "seed " << golden.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, SerialGoldenSeeds,
+                         ::testing::Range(size_t{0}, std::size(kSerialGolden)));
+
+class OverlapGoldenSeeds : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OverlapGoldenSeeds, DefaultPathMatchesGoldenFingerprints) {
+  const GoldenFingerprint& golden = kOverlapGolden[GetParam()];
+  SimConfig config;
+  config.seed = golden.seed;
+  config.max_in_flight = 4;
+  SimResult result = SimRunner(config).Run();
+  ASSERT_TRUE(result.ok) << "seed " << golden.seed << ": " << result.failure;
+  EXPECT_EQ(result.schedule_fingerprint, golden.schedule) << "seed " << golden.seed;
+  EXPECT_EQ(result.state_fingerprint, golden.state) << "seed " << golden.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, OverlapGoldenSeeds,
+                         ::testing::Range(size_t{0}, std::size(kOverlapGolden)));
+
+}  // namespace
+}  // namespace past
