@@ -355,10 +355,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 }
 
 TestDeployment BuildDeployment(size_t num_nodes, uint64_t capacity_per_node,
-                               const PastConfig& config, uint64_t seed) {
+                               const PastConfig& config, uint64_t seed,
+                               StorageEnv* durable_env, const DurableOptions& durable_opts) {
   TestDeployment deployment;
   PastryConfig pastry_config;
   deployment.network = std::make_unique<PastNetwork>(config, pastry_config, seed);
+  if (durable_env != nullptr) {
+    deployment.network->UseDurableStore(*durable_env, durable_opts);
+  }
   for (size_t i = 0; i < num_nodes; ++i) {
     deployment.node_ids.push_back(deployment.network->AddStorageNode(capacity_per_node));
   }

@@ -166,8 +166,13 @@ struct TestDeployment {
   std::unique_ptr<PastNetwork> network;
   std::vector<NodeId> node_ids;
 };
+// With `durable_env` set, every node gets a write-ahead-journaled store in
+// that env (PastNetwork::UseDurableStore is applied before the first node is
+// added); the env must outlive the deployment.
 TestDeployment BuildDeployment(size_t num_nodes, uint64_t capacity_per_node,
-                               const PastConfig& config, uint64_t seed);
+                               const PastConfig& config, uint64_t seed,
+                               StorageEnv* durable_env = nullptr,
+                               const DurableOptions& durable_opts = {});
 
 }  // namespace past
 

@@ -151,6 +151,14 @@ void InsertOp::OnStoreReplica(const Delivery&) {
   }
   if (net_.ShouldStorePrimary(t, size_) &&
       pn->StoreReplica(certificate_.file_id, ReplicaKind::kPrimary, size_, cert_ref_, content_)) {
+    // Write-ahead contract: the insert record must be durable before the
+    // store receipt or the ack leaves this node. A node whose log cannot
+    // commit declines the store instead.
+    if (!pn->store().Commit()) {
+      pn->RemoveReplica(certificate_.file_id);
+      AckRoot(t, false);
+      return;
+    }
     created_.push_back({t, /*is_pointer=*/false});
     pn->NoteServedOp();
     net_.total_stored_ += size_;
@@ -182,6 +190,12 @@ void InsertOp::OnDivertReply(const Delivery&) {
   stored_at_b_ = b != nullptr && b->WouldAcceptDiverted(size_) &&
                  b->StoreReplica(certificate_.file_id, ReplicaKind::kDiverted, size_, cert_ref_,
                                  content_);
+  if (stored_at_b_ && !b->store().Commit()) {
+    // B's log could not make the diverted replica durable: undo and report
+    // the diversion as declined.
+    b->RemoveReplica(certificate_.file_id);
+    stored_at_b_ = false;
+  }
   if (stored_at_b_) {
     created_.push_back({*divert_target_, /*is_pointer=*/false});
     b->NoteServedOp();
@@ -209,6 +223,13 @@ void InsertOp::OnDivertAck(const Delivery&) {
   // Node A keeps a pointer to B and issues the store receipt as usual;
   // node C shadows the pointer.
   a->store().InstallPointer(certificate_.file_id, *divert_target_, PointerRole::kDiverter, size_);
+  if (!a->store().Commit()) {
+    // The pointer at A must be durable before A issues the receipt: after a
+    // crash at A nothing else among the k closest would reference B's copy.
+    a->store().RemovePointer(certificate_.file_id);
+    AckRoot(t, false);
+    return;
+  }
   created_.push_back({t, /*is_pointer=*/true});
   if (witness_ && net_.storage_node(*witness_) != nullptr) {
     SendTracked(witness_ex_,
@@ -224,7 +245,11 @@ void InsertOp::OnWitnessInstall(const Delivery&) {
   PastNode* c = net_.storage_node(*witness_);
   if (c != nullptr) {
     c->store().InstallPointer(certificate_.file_id, *divert_target_, PointerRole::kWitness, size_);
-    created_.push_back({*witness_, /*is_pointer=*/true});
+    if (c->store().Commit()) {
+      created_.push_back({*witness_, /*is_pointer=*/true});
+    } else {
+      c->store().RemovePointer(certificate_.file_id);
+    }
   }
 }
 

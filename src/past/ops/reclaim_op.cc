@@ -82,7 +82,12 @@ void ReclaimOp::ReclaimAt(const NodeId& node_id) {
     }
     ++result_.replicas_reclaimed;
     result_.bytes_reclaimed += size;
-    result_.receipts.push_back(pn->MakeReclaimReceipt(file_id, size));
+    // The reclaim receipt credits the owner's quota, so the removal record
+    // must be durable before the receipt is issued: a crash after an issued
+    // receipt must never resurrect the file as live.
+    if (pn->store().Commit()) {
+      result_.receipts.push_back(pn->MakeReclaimReceipt(file_id, size));
+    }
   }
 }
 
@@ -135,6 +140,9 @@ void ReclaimOp::OnTargetReply(const Delivery&) {
     pn->store().RemovePointer(certificate_.file_id);
   }
   ReclaimAt(t);
+  // Any pointer removal above becomes durable before this target acks the
+  // root (ReclaimAt already committed its own removal with the receipt).
+  pn->store().Commit();
   SendTracked(ack_ex_,
               Direct(MessageType::kAck, t, root_, certificate_.file_id, 0, MessageCost::kNone),
               nullptr);

@@ -124,6 +124,10 @@ void RepairOp::RepairFile(const FileId& file_id) {
                   if (pn != nullptr && pn->WouldAcceptPrimary(size) &&
                       pn->StoreReplica(file_id, ReplicaKind::kPrimary, size, certificate,
                                        content)) {
+                    if (!pn->store().Commit()) {
+                      pn->RemoveReplica(file_id);  // un-committable: decline
+                      return;
+                    }
                     net_.total_stored_ += size;
                     net_.ins_.replicas_stored->Add(1);
                     net_.ins_.replicas_recreated->Inc();
@@ -142,6 +146,10 @@ void RepairOp::RepairFile(const FileId& file_id) {
                   PastNode* pn = net_.storage_node(t);
                   if (pn != nullptr) {
                     pn->store().InstallPointer(file_id, target, PointerRole::kDiverter, size);
+                    if (!pn->store().Commit()) {
+                      pn->store().RemovePointer(file_id);
+                      return;
+                    }
                     if (count_metric) {
                       net_.ins_.maintenance_pointers->Inc();
                     }
@@ -237,6 +245,10 @@ void RepairOp::RepairFile(const FileId& file_id) {
                   if (b != nullptr && b->WouldAcceptDiverted(size) &&
                       b->StoreReplica(file_id, ReplicaKind::kDiverted, size, certificate,
                                       content)) {
+                    if (!b->store().Commit()) {
+                      b->RemoveReplica(file_id);
+                      return;
+                    }
                     net_.total_stored_ += size;
                     net_.ins_.replicas_stored->Add(1);
                     net_.ins_.replicas_diverted->Add(1);

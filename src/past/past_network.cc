@@ -168,6 +168,9 @@ NodeId PastNetwork::AddStorageNodeNear(uint64_t capacity_bytes, const Coordinate
     }
   }
   nodes_.InsertOrAssign(id, std::make_unique<PastNode>(id, config_, capacity_bytes, rng_));
+  if (durable_env_ != nullptr) {
+    storage_node(id)->store().EnableDurability(*durable_env_, id.ToHex(), durable_opts_);
+  }
   total_capacity_ += capacity_bytes;
   if (coop_tier_ != nullptr) {
     // Every departure from this node's cache — eviction, reclaim purge,
@@ -232,6 +235,94 @@ PastNetwork::AdmissionOutcome PastNetwork::AddStorageNodeWithAdmission(
 void PastNetwork::FailStorageNode(const NodeId& id) {
   // OnNodeFailed() performs the PAST-level bookkeeping.
   pastry_.FailNode(id);
+}
+
+void PastNetwork::UseDurableStore(StorageEnv& env, const DurableOptions& opts) {
+  durable_env_ = &env;
+  durable_opts_ = opts;
+}
+
+PastNetwork::RejoinOutcome PastNetwork::RejoinStorageNode(const NodeId& id,
+                                                          uint64_t capacity_bytes) {
+  RejoinOutcome outcome;
+  if (nodes_.Contains(id) || pastry_.IsAlive(id)) {
+    return outcome;  // only a currently-dead node can rejoin
+  }
+
+  auto node = std::make_unique<PastNode>(id, config_, capacity_bytes, rng_);
+  PastNode* pn = node.get();
+  if (durable_env_ != nullptr) {
+    pn->store().RecoverDurable(*durable_env_, id.ToHex(), durable_opts_);
+  }
+
+  // Rejoin audit, before the node is visible to anyone. The directory is an
+  // honest record of what this node held when it died, but the overlay has
+  // moved on: reclaims it missed must not resurrect files, and replicas the
+  // network re-created elsewhere must not be double-counted. A recovered
+  // replica survives only while the file's *current* k-closest neighborhood
+  // still references it — some k-closest node holds a replica or a pointer
+  // naming it. Everything else is dropped here; the maintenance sweep after
+  // the join re-advertises survivors (promoting them where this node is
+  // again among the k closest) and repairs what the drops uncovered.
+  std::vector<FileId> drop_replicas;
+  for (const auto& [file, entry] : pn->store().replicas()) {
+    (void)entry;
+    std::vector<NodeId> k_closest = pastry_.KClosestLive(file.ToRoutingKey(), config_.k);
+    bool referenced = false;
+    for (const NodeId& t : k_closest) {
+      const PastNode* tn = storage_node(t);
+      if (tn == nullptr) {
+        continue;
+      }
+      if (tn->store().HasReplica(file)) {
+        referenced = true;
+        break;
+      }
+      const DiversionPointer* ptr = tn->store().GetPointer(file);
+      if (ptr != nullptr && ptr->holder == id) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) {
+      drop_replicas.push_back(file);
+    }
+  }
+  // A recovered pointer is stale unless its holder is alive and still has
+  // the replica (the witness/diverter roles are rebuilt by repair anyway).
+  std::vector<FileId> drop_pointers;
+  for (const auto& [file, ptr] : pn->store().pointers()) {
+    const PastNode* holder = storage_node(ptr.holder);
+    if (!pastry_.IsAlive(ptr.holder) || holder == nullptr || !holder->store().HasReplica(file)) {
+      drop_pointers.push_back(file);
+    }
+  }
+  for (const FileId& file : drop_replicas) {
+    pn->store().RemoveReplica(file);
+    ++outcome.replicas_dropped;
+  }
+  for (const FileId& file : drop_pointers) {
+    pn->store().RemovePointer(file);
+    ++outcome.pointers_dropped;
+  }
+  pn->store().Commit();
+  outcome.replicas_recovered = pn->store().replica_count();
+
+  // Accounting for the surviving state, mirroring AddStorageNode/OnNodeFailed.
+  total_capacity_ += capacity_bytes;
+  total_stored_ += pn->store().used();
+  ins_.replicas_stored->Add(static_cast<double>(pn->store().replica_count()));
+  ins_.replicas_diverted->Add(static_cast<double>(pn->store().diverted_count()));
+
+  nodes_.InsertOrAssign(id, std::move(node));
+  if (coop_tier_ != nullptr && pn->cache() != nullptr) {
+    pn->cache()->SetRemovalListener(
+        [this, id](const FileId& file) { coop_dir_.RetractHolder(id, file); });
+  }
+
+  Coordinate location{rng_.NextDouble(), rng_.NextDouble()};
+  outcome.ok = pastry_.Join(id, location);  // fires OnNodeJoined -> repair
+  return outcome;
 }
 
 PastNode* PastNetwork::storage_node(const NodeId& id) {
@@ -640,6 +731,16 @@ void PastNetwork::MaintenanceSweep() {
       case ActionKind::kRemovePointer:
         pn->store().RemovePointer(action.file);
         break;
+    }
+  }
+  // Sweep mutations (promotions, GC) carry no acks, but the state they leave
+  // behind must still survive a crash — one commit per touched store.
+  if (durable_env_ != nullptr) {
+    for (const NodeId& id : pastry_.live_nodes()) {
+      PastNode* pn = storage_node(id);
+      if (pn != nullptr) {
+        pn->store().Commit();
+      }
     }
   }
 }

@@ -23,6 +23,7 @@
 #include "src/past/results.h"
 #include "src/pastry/network.h"
 #include "src/storage/admission.h"
+#include "src/storage/wal.h"
 
 namespace past {
 
@@ -133,6 +134,31 @@ class PastNetwork : public MembershipObserver {
   // Fails a storage node (its disk contents are lost); Pastry repairs its
   // leaf sets and, if maintenance is enabled, replicas are re-created.
   void FailStorageNode(const NodeId& id);
+
+  // --- durable stores ---
+
+  // Attaches a write-ahead journal (src/storage/wal.h) to every node added
+  // from now on: each node logs into `env` directory <nodeId hex>, and the
+  // ops layer commits before acks/receipts leave a node. Call before adding
+  // nodes; `env` must outlive this network.
+  void UseDurableStore(StorageEnv& env, const DurableOptions& opts);
+  bool durable_store_enabled() const { return durable_env_ != nullptr; }
+
+  // Brings a previously failed node back with whatever its directory holds
+  // (possibly a torn tail): replays the log, then audits the recovered state
+  // against the current overlay — a recovered replica or pointer survives
+  // only if the file's current k-closest neighborhood still references it
+  // (otherwise it would be double-counted or resurrect reclaimed data), and
+  // the following MaintenanceSweep re-advertises or reclaims the rest.
+  // Without a durable env this is a rejoin with an empty store. The id must
+  // belong to a currently-dead node.
+  struct RejoinOutcome {
+    bool ok = false;
+    uint64_t replicas_recovered = 0;  // survived the audit
+    uint64_t replicas_dropped = 0;    // replayed but no longer referenced
+    uint64_t pointers_dropped = 0;    // replayed but holder/replica gone
+  };
+  RejoinOutcome RejoinStorageNode(const NodeId& id, uint64_t capacity_bytes);
 
   PastNode* storage_node(const NodeId& id);
   const PastNode* storage_node(const NodeId& id) const;
@@ -343,6 +369,10 @@ class PastNetwork : public MembershipObserver {
   std::vector<std::unique_ptr<CacheTier>> cache_tiers_;
   CooperativeCacheTier* coop_tier_ = nullptr;
   CoopDirectory coop_dir_;
+
+  // Durable-store wiring (null => in-memory stores, the default).
+  StorageEnv* durable_env_ = nullptr;
+  DurableOptions durable_opts_;
 
   uint64_t total_capacity_ = 0;
   uint64_t total_stored_ = 0;

@@ -11,7 +11,7 @@ namespace past {
 namespace {
 
 constexpr std::array<const char*, kSimEventClassCount> kClassNames = {
-    "insert", "lookup", "reclaim", "join", "crash", "partition",
+    "insert", "lookup", "reclaim", "join", "crash", "partition", "recover",
 };
 
 }  // namespace
@@ -52,8 +52,9 @@ ChurnScheduler::ChurnScheduler(uint64_t seed, const ScheduleOptions& options)
 
 std::vector<ScheduledEvent> ChurnScheduler::Generate() const {
   std::array<double, kSimEventClassCount> weights = {
-      options_.insert_weight, options_.lookup_weight, options_.reclaim_weight,
-      options_.join_weight,   options_.crash_weight,  options_.partition_weight,
+      options_.insert_weight, options_.lookup_weight,    options_.reclaim_weight,
+      options_.join_weight,   options_.crash_weight,     options_.partition_weight,
+      options_.recover_weight,
   };
   double total = 0.0;
   for (double w : weights) {

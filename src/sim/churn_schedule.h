@@ -27,8 +27,11 @@ enum class SimEventClass : uint8_t {
   kJoin,
   kCrash,      // node silently cut off forever (fail-stop; detection by keep-alive)
   kPartition,  // node cut off temporarily, healed a few events later
+  kRecover,    // node crashes, then rejoins at the next checkpoint with its
+               // old durable directory (possibly a torn tail); in-memory
+               // runs rejoin with an empty store
 };
-inline constexpr size_t kSimEventClassCount = 6;
+inline constexpr size_t kSimEventClassCount = 7;
 
 // Stable lowercase names ("insert", "crash", ...) used by repro files.
 const char* ToString(SimEventClass cls);
@@ -69,6 +72,10 @@ struct ScheduleOptions {
   double join_weight = 0.8;
   double crash_weight = 0.8;
   double partition_weight = 0.6;
+  // Crash-recover events default to 0 so every schedule generated before the
+  // class existed stays bit-identical (a zero-weight class can never win the
+  // roll, and pick/aux are drawn per index regardless of class).
+  double recover_weight = 0.0;
 
   // Adversarial shape (see ScheduleShape). Defaults keep the timeline
   // identical to the unshaped generator.

@@ -73,14 +73,26 @@ InvariantReport InvariantChecker::Check(const PastNetwork& net, const EventQueue
     sum_diverted += store.diverted_count();
 
     uint64_t replica_bytes = 0;
+    size_t census_primary = 0;
     for (const auto& [file, entry] : store.replicas()) {
       (void)file;
       replica_bytes += entry.size;
+      if (entry.kind == ReplicaKind::kPrimary) {
+        ++census_primary;
+      }
     }
     check(replica_bytes == store.used(), [&] {
       std::ostringstream out;
       out << "store: node " << Short(id.ToHex()) << " charges used=" << store.used()
           << " but replica entries sum to " << replica_bytes;
+      return out.str();
+    });
+    // Kind bookkeeping must match the entries — a recovery replay or rejoin
+    // audit that double-counted a replica would skew these counters first.
+    check(census_primary == store.primary_count(), [&] {
+      std::ostringstream out;
+      out << "store: node " << Short(id.ToHex()) << " primary_count=" << store.primary_count()
+          << " but entries count " << census_primary;
       return out.str();
     });
     check(store.used() <= store.capacity(), [&] {
@@ -291,14 +303,24 @@ InvariantReport InvariantChecker::CheckDuringOps(const PastNetwork& net) const {
     sum_diverted += store.diverted_count();
 
     uint64_t replica_bytes = 0;
+    size_t census_primary = 0;
     for (const auto& [file, entry] : store.replicas()) {
       (void)file;
       replica_bytes += entry.size;
+      if (entry.kind == ReplicaKind::kPrimary) {
+        ++census_primary;
+      }
     }
     check(replica_bytes == store.used(), [&] {
       std::ostringstream out;
       out << "store: node " << Short(id.ToHex()) << " charges used=" << store.used()
           << " but replica entries sum to " << replica_bytes;
+      return out.str();
+    });
+    check(census_primary == store.primary_count(), [&] {
+      std::ostringstream out;
+      out << "store: node " << Short(id.ToHex()) << " primary_count=" << store.primary_count()
+          << " but entries count " << census_primary;
       return out.str();
     });
     check(store.used() <= store.capacity(), [&] {

@@ -16,6 +16,7 @@
 #include "src/pastry/keepalive.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/invariant_checker.h"
+#include "src/storage/storage_env.h"
 
 namespace past {
 
@@ -50,8 +51,16 @@ class Execution {
     pconfig.cache_mode = CacheMode::kGreedyDualSize;
     pconfig.enable_coop_cache = config_.coop_cache;
     pconfig.enable_maintenance = true;
+    if (config_.durable_store) {
+      // Small thresholds so soak-length runs actually roll and compact
+      // segments; the env injects no faults of its own (kRecover events
+      // apply per-directory power loss explicitly).
+      env_ = std::make_unique<FaultEnv>();
+      durable_opts_.segment_max_bytes = 32 * 1024;
+      durable_opts_.compact_min_bytes = 16 * 1024;
+    }
     deployment_ = BuildDeployment(config_.num_nodes, config_.capacity_per_node, pconfig,
-                                  config_.seed ^ 0x5eedc0deULL);
+                                  config_.seed ^ 0x5eedc0deULL, env_.get(), durable_opts_);
     net_ = deployment_.network.get();
 
     SimTransport::Options options;
@@ -125,6 +134,9 @@ class Execution {
         break;
       case SimEventClass::kPartition:
         DoCut(ev, index, /*permanent=*/false);
+        break;
+      case SimEventClass::kRecover:
+        DoCrashRecover(ev, index);
         break;
     }
   }
@@ -243,6 +255,51 @@ class Execution {
     }
   }
 
+  // kRecover: the node suffers a power loss — its directory keeps the
+  // durable prefix plus a torn slice of the unsynced tail — and is cut off
+  // exactly like a crash. At the next checkpoint, after failure detection
+  // reaped it, it rejoins with whatever its directory replays to.
+  void DoCrashRecover(const ScheduledEvent& ev, size_t index) {
+    (void)index;
+    size_t min_live = std::max<size_t>(2 * config_.k + 2, config_.num_nodes / 2);
+    std::vector<NodeId> eligible;
+    for (const NodeId& id : net_->overlay().live_nodes()) {
+      if (!transport_->IsPartitioned(id)) {
+        eligible.push_back(id);
+      }
+    }
+    if (eligible.size() <= min_live) {
+      return;
+    }
+    NodeId victim = eligible[ev.pick % eligible.size()];
+    const PastNode* pn = net_->storage_node(victim);
+    uint64_t capacity = pn != nullptr ? pn->store().capacity() : config_.capacity_per_node;
+    transport_->Partition(victim);
+    cut_off_.insert(victim);
+    churned_ = true;
+    if (env_ != nullptr) {
+      env_->CrashDir(victim.ToHex(), /*torn=*/ev.aux % 96);
+    }
+    pending_recovery_.push_back(PendingRecovery{victim, capacity});
+    ++result_.recoveries;
+  }
+
+  // Runs at the checkpoint, once detection has reaped the crashed nodes and
+  // the overlay healed: each pending node revives its directory and rejoins.
+  // The rejoin audit + the sweep that follows reconcile the recovered state.
+  void ProcessRecoveries() {
+    for (const PendingRecovery& rec : pending_recovery_) {
+      if (env_ != nullptr) {
+        env_->ReviveDir(rec.node.ToHex());
+      }
+      PastNetwork::RejoinOutcome outcome = net_->RejoinStorageNode(rec.node, rec.capacity);
+      result_.replicas_recovered += outcome.replicas_recovered;
+      result_.replicas_dropped += outcome.replicas_dropped;
+      transport_->Settle();
+    }
+    pending_recovery_.clear();
+  }
+
   void HealDuePartitions(size_t index) {
     for (auto it = heal_at_.begin(); it != heal_at_.end();) {
       if (it->second <= index) {
@@ -311,6 +368,7 @@ class Execution {
     cut_off_.clear();
     heal_at_.clear();
     RehomeClients();
+    ProcessRecoveries();
 
     net_->MaintenanceSweep();
     FinalizeReclaims();
@@ -468,6 +526,16 @@ class Execution {
   std::vector<std::unique_ptr<PastClient>> clients_;
   std::vector<uint64_t> shadow_quota_;
 
+  // Durable backend (config_.durable_store): one shared FaultEnv, one
+  // directory per node. Null for the in-memory default.
+  std::unique_ptr<FaultEnv> env_;
+  DurableOptions durable_opts_;
+  struct PendingRecovery {
+    NodeId node;
+    uint64_t capacity = 0;
+  };
+  std::vector<PendingRecovery> pending_recovery_;
+
   std::vector<TrackedFile> files_;
   std::vector<size_t> pending_reclaim_;
   std::unordered_set<NodeId, NodeIdHash> cut_off_;
@@ -570,11 +638,13 @@ std::string SerializeSimConfig(const SimConfig& config, std::string_view failure
   out << "join_weight=" << config.schedule.join_weight << '\n';
   out << "crash_weight=" << config.schedule.crash_weight << '\n';
   out << "partition_weight=" << config.schedule.partition_weight << '\n';
+  out << "recover_weight=" << config.schedule.recover_weight << '\n';
   out << "shape=" << ToString(config.schedule.shape) << '\n';
   out << "shape_start=" << config.schedule.shape_start << '\n';
   out << "shape_end=" << config.schedule.shape_end << '\n';
   out << "shape_hot_files=" << config.schedule.shape_hot_files << '\n';
   out << "coop_cache=" << (config.coop_cache ? 1 : 0) << '\n';
+  out << "durable_store=" << (config.durable_store ? 1 : 0) << '\n';
   out << "checkpoint_every=" << config.checkpoint_every << '\n';
   out << "max_in_flight=" << config.max_in_flight << '\n';
   out << "max_events=" << (config.max_events == kAllEvents ? 0 : config.max_events) << '\n';
@@ -652,6 +722,8 @@ std::optional<SimConfig> ParseSimConfig(const std::string& text) {
       config.schedule.crash_weight = as_double();
     } else if (key == "partition_weight") {
       config.schedule.partition_weight = as_double();
+    } else if (key == "recover_weight") {
+      config.schedule.recover_weight = as_double();
     } else if (key == "shape") {
       std::optional<ScheduleShape> shape = ScheduleShapeFromName(value);
       if (!shape.has_value()) {
@@ -666,6 +738,8 @@ std::optional<SimConfig> ParseSimConfig(const std::string& text) {
       config.schedule.shape_hot_files = as_u64();
     } else if (key == "coop_cache") {
       config.coop_cache = as_u64() != 0;
+    } else if (key == "durable_store") {
+      config.durable_store = as_u64() != 0;
     } else if (key == "checkpoint_every") {
       config.checkpoint_every = static_cast<size_t>(as_u64());
     } else if (key == "max_in_flight") {

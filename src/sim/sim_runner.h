@@ -49,6 +49,13 @@ struct SimConfig {
   // Default off: the soak's baseline fingerprints predate the coop tier.
   bool coop_cache = false;
 
+  // Durable stores: every node journals into a shared in-memory FaultEnv
+  // (write-ahead log + replay; src/storage/wal.h). With no injected storage
+  // faults the run is bit-identical to the in-memory default — the journal
+  // draws no entropy and commits always succeed. Required for kRecover
+  // events to bring a node back with its old directory contents.
+  bool durable_store = false;
+
   // Timeline.
   ScheduleOptions schedule;
   // Invariant checkpoint every this many schedule positions (a final
@@ -66,7 +73,8 @@ struct SimConfig {
   size_t max_events = kAllEvents;
   // Event classes the runner executes; disabled events are skipped without
   // disturbing the rest of the timeline — the minimizer's pruning knob.
-  std::array<bool, kSimEventClassCount> enabled = {true, true, true, true, true, true};
+  std::array<bool, kSimEventClassCount> enabled = {true, true, true, true,
+                                                   true, true, true};
 
   // Fault plan active between checkpoints.
   FaultPlan faults{/*drop*/ 0.03, /*duplicate*/ 0.02, /*delay_p*/ 0.05, /*delay_ms*/ 40.0};
@@ -90,6 +98,11 @@ struct SimResult {
   uint64_t joins = 0;
   uint64_t crashes = 0;
   uint64_t partitions = 0;
+  // kRecover accounting: nodes taken down and brought back with their
+  // directory, and what the rejoin audit kept/dropped (src/past RejoinOutcome).
+  uint64_t recoveries = 0;
+  uint64_t replicas_recovered = 0;
+  uint64_t replicas_dropped = 0;
 
   // SHA-1 hex over the generated timeline / the final network state. Equal
   // seeds must produce equal fingerprints run to run.

@@ -1,8 +1,12 @@
 #include "src/storage/node_store.h"
 
+#include "src/storage/wal.h"
+
 namespace past {
 
 NodeStore::NodeStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+NodeStore::~NodeStore() = default;
 
 bool NodeStore::StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
                              FileCertificateRef certificate, FileContentRef content) {
@@ -17,6 +21,10 @@ bool NodeStore::StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
   used_ += size;
   if (kind == ReplicaKind::kPrimary) {
     ++primary_count_;
+  }
+  if (journal_ != nullptr) {
+    journal_->AppendInsert(id, *entry);
+    MaybeCompact();
   }
   return true;
 }
@@ -36,6 +44,10 @@ std::optional<uint64_t> NodeStore::RemoveReplica(const FileId& id) {
     --primary_count_;
   }
   replicas_.Erase(id);
+  if (journal_ != nullptr) {
+    journal_->AppendRemove(id);
+    MaybeCompact();
+  }
   return size;
 }
 
@@ -51,6 +63,10 @@ bool NodeStore::SetReplicaKind(const FileId& id, ReplicaKind kind) {
       --primary_count_;
     }
     entry->kind = kind;
+    if (journal_ != nullptr) {
+      journal_->AppendSetKind(id, kind);
+      MaybeCompact();
+    }
   }
   return true;
 }
@@ -70,13 +86,53 @@ bool NodeStore::TestOnlyCorruptDropReplica(const FileId& id) {
 
 void NodeStore::InstallPointer(const FileId& id, const NodeId& holder, PointerRole role,
                                uint64_t size) {
-  pointers_.InsertOrAssign(id, DiversionPointer{holder, role, size});
+  DiversionPointer ptr{holder, role, size};
+  pointers_.InsertOrAssign(id, ptr);
+  if (journal_ != nullptr) {
+    journal_->AppendInstallPointer(id, ptr);
+    MaybeCompact();
+  }
 }
 
 const DiversionPointer* NodeStore::GetPointer(const FileId& id) const {
   return pointers_.Find(id);
 }
 
-bool NodeStore::RemovePointer(const FileId& id) { return pointers_.Erase(id); }
+bool NodeStore::RemovePointer(const FileId& id) {
+  if (!pointers_.Erase(id)) {
+    return false;
+  }
+  if (journal_ != nullptr) {
+    journal_->AppendRemovePointer(id);
+    MaybeCompact();
+  }
+  return true;
+}
+
+// --- durability ---
+
+void NodeStore::EnableDurability(StorageEnv& env, std::string dir, const DurableOptions& opts) {
+  journal_ = NodeStoreJournal::Create(env, std::move(dir), opts);
+}
+
+bool NodeStore::RecoverDurable(StorageEnv& env, std::string dir, const DurableOptions& opts) {
+  journal_ = NodeStoreJournal::Recover(env, std::move(dir), opts, *this);
+  return !journal_->failed();
+}
+
+bool NodeStore::Commit() { return journal_ == nullptr || journal_->Commit(); }
+
+void NodeStore::ResetForRecovery() {
+  replicas_.Clear();
+  pointers_.Clear();
+  used_ = 0;
+  primary_count_ = 0;
+}
+
+void NodeStore::MaybeCompact() {
+  if (journal_->ShouldCompact()) {
+    journal_->Compact(*this);
+  }
+}
 
 }  // namespace past

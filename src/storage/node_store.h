@@ -22,6 +22,10 @@
 
 namespace past {
 
+class NodeStoreJournal;
+class StorageEnv;
+struct DurableOptions;
+
 enum class ReplicaKind {
   kPrimary,   // stored because we are among the k closest
   kDiverted,  // stored on behalf of a diverting leaf-set neighbor
@@ -56,6 +60,9 @@ struct DiversionPointer {
 class NodeStore {
  public:
   explicit NodeStore(uint64_t capacity_bytes);
+  ~NodeStore();  // out-of-line: journal_ points at an incomplete type here
+  NodeStore(NodeStore&&) = default;
+  NodeStore& operator=(NodeStore&&) = default;
 
   uint64_t capacity() const { return capacity_; }
   uint64_t used() const { return used_; }
@@ -103,6 +110,29 @@ class NodeStore {
   // code. Returns false if the replica was not present.
   bool TestOnlyCorruptDropReplica(const FileId& id);
 
+  // --- durability ---
+  //
+  // By default the store is purely in-memory. With a journal attached, every
+  // mutator appends a write-ahead record before returning, and Commit()
+  // fsyncs them; the ops layer calls Commit() before any ack or receipt
+  // leaves the node, so acked state survives a crash (src/storage/wal.h).
+
+  // Attaches a fresh write-ahead journal in `dir` (which must be empty —
+  // this is for a brand-new node). All I/O goes through `env`.
+  void EnableDurability(StorageEnv& env, std::string dir, const DurableOptions& opts);
+
+  // Replays `dir` into this (empty, journal-less) store and attaches the
+  // recovered journal. Returns false when the directory could not be
+  // re-journaled (the replayed in-memory state is still usable).
+  bool RecoverDurable(StorageEnv& env, std::string dir, const DurableOptions& opts);
+
+  // Fsyncs outstanding journal records. True when everything appended so far
+  // is durable; trivially true with no journal attached.
+  bool Commit();
+
+  bool has_journal() const { return journal_ != nullptr; }
+  const NodeStoreJournal* journal() const { return journal_.get(); }
+
   // --- stats ---
 
   size_t replica_count() const { return replicas_.size(); }
@@ -110,11 +140,20 @@ class NodeStore {
   size_t diverted_count() const { return replicas_.size() - primary_count_; }
 
  private:
+  friend class NodeStoreJournal;
+
+  // Replay support: wipes tables and counters when a snapshot record resets
+  // the store mid-replay. Only the journal calls this.
+  void ResetForRecovery();
+  // Compacts the journal when its dead-byte threshold is crossed.
+  void MaybeCompact();
+
   uint64_t capacity_;
   uint64_t used_ = 0;
   size_t primary_count_ = 0;
   ReplicaTable replicas_;
   PointerTable pointers_;
+  std::unique_ptr<NodeStoreJournal> journal_;
 };
 
 }  // namespace past

@@ -1,0 +1,286 @@
+#include "src/storage/storage_env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+
+namespace past {
+
+namespace fs = std::filesystem;
+
+// --- PosixEnv ---
+
+PosixEnv::PosixEnv(std::string root) : root_(std::move(root)) {}
+
+std::string PosixEnv::Path(const std::string& dir, const std::string& name) const {
+  return root_ + "/" + dir + (name.empty() ? "" : "/" + name);
+}
+
+bool PosixEnv::Append(const std::string& dir, const std::string& name, std::string_view data) {
+  std::error_code ec;
+  fs::create_directories(Path(dir, ""), ec);
+  if (ec) {
+    return false;
+  }
+  int fd = ::open(Path(dir, name).c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return ::close(fd) == 0;
+}
+
+bool PosixEnv::Fsync(const std::string& dir, const std::string& name) {
+  int fd = ::open(Path(dir, name).c_str(), O_RDONLY);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool PosixEnv::Read(const std::string& dir, const std::string& name, std::string* out) {
+  std::ifstream in(Path(dir, name), std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+std::vector<std::string> PosixEnv::List(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(Path(dir, ""), ec)) {
+    names.push_back(e.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool PosixEnv::Rename(const std::string& dir, const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(Path(dir, from), Path(dir, to), ec);
+  if (ec) {
+    return false;
+  }
+  // Make the rename itself durable (the snapshot-swap correctness of
+  // compaction depends on it).
+  int fd = ::open(Path(dir, "").c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  return true;
+}
+
+bool PosixEnv::Remove(const std::string& dir, const std::string& name) {
+  std::error_code ec;
+  return fs::remove(Path(dir, name), ec) && !ec;
+}
+
+// --- FaultEnv ---
+
+bool FaultEnv::EnterSyscall(const std::string& dir, bool* crash_now) {
+  *crash_now = false;
+  if (crashed_) {
+    return false;
+  }
+  auto it = dirs_.find(dir);
+  if (it != dirs_.end() && it->second.dead) {
+    return false;
+  }
+  ++syscalls_;
+  if (crash_at_ != 0 && syscalls_ == crash_at_) {
+    *crash_now = true;
+  }
+  return true;
+}
+
+void FaultEnv::ApplyCrashImage(MemDir& d, uint64_t torn) {
+  for (auto& [name, f] : d.files) {
+    std::string kept = f.data.substr(0, f.durable);
+    if (name == d.last_write && f.data.size() > f.durable) {
+      // In-order flush of the unsynced tail: the first `torn` bytes made it
+      // to the platter before power died.
+      size_t extra = std::min<size_t>(torn, f.data.size() - f.durable);
+      kept += f.data.substr(f.durable, extra);
+    }
+    f.data = std::move(kept);
+    f.durable = f.data.size();
+  }
+}
+
+void FaultEnv::CrashAll() {
+  crashed_ = true;
+  for (auto& [dir, d] : dirs_) {
+    ApplyCrashImage(d, torn_tail_bytes_);
+  }
+}
+
+bool FaultEnv::Append(const std::string& dir, const std::string& name, std::string_view data) {
+  bool crash_now = false;
+  if (!EnterSyscall(dir, &crash_now)) {
+    return false;
+  }
+  MemDir& d = dirs_[dir];
+  MemFile& f = d.files[name];
+  f.data.append(data.data(), data.size());
+  d.last_write = name;
+  if (crash_now) {
+    // The write was in flight when the crash fired: its bytes joined the
+    // unsynced tail first, so the tear can land mid-record.
+    CrashAll();
+    return false;
+  }
+  return true;
+}
+
+bool FaultEnv::Fsync(const std::string& dir, const std::string& name) {
+  bool crash_now = false;
+  if (!EnterSyscall(dir, &crash_now)) {
+    return false;
+  }
+  if (crash_now) {
+    CrashAll();
+    return false;
+  }
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end() || it->second.fail_fsync) {
+    return false;
+  }
+  auto fit = it->second.files.find(name);
+  if (fit == it->second.files.end()) {
+    return false;
+  }
+  if (drop_fsync_at_ != 0 && syscalls_ == drop_fsync_at_) {
+    return true;  // lying disk: reports durable, advances nothing
+  }
+  fit->second.durable = fit->second.data.size();
+  return true;
+}
+
+bool FaultEnv::Read(const std::string& dir, const std::string& name, std::string* out) {
+  bool crash_now = false;
+  if (!EnterSyscall(dir, &crash_now)) {
+    return false;
+  }
+  if (crash_now) {
+    CrashAll();
+    return false;
+  }
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end()) {
+    return false;
+  }
+  auto fit = it->second.files.find(name);
+  if (fit == it->second.files.end()) {
+    return false;
+  }
+  *out = fit->second.data;
+  return true;
+}
+
+std::vector<std::string> FaultEnv::List(const std::string& dir) {
+  bool crash_now = false;
+  if (!EnterSyscall(dir, &crash_now)) {
+    return {};
+  }
+  if (crash_now) {
+    CrashAll();
+    return {};
+  }
+  std::vector<std::string> names;
+  auto it = dirs_.find(dir);
+  if (it != dirs_.end()) {
+    for (const auto& [name, f] : it->second.files) {
+      (void)f;
+      names.push_back(name);
+    }
+  }
+  return names;  // std::map iteration is already sorted
+}
+
+bool FaultEnv::Rename(const std::string& dir, const std::string& from, const std::string& to) {
+  bool crash_now = false;
+  if (!EnterSyscall(dir, &crash_now)) {
+    return false;
+  }
+  if (crash_now) {
+    CrashAll();
+    return false;
+  }
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end()) {
+    return false;
+  }
+  auto fit = it->second.files.find(from);
+  if (fit == it->second.files.end()) {
+    return false;
+  }
+  MemFile moved = std::move(fit->second);
+  it->second.files.erase(fit);
+  it->second.files[to] = std::move(moved);
+  if (it->second.last_write == from) {
+    it->second.last_write = to;
+  }
+  return true;
+}
+
+bool FaultEnv::Remove(const std::string& dir, const std::string& name) {
+  bool crash_now = false;
+  if (!EnterSyscall(dir, &crash_now)) {
+    return false;
+  }
+  if (crash_now) {
+    CrashAll();
+    return false;
+  }
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end()) {
+    return false;
+  }
+  return it->second.files.erase(name) > 0;
+}
+
+void FaultEnv::FailFsyncs(const std::string& dir, bool fail) {
+  dirs_[dir].fail_fsync = fail;
+}
+
+void FaultEnv::CrashDir(const std::string& dir, uint64_t torn) {
+  auto it = dirs_.find(dir);
+  if (it == dirs_.end()) {
+    dirs_[dir].dead = true;
+    return;
+  }
+  ApplyCrashImage(it->second, torn);
+  it->second.dead = true;
+}
+
+void FaultEnv::ReviveDir(const std::string& dir) {
+  auto it = dirs_.find(dir);
+  if (it != dirs_.end()) {
+    it->second.dead = false;
+  }
+}
+
+void FaultEnv::Restart() {
+  crashed_ = false;
+  crash_at_ = 0;
+  drop_fsync_at_ = 0;
+}
+
+}  // namespace past

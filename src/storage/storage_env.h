@@ -1,0 +1,152 @@
+// StorageEnv: the small VFS every durable-store I/O goes through.
+//
+// The write-ahead log (src/storage/wal.h) never touches the filesystem
+// directly; it calls this interface, so the backing world is injectable. Two
+// implementations exist:
+//
+//  - PosixEnv: real files under a root directory (append/fsync/rename/...).
+//  - FaultEnv: a deterministic in-memory disk model with crash-point fault
+//    injection. Every call is a numbered "syscall"; the env can be armed to
+//    kill the process model at any syscall boundary, tear the last write at
+//    a byte offset (the unsynced tail is flushed in write order, so a crash
+//    can expose a prefix of it), or silently drop an fsync (a lying disk).
+//    That makes every crash point enumerable and replayable under seed
+//    control — the basis of the crash-matrix tests.
+//
+// Paths are (dir, name) pairs: one directory per node, flat files inside.
+#ifndef SRC_STORAGE_STORAGE_ENV_H_
+#define SRC_STORAGE_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace past {
+
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  // Appends `data` to dir/name, creating directory and file as needed.
+  virtual bool Append(const std::string& dir, const std::string& name,
+                      std::string_view data) = 0;
+
+  // Makes everything appended to dir/name so far durable. Without a
+  // successful Fsync, appended bytes may vanish at a crash.
+  virtual bool Fsync(const std::string& dir, const std::string& name) = 0;
+
+  // Reads the entire file into `out`. False if it does not exist.
+  virtual bool Read(const std::string& dir, const std::string& name, std::string* out) = 0;
+
+  // Names of the files in `dir`, sorted; empty for a missing directory.
+  virtual std::vector<std::string> List(const std::string& dir) = 0;
+
+  // Atomically renames dir/from to dir/to (replacing any existing `to`).
+  virtual bool Rename(const std::string& dir, const std::string& from,
+                      const std::string& to) = 0;
+
+  // Removes dir/name. False if it does not exist.
+  virtual bool Remove(const std::string& dir, const std::string& name) = 0;
+};
+
+// Real POSIX files under `root`/<dir>/<name>. Append opens O_APPEND per call
+// (the journal batches, so this is not a hot path) and Fsync calls fsync(2).
+class PosixEnv : public StorageEnv {
+ public:
+  explicit PosixEnv(std::string root);
+
+  bool Append(const std::string& dir, const std::string& name, std::string_view data) override;
+  bool Fsync(const std::string& dir, const std::string& name) override;
+  bool Read(const std::string& dir, const std::string& name, std::string* out) override;
+  std::vector<std::string> List(const std::string& dir) override;
+  bool Rename(const std::string& dir, const std::string& from, const std::string& to) override;
+  bool Remove(const std::string& dir, const std::string& name) override;
+
+ private:
+  std::string Path(const std::string& dir, const std::string& name) const;
+  std::string root_;
+};
+
+// Deterministic in-memory disk with crash-point fault injection.
+//
+// Model: each file keeps the full byte string written so far plus a durable
+// prefix length advanced by Fsync. A crash (global or per-directory) replaces
+// every file's contents with its durable prefix — except the directory's most
+// recently appended file, which additionally keeps the first `torn` bytes of
+// its unsynced tail, modeling an in-order partial page-cache flush that can
+// cut a log record in half.
+class FaultEnv : public StorageEnv {
+ public:
+  FaultEnv() = default;
+
+  bool Append(const std::string& dir, const std::string& name, std::string_view data) override;
+  bool Fsync(const std::string& dir, const std::string& name) override;
+  bool Read(const std::string& dir, const std::string& name, std::string* out) override;
+  std::vector<std::string> List(const std::string& dir) override;
+  bool Rename(const std::string& dir, const std::string& from, const std::string& to) override;
+  bool Remove(const std::string& dir, const std::string& name) override;
+
+  // --- fault controls ---
+
+  // Arms a global crash: the syscall with 1-based index `n` fails and every
+  // later call fails too, until Restart(). 0 disarms. An Append that crashes
+  // first transfers its bytes to the unsynced tail, so the tear can land in
+  // the middle of the record being written.
+  void set_crash_at(uint64_t n) { crash_at_ = n; }
+
+  // Bytes of the last-written file's unsynced tail that survive a crash.
+  void set_torn_tail_bytes(uint64_t n) { torn_tail_bytes_ = n; }
+
+  // The fsync with syscall index `n` reports success without making anything
+  // durable — a lying disk. 0 disarms.
+  void set_drop_fsync_at(uint64_t n) { drop_fsync_at_ = n; }
+
+  // Sticky fsync failure for one directory (fsync returns false, no crash).
+  void FailFsyncs(const std::string& dir, bool fail);
+
+  // Power-loss for one directory only: applies the crash image (durable
+  // prefix + `torn` bytes of the last write's unsynced tail) and marks the
+  // directory dead — all writes to it fail until ReviveDir. Reads still see
+  // the crash image, which is what recovery replays. Not counted as a
+  // syscall; the simulation calls this when it cuts a node off.
+  void CrashDir(const std::string& dir, uint64_t torn);
+  void ReviveDir(const std::string& dir);
+
+  // Clears the global crashed state after the images were applied, so a
+  // recovery pass can run against the post-crash disk.
+  void Restart();
+
+  uint64_t syscalls() const { return syscalls_; }
+  bool crashed() const { return crashed_; }
+
+ private:
+  struct MemFile {
+    std::string data;     // everything written, in order
+    size_t durable = 0;   // prefix made durable by fsync
+  };
+  struct MemDir {
+    std::map<std::string, MemFile> files;  // ordered => deterministic List
+    std::string last_write;                // file of the most recent Append
+    bool dead = false;
+    bool fail_fsync = false;
+  };
+
+  // Returns true when the call must fail (env crashed / dir dead); otherwise
+  // counts the syscall and fires the armed crash if this is its index.
+  bool EnterSyscall(const std::string& dir, bool* crash_now);
+  void ApplyCrashImage(MemDir& d, uint64_t torn);
+  void CrashAll();
+
+  std::map<std::string, MemDir> dirs_;
+  uint64_t syscalls_ = 0;
+  uint64_t crash_at_ = 0;
+  uint64_t drop_fsync_at_ = 0;
+  uint64_t torn_tail_bytes_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace past
+
+#endif  // SRC_STORAGE_STORAGE_ENV_H_

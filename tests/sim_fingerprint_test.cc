@@ -100,5 +100,71 @@ TEST_P(OverlapGoldenSeeds, DefaultPathMatchesGoldenFingerprints) {
 INSTANTIATE_TEST_SUITE_P(Golden, OverlapGoldenSeeds,
                          ::testing::Range(size_t{0}, std::size(kOverlapGolden)));
 
+// The durable backend must be invisible when no storage fault fires: the
+// journal draws no entropy and every commit succeeds, so a durable run is
+// bit-identical to the in-memory default — the SAME golden table, not a
+// parallel one.
+class DurableGoldenSeeds : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DurableGoldenSeeds, DurableBackendIsBitIdenticalToInMemory) {
+  const GoldenFingerprint& golden = kSerialGolden[GetParam()];
+  SimConfig config;
+  config.seed = golden.seed;
+  config.durable_store = true;
+  SimResult result = SimRunner(config).Run();
+  ASSERT_TRUE(result.ok) << "seed " << golden.seed << ": " << result.failure;
+  EXPECT_EQ(result.schedule_fingerprint, golden.schedule) << "seed " << golden.seed;
+  EXPECT_EQ(result.state_fingerprint, golden.state) << "seed " << golden.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, DurableGoldenSeeds,
+                         ::testing::Range(size_t{0}, std::size(kSerialGolden)));
+
+// Crash-recover soak bank: durable stores plus kRecover events (weight 1.2)
+// layered onto the standard timeline. Every seed must hold every invariant
+// across repeated power-loss/rejoin cycles AND replay to these exact
+// fingerprints — the whole WAL/replay/rejoin-audit path is deterministic.
+constexpr GoldenFingerprint kRecoveryGolden[] = {
+    {1, "02f93cb00240568746d986bdf59b728f7e0544a3", "b4593395f1d7b2ac29663fb89670ccec307a4f90"},
+    {2, "a79691874949716c621658082677f8ace736d829", "a2de81137cbfbf3f2d46ec99634724a7d32533c8"},
+    {3, "983f952622a246a5750538c15d3dfb89c001f850", "53a4fe97efe6f1874757d5055b9db911d6f3a5da"},
+    {4, "fb3c36032704fc116f402c255c4ba0d3157cb40e", "17789e7331c5eb50afd1937bdae2ea3461310130"},
+    {5, "bd924beedaf4f711af1b311ee5463b17f210ae6c", "ac52ad3dbac4116cbe4949df42c03501daed681d"},
+    {6, "49e007e90b3183c1295d77cf5eff975d094760f0", "912681961e2cc6eac94fa3e0a0909d79558d467f"},
+    {7, "7a88ac3a3878034def9ba37402f1b29daed6a673", "47bbe47fc800452983c3e27810115598af642b77"},
+    {8, "d426b5c854df0f7e630905b9543aeee24cb8b021", "005f0b12d6aef0fbb496ca4c6d476fad368be8af"},
+    {9, "24b5b1c545c98f6f0d72da3337b0a52a646d408d", "e3b95168d81ab0e30798ce978181fdb3c82378e3"},
+    {10, "94c598329ebda851449686d6f6cf0f01fc4817d2", "ad8197ba48ab628900a4c872fbe8a866d0e81888"},
+    {11, "9298db4e22804b3b01d991d701bae41d944daf12", "3149e10e87582592ccacad2ee26dd8ac3190a22e"},
+    {12, "c726786eb8ea0dffe088b31cf8282a5a079c6898", "6b43f66d1a853bee08dbb94cf8c9ffd739771703"},
+    {13, "aa329b95dc2fa538e72eec49cae7bddd42a53be7", "737d3d35afa6802fba306033905478b64eafcfbb"},
+    {14, "54188c30c7158b684b4cdea95577c22e4034520f", "a66a8b28ab04d63c45274f7e840d0ca83f15d427"},
+    {15, "d7c9d50b4c9e878aefd0694dde56df298eec01ee", "4ec160dac107a8c11271012000d63cc8823fd87d"},
+    {16, "e0599f086ff34e4a876fc14ad49c00ebec2b049a", "1c3964bee7224c318d9cdc6b062c160e22bf8d92"},
+    {17, "3fe891f77727c72a36df8bdb550437f359afb674", "8f7d219205edaa237cd40a0ea631b82f2877147e"},
+    {18, "4c4a640a0d9b6ca3d9fda81be83492e614c2f3eb", "e585ab4aca45171f09c33e7cb795d36687617162"},
+    {19, "a5a03a6fe247ad63528a30e85c799bf44efe18eb", "ec805a4856dde509b39e1ca8a6fd1656469665cf"},
+    {20, "2648b434a0df99a929728e6d6d1fa5fa14bd40c2", "e3ec834b30530f1e72c5ed761a01ce37da60b099"},
+};
+
+class RecoveryGoldenSeeds : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RecoveryGoldenSeeds, CrashRecoverSoakHoldsInvariantsAndFingerprints) {
+  const GoldenFingerprint& golden = kRecoveryGolden[GetParam()];
+  SimConfig config;
+  config.seed = golden.seed;
+  config.durable_store = true;
+  config.schedule.recover_weight = 1.2;
+  SimResult result = SimRunner(config).Run();
+  ASSERT_TRUE(result.ok) << "seed " << golden.seed << ": " << result.failure;
+  EXPECT_EQ(result.schedule_fingerprint, golden.schedule) << "seed " << golden.seed;
+  EXPECT_EQ(result.state_fingerprint, golden.state) << "seed " << golden.seed;
+  EXPECT_GT(result.recoveries, 0u) << "seed " << golden.seed;
+  EXPECT_GT(result.replicas_recovered, 0u) << "seed " << golden.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Golden, RecoveryGoldenSeeds,
+                         ::testing::Range(size_t{0}, std::size(kRecoveryGolden)));
+
 }  // namespace
 }  // namespace past

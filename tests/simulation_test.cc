@@ -35,6 +35,9 @@ TEST(ChurnSchedule, GenerationIsPureFunctionOfSeed) {
 TEST(ChurnSchedule, CoversEveryEventClass) {
   ScheduleOptions options;
   options.num_events = 400;
+  // kRecover defaults to weight 0 (pre-existing schedules must stay
+  // bit-identical); give it weight here so coverage includes it.
+  options.recover_weight = 1.0;
   std::vector<ScheduledEvent> schedule = ChurnScheduler(5, options).Generate();
   std::vector<size_t> counts(kSimEventClassCount, 0);
   for (const ScheduledEvent& ev : schedule) {
@@ -181,6 +184,31 @@ TEST(Simulation, MaxInFlightRoundTripsThroughReproFile) {
   std::optional<SimConfig> clamped = ParseSimConfig("seed=1\nmax_in_flight=0\n");
   ASSERT_TRUE(clamped.has_value());
   EXPECT_EQ(clamped->max_in_flight, 1u);
+}
+
+TEST(Simulation, RecoverAndDurableRoundTripThroughReproFile) {
+  SimConfig config = SmallConfig(3);
+  config.durable_store = true;
+  config.schedule.recover_weight = 1.25;
+  std::optional<SimConfig> parsed = ParseSimConfig(SerializeSimConfig(config));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->durable_store);
+  EXPECT_DOUBLE_EQ(parsed->schedule.recover_weight, 1.25);
+  // A failing crash-recover run reproduces bit-for-bit from the round-
+  // tripped config (same schedule, same final state).
+  SimResult a = SimRunner(*parsed).Run();
+  SimResult b = SimRunner(*parsed).Run();
+  ASSERT_TRUE(a.ok) << a.failure;
+  EXPECT_GT(a.recoveries, 0u);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.replicas_recovered, b.replicas_recovered);
+  EXPECT_EQ(a.schedule_fingerprint, b.schedule_fingerprint);
+  EXPECT_EQ(a.state_fingerprint, b.state_fingerprint);
+  // Defaults serialize to "off" and parse back to off.
+  std::optional<SimConfig> plain = ParseSimConfig(SerializeSimConfig(SmallConfig(3)));
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->durable_store);
+  EXPECT_DOUBLE_EQ(plain->schedule.recover_weight, 0.0);
 }
 
 TEST(Simulation, ParseRejectsMalformedRepro) {

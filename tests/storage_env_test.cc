@@ -1,0 +1,176 @@
+// StorageEnv semantics: PosixEnv round-trips real files; FaultEnv models a
+// deterministic disk whose crash images (durable prefix + in-order torn
+// tail), lying fsyncs, and per-directory power loss are the substrate of the
+// crash-matrix tests in node_store_recovery_test.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/storage/storage_env.h"
+
+namespace past {
+namespace {
+
+std::string ReadOr(StorageEnv& env, const std::string& dir, const std::string& name,
+                   const std::string& fallback = "<missing>") {
+  std::string out;
+  return env.Read(dir, name, &out) ? out : fallback;
+}
+
+TEST(PosixEnvTest, RoundTripsAppendFsyncListRenameRemove) {
+  PosixEnv env(::testing::TempDir() + "/posix_env_test");
+  EXPECT_TRUE(env.Append("n1", "a.log", "hello "));
+  EXPECT_TRUE(env.Append("n1", "a.log", "world"));
+  EXPECT_TRUE(env.Fsync("n1", "a.log"));
+  EXPECT_EQ(ReadOr(env, "n1", "a.log"), "hello world");
+
+  EXPECT_TRUE(env.Append("n1", "b.log", "x"));
+  EXPECT_EQ(env.List("n1"), (std::vector<std::string>{"a.log", "b.log"}));
+  EXPECT_TRUE(env.List("absent").empty());
+
+  // Rename replaces the destination atomically.
+  EXPECT_TRUE(env.Rename("n1", "b.log", "a.log"));
+  EXPECT_EQ(ReadOr(env, "n1", "a.log"), "x");
+  EXPECT_EQ(env.List("n1"), (std::vector<std::string>{"a.log"}));
+
+  EXPECT_TRUE(env.Remove("n1", "a.log"));
+  EXPECT_FALSE(env.Remove("n1", "a.log"));
+  EXPECT_EQ(ReadOr(env, "n1", "a.log"), "<missing>");
+}
+
+TEST(FaultEnvTest, BasicFileOperations) {
+  FaultEnv env;
+  EXPECT_TRUE(env.Append("d", "f", "abc"));
+  EXPECT_TRUE(env.Append("d", "f", "def"));
+  EXPECT_EQ(ReadOr(env, "d", "f"), "abcdef");
+  EXPECT_TRUE(env.Append("d", "g", "zz"));
+  EXPECT_EQ(env.List("d"), (std::vector<std::string>{"f", "g"}));
+  EXPECT_TRUE(env.Rename("d", "g", "f"));
+  EXPECT_EQ(ReadOr(env, "d", "f"), "zz");
+  EXPECT_TRUE(env.Remove("d", "f"));
+  EXPECT_FALSE(env.Remove("d", "f"));
+  EXPECT_FALSE(env.Rename("d", "f", "h"));
+}
+
+TEST(FaultEnvTest, CrashKeepsOnlyDurablePrefix) {
+  FaultEnv env;
+  env.Append("d", "f", "durable|");
+  ASSERT_TRUE(env.Fsync("d", "f"));
+  env.Append("d", "f", "lost");
+  env.CrashDir("d", 0);
+  env.ReviveDir("d");
+  EXPECT_EQ(ReadOr(env, "d", "f"), "durable|");
+}
+
+TEST(FaultEnvTest, TornTailExposesPrefixOfUnsyncedBytes) {
+  FaultEnv env;
+  env.Append("d", "f", "base");
+  ASSERT_TRUE(env.Fsync("d", "f"));
+  env.Append("d", "f", "tail");
+  env.CrashDir("d", 2);  // in-order flush: first 2 unsynced bytes survive
+  env.ReviveDir("d");
+  EXPECT_EQ(ReadOr(env, "d", "f"), "baseta");
+}
+
+TEST(FaultEnvTest, TornTailOnlyAppliesToLastWrittenFile) {
+  FaultEnv env;
+  env.Append("d", "old", "unsynced-old");
+  env.Append("d", "new", "unsynced-new");
+  env.CrashDir("d", 99);
+  env.ReviveDir("d");
+  // Only the most recent Append's file keeps its (entire, torn>len) tail.
+  EXPECT_EQ(ReadOr(env, "d", "old"), "");
+  EXPECT_EQ(ReadOr(env, "d", "new"), "unsynced-new");
+}
+
+TEST(FaultEnvTest, DeadDirectoryFailsEverythingUntilRevive) {
+  FaultEnv env;
+  env.Append("d", "f", "x");
+  env.Fsync("d", "f");
+  env.CrashDir("d", 0);
+  EXPECT_FALSE(env.Append("d", "f", "y"));
+  std::string out;
+  EXPECT_FALSE(env.Read("d", "f", &out));
+  EXPECT_TRUE(env.List("d").empty());
+  // Other directories are unaffected.
+  EXPECT_TRUE(env.Append("e", "f", "fine"));
+  env.ReviveDir("d");
+  EXPECT_EQ(ReadOr(env, "d", "f"), "x");
+}
+
+TEST(FaultEnvTest, GlobalCrashAtSyscallBoundaryIsDeterministic) {
+  // Dry run: count the syscalls of a fixed script.
+  FaultEnv dry;
+  dry.Append("d", "f", "one");   // syscall 1
+  dry.Fsync("d", "f");           // syscall 2
+  dry.Append("d", "f", "two");   // syscall 3
+  dry.Fsync("d", "f");           // syscall 4
+  ASSERT_EQ(dry.syscalls(), 4u);
+
+  // Crash exactly at the second fsync: "two" was appended but never durable.
+  FaultEnv env;
+  env.set_crash_at(4);
+  EXPECT_TRUE(env.Append("d", "f", "one"));
+  EXPECT_TRUE(env.Fsync("d", "f"));
+  EXPECT_TRUE(env.Append("d", "f", "two"));
+  EXPECT_FALSE(env.Fsync("d", "f"));
+  EXPECT_TRUE(env.crashed());
+  // Everything fails until Restart, and no syscalls are counted while down.
+  uint64_t at_crash = env.syscalls();
+  EXPECT_FALSE(env.Append("d", "f", "three"));
+  EXPECT_EQ(env.syscalls(), at_crash);
+  env.Restart();
+  EXPECT_EQ(ReadOr(env, "d", "f"), "one");
+}
+
+TEST(FaultEnvTest, CrashDuringAppendTearsMidWrite) {
+  FaultEnv env;
+  env.set_crash_at(1);
+  env.set_torn_tail_bytes(3);
+  // The write was in flight: its bytes join the unsynced tail before the
+  // crash image is cut, so the tear lands mid-record.
+  EXPECT_FALSE(env.Append("d", "f", "record"));
+  env.Restart();
+  EXPECT_EQ(ReadOr(env, "d", "f"), "rec");
+}
+
+TEST(FaultEnvTest, DroppedFsyncLies) {
+  FaultEnv env;
+  env.Append("d", "f", "acked");      // syscall 1
+  env.set_drop_fsync_at(2);
+  EXPECT_TRUE(env.Fsync("d", "f"));   // syscall 2: reports success, does nothing
+  env.CrashDir("d", 0);
+  env.ReviveDir("d");
+  EXPECT_EQ(ReadOr(env, "d", "f"), "");  // the "durable" bytes are gone
+}
+
+TEST(FaultEnvTest, StickyFsyncFailureDoesNotCrash) {
+  FaultEnv env;
+  env.Append("d", "f", "x");
+  env.FailFsyncs("d", true);
+  EXPECT_FALSE(env.Fsync("d", "f"));
+  EXPECT_FALSE(env.crashed());
+  EXPECT_EQ(ReadOr(env, "d", "f"), "x");  // data still readable, just not durable
+  env.FailFsyncs("d", false);
+  EXPECT_TRUE(env.Fsync("d", "f"));
+  env.CrashDir("d", 0);
+  env.ReviveDir("d");
+  EXPECT_EQ(ReadOr(env, "d", "f"), "x");
+}
+
+TEST(FaultEnvTest, RenameCarriesDurabilityAndLastWrite) {
+  FaultEnv env;
+  env.Append("d", "tmp", "snapshot");
+  env.Fsync("d", "tmp");
+  env.Append("d", "tmp", "-tail");
+  ASSERT_TRUE(env.Rename("d", "tmp", "final"));
+  env.CrashDir("d", 1);
+  env.ReviveDir("d");
+  // The durable prefix and the torn-tail eligibility moved with the file.
+  EXPECT_EQ(ReadOr(env, "d", "final"), "snapshot-");
+  EXPECT_EQ(ReadOr(env, "d", "tmp"), "<missing>");
+}
+
+}  // namespace
+}  // namespace past

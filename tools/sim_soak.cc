@@ -30,6 +30,11 @@ void PrintUsage() {
             << "  --events N       schedule length per seed (default 160)\n"
             << "  --checkpoint N   events between invariant checkpoints (default 40)\n"
             << "  --corrupt-at I   inject a store corruption after event I (demo)\n"
+            << "  --durable        journal every node's store into a fault-injected\n"
+            << "                   in-memory disk (write-ahead log + replay)\n"
+            << "  --recover-weight W  schedule crash-recover events with weight W\n"
+            << "                   (node power-loss + rejoin with its old directory;\n"
+            << "                   implies --durable, default 0 = never)\n"
             << "  --repro FILE     replay a minimized repro file and exit\n"
             << "  --repro-out FILE where to write the repro on failure\n"
             << "                   (default sim_failure.repro)\n"
@@ -41,7 +46,9 @@ void PrintResult(const past::SimResult& result) {
             << " inserted=" << result.files_inserted << " reclaimed=" << result.files_reclaimed
             << " lost=" << result.files_lost << " lookups=" << result.lookups
             << " joins=" << result.joins << " crashes=" << result.crashes
-            << " partitions=" << result.partitions << '\n'
+            << " partitions=" << result.partitions << " recoveries=" << result.recoveries
+            << " recovered=" << result.replicas_recovered
+            << " dropped=" << result.replicas_dropped << '\n'
             << "  schedule=" << result.schedule_fingerprint.substr(0, 12)
             << " state=" << result.state_fingerprint.substr(0, 12) << '\n';
 }
@@ -102,6 +109,11 @@ int main(int argc, char** argv) {
       base.checkpoint_every = std::strtoull(next("--checkpoint"), nullptr, 10);
     } else if (arg == "--corrupt-at") {
       base.corrupt_at_event = std::strtoull(next("--corrupt-at"), nullptr, 10);
+    } else if (arg == "--durable") {
+      base.durable_store = true;
+    } else if (arg == "--recover-weight") {
+      base.schedule.recover_weight = std::strtod(next("--recover-weight"), nullptr);
+      base.durable_store = true;  // rejoining with a directory needs one
     } else if (arg == "--repro") {
       repro_path = next("--repro");
     } else if (arg == "--repro-out") {
