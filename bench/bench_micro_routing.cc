@@ -50,10 +50,9 @@ void BM_NextHopDecision(benchmark::State& state) {
   std::vector<NodeId> nodes = network.live_nodes();
   PastryNode* node = network.node(nodes[0]);
   Rng rng(46);
-  auto alive = [&network](const NodeId& id) { return network.IsAlive(id); };
   for (auto _ : state) {
     NodeId key(rng.NextU64(), rng.NextU64());
-    benchmark::DoNotOptimize(node->NextHop(key, alive));
+    benchmark::DoNotOptimize(node->NextHop(key));
   }
 }
 BENCHMARK(BM_NextHopDecision);

@@ -220,7 +220,7 @@ double CovOf(const std::vector<RegressionReport>& samples,
 }
 
 bool WriteReport(const std::string& path, const RegressionReport& r,
-                 const std::vector<RegressionReport>& samples, bool smoke, int jobs) {
+                 const std::vector<RegressionReport>& samples, bool smoke, int jobs, int cores) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     return false;
@@ -229,6 +229,9 @@ bool WriteReport(const std::string& path, const RegressionReport& r,
   std::fprintf(out, "  \"schema\": \"past-bench-regression-v1\",\n");
   std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
   std::fprintf(out, "  \"jobs\": %d,\n", jobs);
+  // Host core count at measurement time: consumers (bench_report.py) treat
+  // sweep_speedup as informational when the sweep never had a second core.
+  std::fprintf(out, "  \"cores\": %d,\n", cores);
   std::fprintf(out, "  \"runs\": %zu,\n", samples.size());
   std::fprintf(out, "  \"metrics\": {\n");
   std::fprintf(out, "    \"sha1_mb_per_sec\": %.3f,\n", r.sha1_mb_per_sec);
@@ -302,11 +305,12 @@ int main(int argc, char** argv) {
   std::printf("lookups_per_sec        %.0f (cov %.3f)\n", report.lookups_per_sec,
               CovOf(samples, &RegressionReport::lookups_per_sec, report.lookups_per_sec));
   std::printf("sweep wall jobs=1      %.2f s\n", report.sweep_wall_seconds_jobs1);
-  std::printf("sweep wall jobs=%-2d     %.2f s (speedup %.2fx, %s)\n", jobs,
+  std::printf("sweep wall jobs=%-2d     %.2f s (speedup %.2fx%s, %s)\n", jobs,
               report.sweep_wall_seconds_jobsn, report.sweep_speedup,
+              hw <= 1 ? " [1 core: informational]" : "",
               report.sweep_deterministic ? "bit-identical" : "MISMATCH");
 
-  if (!WriteReport(out_path, report, samples, smoke, jobs)) {
+  if (!WriteReport(out_path, report, samples, smoke, jobs, hw > 0 ? hw : 1)) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }

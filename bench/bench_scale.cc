@@ -55,6 +55,8 @@ ScaleConfig ConfigFromCli(const CommandLine& cli) {
   config.sweep_period = static_cast<size_t>(cli.GetInt("--sweep-period", 0));
   config.node_capacity = static_cast<uint64_t>(cli.GetInt("--capacity", 50'000'000));
   config.mean_file_size = static_cast<uint64_t>(cli.GetInt("--mean-size", 100'000));
+  config.join_cohort = static_cast<size_t>(
+      cli.GetInt("--join-cohort", static_cast<int64_t>(config.join_cohort)));
   if (cli.Has("--mean-field")) {
     // Churn + periodic repair so the post-sweep window is Binomial: crashes
     // kill ~5% of the network per epoch, a sweep restores full replication,
@@ -187,10 +189,14 @@ bool WriteMetricsJson(const std::string& path, const ScaleConfig& config,
                 report.inserts, report.inserts_stored, report.lookups, report.lookups_found,
                 report.events, report.live_nodes, report.files_tracked, report.utilization);
   out += buf;
+  double rss_mb = PeakRssMb();
+  double bytes_per_node =
+      config.nodes > 0 ? rss_mb * 1024.0 * 1024.0 / static_cast<double>(config.nodes) : 0.0;
   std::snprintf(buf, sizeof(buf),
                 "    \"build_seconds\": %.4f, \"epoch_seconds\": %.4f, "
-                "\"events_per_sec\": %.1f, \"peak_rss_mb\": %.1f,\n",
-                timings.build_seconds, timings.epoch_seconds, events_per_sec, PeakRssMb());
+                "\"events_per_sec\": %.1f, \"peak_rss_mb\": %.1f, \"bytes_per_node\": %.0f,\n",
+                timings.build_seconds, timings.epoch_seconds, events_per_sec, rss_mb,
+                bytes_per_node);
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "    \"state_fingerprint\": \"%s\", \"schedule_fingerprint\": \"%s\"}",
@@ -264,6 +270,20 @@ int main(int argc, char** argv) {
 
   ScaleConfig config = ConfigFromCli(cli);
   bool smoke = cli.Has("--smoke");
+  if (!smoke && !cli.Has("--mean-field")) {
+    // Full runs default to the scale-sweep churn mix so "bench_scale
+    // --nodes N" exercises crashes + joins + periodic sweeps out of the box;
+    // explicit flags (and the smoke / mean-field presets) still win.
+    if (!cli.Has("--crashes")) {
+      config.crashes_per_epoch = config.nodes / 100;
+    }
+    if (!cli.Has("--joins")) {
+      config.joins_per_epoch = config.nodes / 200;
+    }
+    if (!cli.Has("--sweep-period")) {
+      config.sweep_period = 3;
+    }
+  }
   if (smoke) {
     config.nodes = static_cast<size_t>(cli.GetInt("--nodes", 10'000));
     config.epochs = static_cast<size_t>(cli.GetInt("--epochs", 2));
@@ -346,6 +366,17 @@ int main(int argc, char** argv) {
   }
 
   PrintBenchFooter(stopwatch);
+  // Optional hard memory budget (CI scale-smoke asserts bytes/node so a
+  // per-node state regression fails the job instead of slipping through).
+  int64_t max_bytes_per_node = cli.GetInt("--max-bytes-per-node", 0);
+  if (max_bytes_per_node > 0 && config.nodes > 0) {
+    double bytes_per_node = PeakRssMb() * 1024.0 * 1024.0 / static_cast<double>(config.nodes);
+    if (bytes_per_node > static_cast<double>(max_bytes_per_node)) {
+      std::fprintf(stderr, "error: %.0f bytes/node exceeds --max-bytes-per-node %" PRId64 "\n",
+                   bytes_per_node, max_bytes_per_node);
+      return 5;
+    }
+  }
   if (smoke) {
     // CI budget: the smoke run must stay comfortably inside the scale-smoke
     // job's limits (wall time is also bounded by the workflow's timeout).

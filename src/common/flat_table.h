@@ -3,10 +3,18 @@
 // The pointer-heavy std::unordered_map (one heap node per entry, bucket
 // array of pointers) is the dominant memory cost of per-node state at
 // extreme simulation scales. FlatTable keeps keys, values, and slot states
-// in three parallel arrays (SoA): a probe touches one state byte and one
-// key, entries never allocate individually, and iteration is a linear scan.
-// Linear probing over a power-of-two capacity; deletion uses tombstones,
-// which are reclaimed wholesale on the next rehash.
+// in three parallel arrays (SoA) carved out of ONE allocation: a probe
+// touches one state byte and one key, entries never allocate individually,
+// and iteration is a linear scan. Linear probing over a power-of-two
+// capacity; deletion uses tombstones, which are reclaimed wholesale on the
+// next rehash.
+//
+// The backing block comes from an optional Arena (set_arena / the Arena*
+// constructor), so a table that lives inside per-node state costs one pool
+// block instead of three heap vectors. Without an arena it falls back to
+// operator new. Either way the growth policy, probe order, and iteration
+// order are IDENTICAL to the historical three-vector implementation — the
+// simulation's committed fingerprints depend on it.
 //
 // Iteration order is the slot order, which is deterministic for a given
 // sequence of operations (the determinism contract all simulation code
@@ -17,8 +25,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <utility>
-#include <vector>
+
+#include "src/common/arena.h"
 
 namespace past {
 
@@ -26,6 +36,48 @@ template <typename Key, typename Value, typename Hash>
 class FlatTable {
  public:
   FlatTable() = default;
+  // Tables constructed with an arena carve their storage from it; the arena
+  // must outlive the table.
+  explicit FlatTable(Arena* arena) : arena_(arena) {}
+
+  FlatTable(FlatTable&& other) noexcept { MoveFrom(other); }
+  FlatTable& operator=(FlatTable&& other) noexcept {
+    if (this != &other) {
+      DestroyStorage();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  FlatTable(const FlatTable&) = delete;
+  FlatTable& operator=(const FlatTable&) = delete;
+
+  ~FlatTable() { DestroyStorage(); }
+
+  // Redirects future storage to `arena`; only valid before the first
+  // allocation (an empty table).
+  void set_arena(Arena* arena) {
+    if (capacity_ == 0) {
+      arena_ = arena;
+    }
+  }
+
+  // Lowers the first allocation's capacity below the default (16) for
+  // tables that usually stay tiny — e.g. per-node replica tables at extreme
+  // simulation scale, where the default footprint dominates per-node memory.
+  // Growth converges to the same capacities as the default once a table
+  // holds ≥ 6 entries, but the early slot order differs, so only callers
+  // whose consumers never depend on iteration order may opt in. Only valid
+  // before the first allocation.
+  void set_initial_capacity(size_t cap) {
+    if (capacity_ != 0) {
+      return;
+    }
+    size_t pow2 = 4;
+    while (pow2 < cap && pow2 < kMinCapacity) {
+      pow2 *= 2;
+    }
+    min_capacity_ = pow2;
+  }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -85,9 +137,11 @@ class FlatTable {
   }
 
   void Clear() {
-    keys_.clear();
-    values_.clear();
-    states_.clear();
+    DestroyStorage();
+    keys_ = nullptr;
+    values_ = nullptr;
+    states_ = nullptr;
+    capacity_ = 0;
     size_ = 0;
     tombstones_ = 0;
   }
@@ -121,7 +175,7 @@ class FlatTable {
 
    private:
     void SkipHoles() {
-      while (slot_ < table_->states_.size() && table_->states_[slot_] != kFull) {
+      while (slot_ < table_->capacity_ && table_->states_[slot_] != kFull) {
         ++slot_;
       }
     }
@@ -133,21 +187,21 @@ class FlatTable {
   using const_iterator = Iterator<const FlatTable, ConstRef>;
 
   iterator begin() { return iterator(this, 0); }
-  iterator end() { return iterator(this, states_.size()); }
+  iterator end() { return iterator(this, capacity_); }
   const_iterator begin() const { return const_iterator(this, 0); }
-  const_iterator end() const { return const_iterator(this, states_.size()); }
+  const_iterator end() const { return const_iterator(this, capacity_); }
 
  private:
   enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
   static constexpr size_t kNoSlot = static_cast<size_t>(-1);
   static constexpr size_t kMinCapacity = 16;
 
-  size_t capacity() const { return states_.size(); }
-  size_t mask() const { return states_.size() - 1; }
+  size_t capacity() const { return capacity_; }
+  size_t mask() const { return capacity_ - 1; }
 
-  static size_t NormalizeCapacity(size_t n) {
+  size_t NormalizeCapacity(size_t n) const {
     // Keep load factor under ~2/3 after inserting n entries.
-    size_t cap = kMinCapacity;
+    size_t cap = min_capacity_;
     while (cap * 2 < n * 3 + 2) {
       cap *= 2;
     }
@@ -155,7 +209,7 @@ class FlatTable {
   }
 
   size_t FindSlot(const Key& key) const {
-    if (states_.empty()) {
+    if (capacity_ == 0) {
       return kNoSlot;
     }
     size_t slot = Hash{}(key)&mask();
@@ -202,8 +256,8 @@ class FlatTable {
   }
 
   void GrowIfNeeded() {
-    if (states_.empty()) {
-      Rehash(kMinCapacity);
+    if (capacity_ == 0) {
+      Rehash(min_capacity_);
       return;
     }
     // Rehash when live + dead slots pass 2/3 so probe chains stay short.
@@ -212,30 +266,109 @@ class FlatTable {
     }
   }
 
+  // --- single-block storage management ---
+
+  static size_t AlignUp(size_t n, size_t a) { return (n + a - 1) & ~(a - 1); }
+
+  static size_t ValuesOffset(size_t cap) {
+    return AlignUp(cap * sizeof(Key), alignof(Value) > 1 ? alignof(Value) : 1);
+  }
+  static size_t StatesOffset(size_t cap) { return ValuesOffset(cap) + cap * sizeof(Value); }
+  static size_t BlockBytes(size_t cap) { return StatesOffset(cap) + cap; }
+
+  // Allocates a block for `cap` slots with every key/value value-initialized
+  // (matching the historical vector::resize behavior) and all states empty.
+  void AllocateStorage(size_t cap) {
+    static_assert(alignof(Key) <= Arena::kAlignment && alignof(Value) <= Arena::kAlignment,
+                  "over-aligned key or value");
+    char* block = static_cast<char*>(
+        arena_ != nullptr ? arena_->Allocate(BlockBytes(cap))
+                          : ::operator new(BlockBytes(cap), std::align_val_t{Arena::kAlignment}));
+    keys_ = reinterpret_cast<Key*>(block);
+    values_ = reinterpret_cast<Value*>(block + ValuesOffset(cap));
+    states_ = reinterpret_cast<uint8_t*>(block + StatesOffset(cap));
+    for (size_t i = 0; i < cap; ++i) {
+      new (&keys_[i]) Key();
+    }
+    for (size_t i = 0; i < cap; ++i) {
+      new (&values_[i]) Value();
+    }
+    for (size_t i = 0; i < cap; ++i) {
+      states_[i] = kEmpty;
+    }
+    capacity_ = cap;
+  }
+
+  void DestroyStorage() {
+    if (capacity_ == 0) {
+      return;
+    }
+    for (size_t i = 0; i < capacity_; ++i) {
+      keys_[i].~Key();
+    }
+    for (size_t i = 0; i < capacity_; ++i) {
+      values_[i].~Value();
+    }
+    void* block = keys_;
+    if (arena_ != nullptr) {
+      arena_->Deallocate(block, BlockBytes(capacity_));
+    } else {
+      ::operator delete(block, std::align_val_t{Arena::kAlignment});
+    }
+  }
+
+  void MoveFrom(FlatTable& other) {
+    arena_ = other.arena_;
+    min_capacity_ = other.min_capacity_;
+    keys_ = other.keys_;
+    values_ = other.values_;
+    states_ = other.states_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    tombstones_ = other.tombstones_;
+    other.keys_ = nullptr;
+    other.values_ = nullptr;
+    other.states_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+    other.tombstones_ = 0;
+  }
+
   void Rehash(size_t new_capacity) {
-    std::vector<Key> old_keys = std::move(keys_);
-    std::vector<Value> old_values = std::move(values_);
-    std::vector<uint8_t> old_states = std::move(states_);
-    // resize() (not assign) so move-only values (unique_ptr slots) work: the
-    // new slots are default-constructed in place, never copied from a proto.
-    keys_.clear();
-    keys_.resize(new_capacity);
-    values_.clear();
-    values_.resize(new_capacity);
-    states_.assign(new_capacity, kEmpty);
+    Key* old_keys = keys_;
+    Value* old_values = values_;
+    uint8_t* old_states = states_;
+    size_t old_capacity = capacity_;
+    AllocateStorage(new_capacity);
     size_ = 0;
     tombstones_ = 0;
-    for (size_t i = 0; i < old_states.size(); ++i) {
+    for (size_t i = 0; i < old_capacity; ++i) {
       if (old_states[i] == kFull) {
         size_t slot = ProbeForInsert(old_keys[i]);
         OccupySlot(slot, old_keys[i], std::move(old_values[i]));
       }
     }
+    if (old_capacity != 0) {
+      for (size_t i = 0; i < old_capacity; ++i) {
+        old_keys[i].~Key();
+      }
+      for (size_t i = 0; i < old_capacity; ++i) {
+        old_values[i].~Value();
+      }
+      if (arena_ != nullptr) {
+        arena_->Deallocate(old_keys, BlockBytes(old_capacity));
+      } else {
+        ::operator delete(old_keys, std::align_val_t{Arena::kAlignment});
+      }
+    }
   }
 
-  std::vector<Key> keys_;
-  std::vector<Value> values_;
-  std::vector<uint8_t> states_;
+  Arena* arena_ = nullptr;
+  size_t min_capacity_ = kMinCapacity;  // capacity of the first allocation
+  Key* keys_ = nullptr;
+  Value* values_ = nullptr;
+  uint8_t* states_ = nullptr;
+  size_t capacity_ = 0;
   size_t size_ = 0;
   size_t tombstones_ = 0;
 };

@@ -93,6 +93,18 @@ double Topology::Distance(const NodeId& a, const NodeId& b) const {
   return TorusDistance(LocationOf(a), LocationOf(b));
 }
 
+double Topology::DistanceOr(const NodeId& a, const NodeId& b, double fallback) const {
+  const Coordinate* ca = locations_.Find(a);
+  if (ca == nullptr) {
+    return fallback;
+  }
+  const Coordinate* cb = locations_.Find(b);
+  if (cb == nullptr) {
+    return fallback;
+  }
+  return TorusDistance(*ca, *cb);
+}
+
 void Topology::ScanCell(int cx, int cy, const Coordinate& point, NodeId& best,
                         double& best_distance, bool& found) const {
   const std::vector<GridEntry>& cell = cells_[static_cast<size_t>(cx * kGridDim + cy)];

@@ -54,6 +54,12 @@ class Topology {
   // Proximity metric between two registered endpoints.
   double Distance(const NodeId& a, const NodeId& b) const;
 
+  // Distance(a, b) when both endpoints are registered, `fallback` otherwise.
+  // One table probe per endpoint — half the cost of the Contains+Contains+
+  // LocationOf+LocationOf sequence it replaces on the routing-table Consider
+  // hot path.
+  double DistanceOr(const NodeId& a, const NodeId& b, double fallback) const;
+
   // The registered endpoint closest to `point` (grid expanding-ring search;
   // ties by smaller NodeId). Default NodeId if the topology is empty.
   NodeId NearestTo(const Coordinate& point) const;

@@ -74,6 +74,12 @@ struct PastConfig {
   // Storage experiments without churn disable it to skip the scan.
   bool enable_maintenance = true;
 
+  // When true, per-node store tables start at 4 slots instead of 16 (see
+  // NodeStore::SetCompactTables). Set only by the scale engine: early table
+  // slot order differs from the default, and the message-level simulator's
+  // committed fingerprints depend on the default order.
+  bool compact_store_tables = false;
+
   // Per-phase timeout for the event-driven client operations (virtual ms).
   // When a protocol exchange still has unanswered messages this long after
   // they were sent, the op presumes them lost and takes its timeout path

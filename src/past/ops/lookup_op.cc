@@ -219,7 +219,7 @@ void LookupOp::OnFetchRequest(const Delivery&) {
   } else {
     const ReplicaEntry* entry = server->store().GetReplica(file_id_);
     result_.file_size = entry == nullptr ? 0 : entry->size;
-    result_.content = entry == nullptr ? nullptr : entry->content;
+    result_.content = entry == nullptr ? nullptr : server->store().GetContent(file_id_);
   }
   Message reply;
   reply.type = MessageType::kFetchReply;

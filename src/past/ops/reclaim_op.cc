@@ -68,7 +68,8 @@ void ReclaimOp::ReclaimAt(const NodeId& node_id) {
   const ReplicaEntry* entry = pn->store().GetReplica(file_id);
   if (entry != nullptr) {
     // Only the file's legitimate owner may reclaim it.
-    if (!(entry->certificate->owner == certificate_.owner)) {
+    const FileCertificateRef stored_cert = pn->store().GetCertificate(file_id);
+    if (stored_cert == nullptr || !(stored_cert->owner == certificate_.owner)) {
       owner_mismatch_ = true;
       return;
     }

@@ -105,10 +105,11 @@ void RepairOp::RepairFile(const FileId& file_id) {
     return;
   }
 
-  const ReplicaEntry* sample = net_.storage_node(holders.front())->store().GetReplica(file_id);
+  const NodeStore& sample_store = net_.storage_node(holders.front())->store();
+  const ReplicaEntry* sample = sample_store.GetReplica(file_id);
   uint64_t size = sample->size;
-  FileCertificateRef certificate = sample->certificate;
-  FileContentRef content = sample->content;
+  FileCertificateRef certificate = sample_store.GetCertificate(file_id);
+  FileContentRef content = sample_store.GetContent(file_id);
   // The holder that pushes replica data to repair targets.
   NodeId source = holders.front();
 

@@ -1,6 +1,7 @@
 #include "src/past/past_network.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_set>
 #include <utility>
 
@@ -393,7 +394,7 @@ bool PastNetwork::IsAmongKClosest(const NodeId& node, const NodeId& key, size_t 
       }
     }
   }
-  const std::vector<NodeId>& larger = leaves.larger();
+  std::span<const NodeId> larger = leaves.larger();
   for (const NodeId& id : leaves.smaller()) {
     if (std::find(larger.begin(), larger.end(), id) != larger.end()) {
       continue;  // sides overlap only in tiny networks; avoid double counting

@@ -28,30 +28,46 @@ PastNode::PastNode(const NodeId& id, const PastConfig& config, uint64_t capacity
       store_(capacity_bytes),
       cache_(MakeCache(config)),
       card_(rng, /*quota_bytes=*/0) {
-  // The cache counters exist (at zero) even with caching off, so metrics
-  // dumps have the same schema in every mode.
-  metrics_.GetCounter("node.cache.hits");
-  metrics_.GetCounter("node.cache.misses");
-  metrics_.GetCounter("node.cache.insertions");
-  metrics_.GetCounter("node.cache.evictions");
-  load_ops_ = &metrics_.GetCounter("node.load.ops");
+  if (config.compact_store_tables) {
+    store_.SetCompactTables();
+  }
   if (cache_ != nullptr) {
-    cache_->BindMetrics(&metrics_);
+    // The cache records hit/miss tallies into the registry live, so it needs
+    // the instruments up front; with caching off the registry stays unbuilt
+    // until something actually reads metrics.
+    cache_->BindMetrics(&EnsureMetrics());
   }
 }
 
+obs::MetricsRegistry& PastNode::EnsureMetrics() const {
+  if (metrics_ == nullptr) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    // The cache counters exist (at zero) even with caching off, so metrics
+    // dumps have the same schema in every mode.
+    metrics_->GetCounter("node.cache.hits");
+    metrics_->GetCounter("node.cache.misses");
+    metrics_->GetCounter("node.cache.insertions");
+    metrics_->GetCounter("node.cache.evictions");
+    metrics_->GetCounter("node.load.ops");
+  }
+  return *metrics_;
+}
+
 void PastNode::RefreshGauges() const {
-  metrics_.GetGauge("node.store.capacity_bytes").Set(static_cast<double>(store_.capacity()));
-  metrics_.GetGauge("node.store.used_bytes").Set(static_cast<double>(store_.used()));
-  metrics_.GetGauge("node.store.replicas").Set(static_cast<double>(store_.replica_count()));
-  metrics_.GetGauge("node.store.diverted").Set(static_cast<double>(store_.diverted_count()));
-  metrics_.GetGauge("node.store.pointers").Set(static_cast<double>(store_.pointers().size()));
+  obs::MetricsRegistry& metrics = EnsureMetrics();
+  obs::Counter& load_ops = metrics.GetCounter("node.load.ops");
+  load_ops.Inc(load_ops_total_ - load_ops.value());
+  metrics.GetGauge("node.store.capacity_bytes").Set(static_cast<double>(store_.capacity()));
+  metrics.GetGauge("node.store.used_bytes").Set(static_cast<double>(store_.used()));
+  metrics.GetGauge("node.store.replicas").Set(static_cast<double>(store_.replica_count()));
+  metrics.GetGauge("node.store.diverted").Set(static_cast<double>(store_.diverted_count()));
+  metrics.GetGauge("node.store.pointers").Set(static_cast<double>(store_.pointers().size()));
   if (cache_ != nullptr) {
     // Counter deltas accumulated on the lookup hot path land here, just
     // before any snapshot reads the registry.
     cache_->SyncBoundMetrics();
-    metrics_.GetGauge("node.cache.used_bytes").Set(static_cast<double>(cache_->used()));
-    metrics_.GetGauge("node.cache.entries").Set(static_cast<double>(cache_->count()));
+    metrics.GetGauge("node.cache.used_bytes").Set(static_cast<double>(cache_->used()));
+    metrics.GetGauge("node.cache.entries").Set(static_cast<double>(cache_->count()));
   }
 }
 

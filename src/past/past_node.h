@@ -34,7 +34,14 @@ class PastNode {
   // live; store occupancy gauges are synced by RefreshGauges() so a snapshot
   // is cheap and always consistent with the store. Network-wide aggregation
   // (PastNetwork::SnapshotMetrics) merges these registries across live nodes.
-  obs::MetricsRegistry& metrics() const { return metrics_; }
+  //
+  // The registry is materialized on first access: a million-node simulation
+  // with caching off never reads per-node metrics on the hot path, and the
+  // map nodes for the standard instruments would otherwise be the largest
+  // fixed heap cost of a node. Hot-path tallies (NoteServedOp) accumulate in
+  // plain fields; RefreshGauges() — which every snapshot path already calls
+  // first — syncs them into the registry, so readers see identical values.
+  obs::MetricsRegistry& metrics() const { return EnsureMetrics(); }
   void RefreshGauges() const;
 
   // Policy checks (S_D / F_N thresholds of section 3.3.1).
@@ -49,7 +56,7 @@ class PastNode {
   uint64_t recent_load() const { return recent_load_; }
   void NoteServedOp() {
     ++recent_load_;
-    load_ops_->Inc();
+    ++load_ops_total_;
   }
   void DecayRecentLoad() { recent_load_ /= 2; }
 
@@ -72,16 +79,20 @@ class PastNode {
   ReclaimReceipt MakeReclaimReceipt(const FileId& id, uint64_t bytes);
 
  private:
+  // Creates the registry (with the standard instrument schema) on first use.
+  obs::MetricsRegistry& EnsureMetrics() const;
+
   NodeId id_;
   const PastConfig& config_;
   NodeStore store_;
   // Mutable so read-side snapshots (const network traversals) can sync the
-  // occupancy gauges before serializing.
-  mutable obs::MetricsRegistry metrics_;
+  // occupancy gauges before serializing. Null until first read (or eagerly
+  // created when a cache needs to record tallies live).
+  mutable std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<FileCache> cache_;
   Smartcard card_;
   uint64_t recent_load_ = 0;
-  obs::Counter* load_ops_ = nullptr;  // "node.load.ops", created in the ctor
+  uint64_t load_ops_total_ = 0;  // lifetime serves; exported as "node.load.ops"
 };
 
 }  // namespace past

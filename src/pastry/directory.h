@@ -1,0 +1,110 @@
+// NodeDirectory: the one lookup surface a Pastry node's routing state needs
+// from its surroundings — id interning, index->id resolution, liveness, and
+// the proximity metric.
+//
+// Before this existed, every node carried two std::function closures
+// (proximity for the routing table, proximity for the neighborhood set) and
+// every aliveness check was an id -> index hash probe through a callback.
+// At a million nodes that is two heap-allocated closures per node and a
+// cache-missing probe per leaf-set member per routing hop. The directory
+// replaces all of it with one shared struct of C function pointers: nodes
+// store dense u32 indices instead of 16-byte ids where possible, aliveness
+// is an array load, and the per-node footprint drops by the closures plus
+// the fattened entries.
+//
+// PastryNetwork provides the canonical implementation (backed by its
+// interning table, alive bits, and emulated topology). SimpleNodeDirectory
+// below is a self-contained registry for unit tests and standalone nodes.
+#ifndef SRC_PASTRY_DIRECTORY_H_
+#define SRC_PASTRY_DIRECTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/flat_table.h"
+#include "src/common/node_id.h"
+
+namespace past {
+
+// Sentinel for "no entry" in index-valued routing state.
+inline constexpr uint32_t kInvalidNodeIndex = static_cast<uint32_t>(-1);
+
+// Plain function pointers + context, not virtuals: the directory is consulted
+// on every hop of every route, and a PastryNode must stay trivially small —
+// one 8-byte pointer to a struct shared by the whole overlay.
+struct NodeDirectory {
+  void* ctx = nullptr;
+
+  // Returns the dense index for `id`, interning it if never seen. Indices
+  // are stable for the directory's lifetime.
+  uint32_t (*intern)(void* ctx, const NodeId& id) = nullptr;
+
+  // The id interned at `index` (valid for any index returned by intern).
+  const NodeId& (*resolve)(void* ctx, uint32_t index) = nullptr;
+
+  // Liveness of the node interned at `index`.
+  bool (*alive)(void* ctx, uint32_t index) = nullptr;
+
+  // Proximity distance between two nodes (1e9 when either is unknown to the
+  // topology). May be null: consumers then treat all nodes as equidistant,
+  // matching the historical "no proximity function" behavior.
+  double (*distance)(void* ctx, const NodeId& a, const NodeId& b) = nullptr;
+};
+
+// A self-contained directory for tests, benches, and standalone PastryNode
+// instances: interns into its own table, everything defaults to alive, and
+// the distance metric is an optional std::function.
+class SimpleNodeDirectory {
+ public:
+  using DistanceFn = std::function<double(const NodeId& a, const NodeId& b)>;
+
+  SimpleNodeDirectory() {
+    dir_.ctx = this;
+    dir_.intern = &InternThunk;
+    dir_.resolve = &ResolveThunk;
+    dir_.alive = &AliveThunk;
+    dir_.distance = nullptr;
+  }
+  explicit SimpleNodeDirectory(DistanceFn distance) : SimpleNodeDirectory() {
+    distance_ = std::move(distance);
+    dir_.distance = &DistanceThunk;
+  }
+
+  const NodeDirectory* view() const { return &dir_; }
+
+  uint32_t Intern(const NodeId& id) {
+    auto [slot, inserted] = index_.TryEmplace(id, static_cast<uint32_t>(ids_.size()));
+    if (inserted) {
+      ids_.push_back(id);
+      alive_.push_back(1);
+    }
+    return *slot;
+  }
+
+  void SetAlive(const NodeId& id, bool alive) { alive_[Intern(id)] = alive ? 1 : 0; }
+
+ private:
+  static uint32_t InternThunk(void* ctx, const NodeId& id) {
+    return static_cast<SimpleNodeDirectory*>(ctx)->Intern(id);
+  }
+  static const NodeId& ResolveThunk(void* ctx, uint32_t index) {
+    return static_cast<SimpleNodeDirectory*>(ctx)->ids_[index];
+  }
+  static bool AliveThunk(void* ctx, uint32_t index) {
+    return static_cast<SimpleNodeDirectory*>(ctx)->alive_[index] != 0;
+  }
+  static double DistanceThunk(void* ctx, const NodeId& a, const NodeId& b) {
+    return static_cast<SimpleNodeDirectory*>(ctx)->distance_(a, b);
+  }
+
+  NodeDirectory dir_;
+  FlatTable<NodeId, uint32_t, NodeIdHash> index_;
+  std::vector<NodeId> ids_;
+  std::vector<uint8_t> alive_;
+  DistanceFn distance_;
+};
+
+}  // namespace past
+
+#endif  // SRC_PASTRY_DIRECTORY_H_

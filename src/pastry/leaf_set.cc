@@ -4,32 +4,55 @@
 
 namespace past {
 
-LeafSet::LeafSet(const NodeId& owner, int capacity_per_side)
-    : owner_(owner), capacity_per_side_(capacity_per_side) {}
+LeafSet::LeafSet(const NodeId& owner, int capacity_per_side, const NodeDirectory* dir)
+    : owner_(owner), dir_(dir), capacity_per_side_(capacity_per_side) {
+  if (capacity_per_side_ > kInlinePerSide) {
+    spill_ = std::make_unique<Spill>();
+    for (int s = 0; s < 2; ++s) {
+      spill_->ids[s].resize(static_cast<size_t>(capacity_per_side_));
+      spill_->idx[s].resize(static_cast<size_t>(capacity_per_side_), kInvalidNodeIndex);
+    }
+  }
+}
 
-bool LeafSet::InsertSide(std::vector<NodeId>& side, const NodeId& id, bool clockwise) {
-  auto directed = [&](const NodeId& n) {
-    return clockwise ? owner_.ClockwiseDistance(n) : n.ClockwiseDistance(owner_);
+bool LeafSet::InsertSide(int s, const NodeId& id) {
+  const bool clockwise = (s == 0);
+  NodeId* ids = side_ids(s);
+  uint32_t* idx = side_idx(s);
+  int n = count_[s];
+  auto directed = [&](const NodeId& x) {
+    return clockwise ? owner_.ClockwiseDistance(x) : x.ClockwiseDistance(owner_);
   };
   uint128 d = directed(id);
-  auto pos = std::lower_bound(side.begin(), side.end(), id, [&](const NodeId& a, const NodeId& b) {
-    return directed(a) < directed(b);
-  });
-  // `pos` may point at an equal-distance element, i.e. the id itself.
-  if (pos != side.end() && *pos == id) {
+  // Directed distance is injective for a fixed owner, so the sort order is
+  // strict and lower_bound pins a unique position.
+  int lo = 0;
+  int hi = n;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (directed(ids[mid]) < d) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  int pos = lo;
+  if (pos < n && ids[pos] == id) {
     return false;
   }
-  if (side.size() == static_cast<size_t>(capacity_per_side_)) {
-    if (d >= directed(side.back())) {
+  if (n == capacity_per_side_) {
+    if (d >= directed(ids[n - 1])) {
       return false;  // farther than everything we keep
     }
-    side.pop_back();
-    pos = std::lower_bound(side.begin(), side.end(), id,
-                           [&](const NodeId& a, const NodeId& b) {
-                             return directed(a) < directed(b);
-                           });
+    --n;  // evict the farthest member; pos is unaffected (pos <= n - 1)
   }
-  side.insert(pos, id);
+  for (int i = n; i > pos; --i) {
+    ids[i] = ids[i - 1];
+    idx[i] = idx[i - 1];
+  }
+  ids[pos] = id;
+  idx[pos] = dir_ != nullptr ? dir_->intern(dir_->ctx, id) : kInvalidNodeIndex;
+  count_[s] = n + 1;
   return true;
 }
 
@@ -39,33 +62,47 @@ bool LeafSet::Insert(const NodeId& id) {
   }
   // A node is a candidate for both sides; with >= l+1 nodes in the system the
   // capacity limits naturally make the sides disjoint.
-  bool inserted_larger = InsertSide(larger_, id, /*clockwise=*/true);
-  bool inserted_smaller = InsertSide(smaller_, id, /*clockwise=*/false);
+  bool inserted_larger = InsertSide(0, id);
+  bool inserted_smaller = InsertSide(1, id);
   return inserted_larger || inserted_smaller;
 }
 
 bool LeafSet::Remove(const NodeId& id) {
-  auto erase_from = [&](std::vector<NodeId>& side) {
-    auto it = std::find(side.begin(), side.end(), id);
-    if (it == side.end()) {
-      return false;
+  bool any = false;
+  for (int s = 0; s < 2; ++s) {
+    NodeId* ids = side_ids(s);
+    uint32_t* idx = side_idx(s);
+    int n = count_[s];
+    for (int i = 0; i < n; ++i) {
+      if (ids[i] == id) {
+        for (int j = i; j + 1 < n; ++j) {
+          ids[j] = ids[j + 1];
+          idx[j] = idx[j + 1];
+        }
+        count_[s] = n - 1;
+        any = true;
+        break;
+      }
     }
-    side.erase(it);
-    return true;
-  };
-  bool a = erase_from(larger_);
-  bool b = erase_from(smaller_);
-  return a || b;
+  }
+  return any;
 }
 
 bool LeafSet::Contains(const NodeId& id) const {
-  return std::find(larger_.begin(), larger_.end(), id) != larger_.end() ||
-         std::find(smaller_.begin(), smaller_.end(), id) != smaller_.end();
+  for (int s = 0; s < 2; ++s) {
+    const NodeId* ids = side_ids(s);
+    for (int i = 0; i < count_[s]; ++i) {
+      if (ids[i] == id) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 std::vector<NodeId> LeafSet::All() const {
-  std::vector<NodeId> all = larger_;
-  for (const NodeId& id : smaller_) {
+  std::vector<NodeId> all(larger().begin(), larger().end());
+  for (const NodeId& id : smaller()) {
     if (std::find(all.begin(), all.end(), id) == all.end()) {
       all.push_back(id);
     }
@@ -80,8 +117,8 @@ bool LeafSet::Covers(const NodeId& key) const {
   // The covered arc runs counterclockwise from the farthest smaller member to
   // the farthest larger member (through the owner). With an empty side, the
   // arc boundary is the owner itself.
-  uint128 cw_reach = larger_.empty() ? 0 : owner_.ClockwiseDistance(larger_.back());
-  uint128 ccw_reach = smaller_.empty() ? 0 : smaller_.back().ClockwiseDistance(owner_);
+  uint128 cw_reach = count_[0] == 0 ? 0 : owner_.ClockwiseDistance(side_ids(0)[count_[0] - 1]);
+  uint128 ccw_reach = count_[1] == 0 ? 0 : side_ids(1)[count_[1] - 1].ClockwiseDistance(owner_);
   uint128 cw_key = owner_.ClockwiseDistance(key);
   uint128 ccw_key = key.ClockwiseDistance(owner_);
   return cw_key <= cw_reach || ccw_key <= ccw_reach;
@@ -89,10 +126,11 @@ bool LeafSet::Covers(const NodeId& key) const {
 
 NodeId LeafSet::ClosestTo(const NodeId& key) const {
   NodeId best = owner_;
-  for (const auto* side : {&larger_, &smaller_}) {
-    for (const NodeId& id : *side) {
-      if (id.CloserTo(key, best)) {
-        best = id;
+  for (int s = 0; s < 2; ++s) {
+    const NodeId* ids = side_ids(s);
+    for (int i = 0; i < count_[s]; ++i) {
+      if (ids[i].CloserTo(key, best)) {
+        best = ids[i];
       }
     }
   }
@@ -102,8 +140,7 @@ NodeId LeafSet::ClosestTo(const NodeId& key) const {
 size_t LeafSet::size() const { return All().size(); }
 
 bool LeafSet::full() const {
-  return larger_.size() == static_cast<size_t>(capacity_per_side_) &&
-         smaller_.size() == static_cast<size_t>(capacity_per_side_);
+  return count_[0] == capacity_per_side_ && count_[1] == capacity_per_side_;
 }
 
 }  // namespace past

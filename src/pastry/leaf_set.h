@@ -6,18 +6,34 @@
 // are, by the constraint k <= l/2 + 1, always inside the root's leaf set).
 // When fewer than l nodes exist on either side the two sides may overlap;
 // consumers that need "distinct nodes" use All().
+//
+// Storage is two fixed-size inline sorted arrays (ids plus their interned
+// dense indices, SoA) — no per-node heap vectors. The final routing hop
+// scans every member with an aliveness check per member; the index array
+// turns each of those checks into a dense bit-array load instead of an
+// id -> index hash probe. Paper parameters (l = 2k = 10, and the evaluated
+// l = 32) fit inline; larger ablation configs spill to one heap block.
 #ifndef SRC_PASTRY_LEAF_SET_H_
 #define SRC_PASTRY_LEAF_SET_H_
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/common/node_id.h"
+#include "src/pastry/directory.h"
 
 namespace past {
 
 class LeafSet {
  public:
-  LeafSet(const NodeId& owner, int capacity_per_side);
+  // Inline capacity covers the paper's evaluated l = 32 (16 per side);
+  // larger capacities allocate a spill block at construction.
+  static constexpr int kInlinePerSide = 16;
+
+  // `dir` supplies id interning for the index arrays; standalone sets (unit
+  // tests) may pass nullptr and get kInvalidNodeIndex entries.
+  LeafSet(const NodeId& owner, int capacity_per_side, const NodeDirectory* dir = nullptr);
 
   const NodeId& owner() const { return owner_; }
   int capacity_per_side() const { return capacity_per_side_; }
@@ -33,9 +49,17 @@ class LeafSet {
 
   // Members on the clockwise (numerically larger, wrapping) side, ordered by
   // increasing ring distance from the owner.
-  const std::vector<NodeId>& larger() const { return larger_; }
+  std::span<const NodeId> larger() const { return {side_ids(0), static_cast<size_t>(count_[0])}; }
   // Members on the counterclockwise side, ordered likewise.
-  const std::vector<NodeId>& smaller() const { return smaller_; }
+  std::span<const NodeId> smaller() const { return {side_ids(1), static_cast<size_t>(count_[1])}; }
+
+  // Interned directory indices parallel to larger()/smaller().
+  std::span<const uint32_t> larger_indices() const {
+    return {side_idx(0), static_cast<size_t>(count_[0])};
+  }
+  std::span<const uint32_t> smaller_indices() const {
+    return {side_idx(1), static_cast<size_t>(count_[1])};
+  }
 
   // Distinct members of both sides (owner excluded).
   std::vector<NodeId> All() const;
@@ -53,13 +77,30 @@ class LeafSet {
   bool full() const;
 
  private:
-  // Inserts into one side vector kept sorted by directed distance.
-  bool InsertSide(std::vector<NodeId>& side, const NodeId& id, bool clockwise);
+  // Inserts into one side kept sorted by directed distance. s: 0=larger
+  // (clockwise), 1=smaller.
+  bool InsertSide(int s, const NodeId& id);
+
+  NodeId* side_ids(int s) { return spill_ ? spill_->ids[s].data() : inline_ids_[s]; }
+  const NodeId* side_ids(int s) const { return spill_ ? spill_->ids[s].data() : inline_ids_[s]; }
+  uint32_t* side_idx(int s) { return spill_ ? spill_->idx[s].data() : inline_idx_[s]; }
+  const uint32_t* side_idx(int s) const {
+    return spill_ ? spill_->idx[s].data() : inline_idx_[s];
+  }
 
   NodeId owner_;
+  const NodeDirectory* dir_;
   int capacity_per_side_;
-  std::vector<NodeId> larger_;
-  std::vector<NodeId> smaller_;
+  int count_[2] = {0, 0};  // [0]=larger, [1]=smaller
+  NodeId inline_ids_[2][kInlinePerSide];
+  uint32_t inline_idx_[2][kInlinePerSide];
+  // Ablation configs with capacity_per_side > kInlinePerSide keep both sides
+  // in one heap block instead; the inline arrays go unused.
+  struct Spill {
+    std::vector<NodeId> ids[2];
+    std::vector<uint32_t> idx[2];
+  };
+  std::unique_ptr<Spill> spill_;
 };
 
 }  // namespace past

@@ -7,7 +7,42 @@
 namespace past {
 
 PastryNetwork::PastryNetwork(const PastryConfig& config, uint64_t seed)
-    : config_(config), rng_(seed), topology_(rng_.NextU64()) {}
+    : config_(config), rng_(seed), topology_(rng_.NextU64()) {
+  dir_.ctx = this;
+  dir_.intern = &PastryNetwork::DirIntern;
+  dir_.resolve = &PastryNetwork::DirResolve;
+  dir_.alive = &PastryNetwork::DirAlive;
+  dir_.distance = &PastryNetwork::DirDistance;
+}
+
+PastryNetwork::~PastryNetwork() {
+  // Nodes live in the arena; destroy them while the arena (a later-destroyed
+  // member would be UB here — it is declared first) is still alive so the
+  // routing rows they free land back in its lists.
+  for (PastryNode* n : slots_) {
+    if (n != nullptr) {
+      arena_.Destroy(n);
+    }
+  }
+}
+
+uint32_t PastryNetwork::DirIntern(void* ctx, const NodeId& id) {
+  return static_cast<PastryNetwork*>(ctx)->Intern(id);
+}
+
+const NodeId& PastryNetwork::DirResolve(void* ctx, uint32_t index) {
+  return static_cast<PastryNetwork*>(ctx)->ids_by_index_[index];
+}
+
+bool PastryNetwork::DirAlive(void* ctx, uint32_t index) {
+  return static_cast<PastryNetwork*>(ctx)->alive_bits_[index] != 0;
+}
+
+double PastryNetwork::DirDistance(void* ctx, const NodeId& a, const NodeId& b) {
+  // Unregistered endpoints (dead nodes left the topology) are maximally far,
+  // so proximity comparisons never prefer them.
+  return static_cast<PastryNetwork*>(ctx)->topology_.DistanceOr(a, b, 1e9);
+}
 
 NodeId PastryNetwork::RandomNodeId() {
   for (;;) {
@@ -18,26 +53,36 @@ NodeId PastryNetwork::RandomNodeId() {
   }
 }
 
-PastryNode::ProximityFn PastryNetwork::MakeProximityFn(const NodeId& id) {
-  return [this, id](const NodeId& other) {
-    if (!topology_.Contains(id) || !topology_.Contains(other)) {
-      return 1e9;
-    }
-    return topology_.Distance(id, other);
-  };
-}
-
-PastryNetwork::NodeIndex PastryNetwork::InstallNode(const NodeId& id,
-                                                    std::unique_ptr<PastryNode> node) {
+PastryNetwork::NodeIndex PastryNetwork::Intern(const NodeId& id) {
+  // Known ids are the overwhelmingly common case (every Learn re-interns its
+  // argument), and answering them from Find keeps Intern non-mutating:
+  // TryEmplace may rehash even when the key exists (growth is checked before
+  // the probe), which would invalidate index_ pointers held by callers up
+  // the stack — node() during a batched-join flush, for one.
+  if (const NodeIndex* existing = index_.Find(id)) {
+    return *existing;
+  }
   auto [slot, inserted] = index_.TryEmplace(id, static_cast<NodeIndex>(slots_.size()));
   if (inserted) {
-    slots_.push_back(std::move(node));
-    alive_bits_.push_back(1);
-  } else {
-    slots_[*slot] = std::move(node);
-    alive_bits_[*slot] = 1;
+    slots_.push_back(nullptr);
+    alive_bits_.push_back(0);
+    ids_by_index_.push_back(id);
+    if (join_batch_active_) {
+      pending_head_.push_back(kInvalidIndex);
+      pending_tail_.push_back(kInvalidIndex);
+    }
   }
   return *slot;
+}
+
+PastryNode* PastryNetwork::InstallNode(const NodeId& id) {
+  NodeIndex idx = Intern(id);
+  if (slots_[idx] != nullptr) {
+    arena_.Destroy(slots_[idx]);
+  }
+  slots_[idx] = arena_.Create<PastryNode>(id, config_, &dir_, &arena_);
+  alive_bits_[idx] = 1;
+  return slots_[idx];
 }
 
 NodeId PastryNetwork::CreateNode() {
@@ -72,9 +117,7 @@ bool PastryNetwork::Join(const NodeId& id, const Coordinate& location) {
   }
 
   topology_.PlaceNear(id, location, 0.0);
-  auto node = std::make_unique<PastryNode>(id, config_, MakeProximityFn(id));
-  PastryNode* x = node.get();
-  InstallNode(id, std::move(node));
+  PastryNode* x = InstallNode(id);
 
   if (have_seed) {
     // Route the special join message from the seed toward the new id; the
@@ -126,7 +169,9 @@ bool PastryNetwork::Join(const NodeId& id, const Coordinate& location) {
 
 void PastryNetwork::AnnounceNewNode(PastryNode& node) {
   // The arriving node transmits its state to every node it now references;
-  // each of them folds the newcomer into its own state.
+  // each of them folds the newcomer into its own state. In batch mode the
+  // Learn is queued on the target instead of applied — same per-target
+  // order, applied before the target's state is next read.
   std::vector<NodeId> targets = node.leaf_set().All();
   for (const NodeId& entry : node.routing_table().Entries()) {
     targets.push_back(entry);
@@ -137,11 +182,73 @@ void PastryNetwork::AnnounceNewNode(PastryNode& node) {
   std::sort(targets.begin(), targets.end());
   targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
   for (const NodeId& t : targets) {
-    PastryNode* w = this->node(t);
-    if (w != nullptr && IsAlive(t)) {
-      w->Learn(node.id());
-      stats_.RecordMessage(64);
+    const NodeIndex* found = index_.Find(t);
+    if (found == nullptr) {
+      continue;
     }
+    const NodeIndex ti = *found;  // value copy: Learn below probes index_
+    if (slots_[ti] == nullptr || alive_bits_[ti] == 0) {
+      continue;
+    }
+    if (join_batch_active_) {
+      uint32_t link = static_cast<uint32_t>(pending_pool_.size());
+      pending_pool_.push_back(PendingLearn{kInvalidIndex, node.id()});
+      if (pending_tail_[ti] == kInvalidIndex) {
+        pending_head_[ti] = link;
+      } else {
+        pending_pool_[pending_tail_[ti]].next = link;
+      }
+      pending_tail_[ti] = link;
+    } else {
+      slots_[ti]->Learn(node.id());
+    }
+    stats_.RecordMessage(64);
+  }
+}
+
+void PastryNetwork::BeginJoinBatch() {
+  join_batch_active_ = true;
+  pending_head_.assign(slots_.size(), kInvalidIndex);
+  pending_tail_.assign(slots_.size(), kInvalidIndex);
+  // Ring inserts batch too: sorted-vector insertion is an O(n) memmove, and
+  // at bulk-build scale the moves (not the Learns) dominate wall time.
+  ring_.BeginBulkLoad();
+}
+
+void PastryNetwork::FlushJoinBatch() {
+  for (NodeIndex i = 0; i < pending_head_.size(); ++i) {
+    FlushPending(i);
+  }
+  pending_pool_.clear();
+}
+
+void PastryNetwork::EndJoinBatch() {
+  FlushJoinBatch();
+  ring_.EndBulkLoad();
+  join_batch_active_ = false;
+  pending_head_.clear();
+  pending_head_.shrink_to_fit();
+  pending_tail_.clear();
+  pending_tail_.shrink_to_fit();
+  pending_pool_.shrink_to_fit();
+}
+
+void PastryNetwork::FlushPending(NodeIndex index) {
+  uint32_t cur = pending_head_[index];
+  if (cur == kInvalidIndex) {
+    return;
+  }
+  pending_head_[index] = kInvalidIndex;
+  pending_tail_[index] = kInvalidIndex;
+  PastryNode* w = slots_[index];
+  while (cur != kInvalidIndex) {
+    // Copy out: Learn may intern a new id, growing pending_pool_'s siblings
+    // is impossible but keeping a reference across a mutation is fragile.
+    PendingLearn entry = pending_pool_[cur];
+    if (w != nullptr) {
+      w->Learn(entry.newcomer);
+    }
+    cur = entry.next;
   }
 }
 
@@ -260,7 +367,10 @@ bool PastryNetwork::RecoverNode(const NodeId& id) {
   // the node's previous id; its stale state is discarded first (the index
   // stays interned — Join overwrites the slot).
   Coordinate location{rng_.NextDouble(), rng_.NextDouble()};
-  slots_[*idx].reset();
+  if (slots_[*idx] != nullptr) {
+    arena_.Destroy(slots_[*idx]);
+    slots_[*idx] = nullptr;
+  }
   return Join(id, location);
 }
 
@@ -320,9 +430,6 @@ RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const St
   }
   // Hop bound as a safety net; Pastry terminates in ~log_2^b(N) steps.
   const int max_hops = 8 * NodeId::NumDigits(config_.b);
-  // Constructed once per route, not once per hop: AliveFn is a std::function
-  // and rebuilding it every hop allocates on the insert/lookup hot path.
-  PastryNode::AliveFn alive = [this](const NodeId& id) { return IsAlive(id); };
   result.path.reserve(static_cast<size_t>(NodeId::NumDigits(config_.b)) / 2);
   // Hoisted out of the hop loop: almost every deployment has no malicious
   // nodes, and the per-hop probe is measurable at routing rates.
@@ -340,12 +447,12 @@ RouteResult PastryNetwork::Route(const NodeId& from, const NodeId& key, const St
     std::optional<NodeId> next;
     if (options.deferred_forgets != nullptr) {
       hop_dead.clear();
-      next = n->NextHop(key, alive, rng, &hop_dead);
+      next = n->NextHop(key, rng, &hop_dead);
       for (const NodeId& dead : hop_dead) {
         options.deferred_forgets->push_back({current, dead});
       }
     } else {
-      next = n->NextHop(key, alive, rng, nullptr);
+      next = n->NextHop(key, rng, nullptr);
     }
     if (!next) {
       break;  // current node is the destination
@@ -428,14 +535,14 @@ size_t PastryNetwork::CountLeafSetViolations() const {
       expect_smaller.push_back(ring_.at(j));
     }
     for (const NodeId& e : expect_larger) {
-      if (std::find(node_ptr->leaf_set().larger().begin(), node_ptr->leaf_set().larger().end(),
-                    e) == node_ptr->leaf_set().larger().end()) {
+      std::span<const NodeId> larger = node_ptr->leaf_set().larger();
+      if (std::find(larger.begin(), larger.end(), e) == larger.end()) {
         ++violations;
       }
     }
     for (const NodeId& e : expect_smaller) {
-      if (std::find(node_ptr->leaf_set().smaller().begin(), node_ptr->leaf_set().smaller().end(),
-                    e) == node_ptr->leaf_set().smaller().end()) {
+      std::span<const NodeId> smaller = node_ptr->leaf_set().smaller();
+      if (std::find(smaller.begin(), smaller.end(), e) == smaller.end()) {
         ++violations;
       }
     }

@@ -7,27 +7,35 @@
 // exposed for invariant checking in tests, never used on routing paths.
 //
 // Node state is flat: every id ever joined is interned to a dense NodeIndex
-// into parallel arrays (node slot, alive bit), membership checks are
+// into parallel arrays (node slot, alive bit, id), membership checks are
 // open-addressing probes over contiguous memory, and the live ring is a
 // sorted array (SortedRing) instead of a std::map. Indices are stable for
 // the lifetime of the network — failure and recovery flip the alive bit but
 // never reassign the index — which is what lets the sharded scale engine
 // partition nodes by index range.
+//
+// The network is also the NodeDirectory for all of its nodes: interning,
+// liveness, and proximity are C function pointers over the flat arrays, so a
+// PastryNode carries no per-node std::function closures. Nodes themselves
+// are carved from a network-owned Arena, and so are their routing rows and
+// the FlatTable backing stores — at a million nodes this keeps allocator
+// metadata and per-allocation padding from dominating RSS.
 #ifndef SRC_PASTRY_NETWORK_H_
 #define SRC_PASTRY_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/flat_table.h"
 #include "src/common/node_id.h"
 #include "src/common/rng.h"
 #include "src/net/topology.h"
 #include "src/net/transport_stats.h"
 #include "src/pastry/config.h"
+#include "src/pastry/directory.h"
 #include "src/pastry/node.h"
 #include "src/pastry/ring.h"
 
@@ -89,6 +97,11 @@ class PastryNetwork {
   static constexpr NodeIndex kInvalidIndex = static_cast<NodeIndex>(-1);
 
   PastryNetwork(const PastryConfig& config, uint64_t seed);
+  ~PastryNetwork();
+
+  // The directory trampolines carry `this`; the network must stay put.
+  PastryNetwork(const PastryNetwork&) = delete;
+  PastryNetwork& operator=(const PastryNetwork&) = delete;
 
   const PastryConfig& config() const { return config_; }
   Topology& topology() { return topology_; }
@@ -96,6 +109,8 @@ class PastryNetwork {
   TransportStats& stats() { return stats_; }
   const TransportStats& stats() const { return stats_; }
   Rng& rng() { return rng_; }
+  // The shared directory backing every node's routing state.
+  const NodeDirectory* directory() const { return &dir_; }
 
   // --- membership ---
 
@@ -112,6 +127,23 @@ class PastryNetwork {
 
   // Builds an initial network of `n` uniformly placed nodes.
   void BuildInitialNetwork(size_t n);
+
+  // --- batched joins (bulk network construction) ---
+  //
+  // Between BeginJoinBatch() and EndJoinBatch(), the "newcomer announces
+  // itself to every node it references" step of Join is deferred: each
+  // announcement is queued per target and applied (in announcement order)
+  // the first time that target's state is next read. Every observable read
+  // goes through node()/node_at(), which flush first, so the state any
+  // consumer — including the joins that follow in the same batch — ever
+  // sees is bit-identical to the eager schedule. What changes is locality:
+  // a target touched by many joins applies its Learns in one pass over hot
+  // state instead of being dragged into cache once per join. FlushJoinBatch
+  // drains everything pending (index order) without leaving batch mode;
+  // EndJoinBatch drains and deactivates. Nesting is not supported.
+  void BeginJoinBatch();
+  void FlushJoinBatch();
+  void EndJoinBatch();
 
   // Fails a node and immediately runs failure detection and leaf-set repair
   // on the affected nodes (the common case in tests and experiments).
@@ -164,12 +196,22 @@ class PastryNetwork {
     return idx != nullptr && alive_bits_[*idx] != 0;
   }
   PastryNode* node(const NodeId& id) {
-    const NodeIndex* idx = index_.Find(id);
-    return idx == nullptr ? nullptr : slots_[*idx].get();
+    const NodeIndex* found = index_.Find(id);
+    if (found == nullptr) {
+      return nullptr;
+    }
+    // Copy before flushing: the flushed Learns re-intern known ids, and an
+    // intern may rehash index_, invalidating `found`.
+    NodeIndex idx = *found;
+    if (join_batch_active_) {
+      FlushPending(idx);
+    }
+    return slots_[idx];
   }
   const PastryNode* node(const NodeId& id) const {
-    const NodeIndex* idx = index_.Find(id);
-    return idx == nullptr ? nullptr : slots_[*idx].get();
+    // Lazily applying queued announcements is logically const: the flushed
+    // state is exactly what the eager schedule would already contain.
+    return const_cast<PastryNetwork*>(this)->node(id);
   }
   size_t live_count() const { return ring_.size(); }
   std::vector<NodeId> live_nodes() const { return ring_.ids(); }
@@ -182,10 +224,19 @@ class PastryNetwork {
     const NodeIndex* idx = index_.Find(id);
     return idx == nullptr ? kInvalidIndex : *idx;
   }
-  PastryNode* node_at(NodeIndex index) { return slots_[index].get(); }
-  const PastryNode* node_at(NodeIndex index) const { return slots_[index].get(); }
+  PastryNode* node_at(NodeIndex index) {
+    if (join_batch_active_) {
+      FlushPending(index);
+    }
+    return slots_[index];
+  }
+  const PastryNode* node_at(NodeIndex index) const {
+    return const_cast<PastryNetwork*>(this)->node_at(index);
+  }
   bool alive_at(NodeIndex index) const { return alive_bits_[index] != 0; }
   const SortedRing& ring() const { return ring_; }
+  // Arena stats for memory accounting (scale dumps).
+  const Arena& arena() const { return arena_; }
 
   // Ground-truth oracle: the k live nodes numerically closest to `key`.
   std::vector<NodeId> KClosestLive(const NodeId& key, size_t k) const {
@@ -206,29 +257,59 @@ class PastryNetwork {
 
  private:
   NodeId RandomNodeId();
-  PastryNode::ProximityFn MakeProximityFn(const NodeId& id);
   void AnnounceNewNode(PastryNode& node);
   void RepairAfterFailure(const NodeId& failed);
   void NotifyJoined(const NodeId& id);
   void NotifyFailed(const NodeId& id);
-  // Interns `id` (or returns its existing index) and installs `node` in its
-  // slot with the alive bit set.
-  NodeIndex InstallNode(const NodeId& id, std::unique_ptr<PastryNode> node);
+
+  // Interns `id`: returns its stable dense index, appending an empty slot
+  // (no node, dead) on first sight.
+  NodeIndex Intern(const NodeId& id);
+  // Interns `id` and constructs a live arena-backed node in its slot,
+  // destroying any stale previous incarnation.
+  PastryNode* InstallNode(const NodeId& id);
+
+  // Applies (and clears) the queued join announcements for one node.
+  void FlushPending(NodeIndex index);
+
+  // NodeDirectory trampolines; ctx is the PastryNetwork.
+  static uint32_t DirIntern(void* ctx, const NodeId& id);
+  static const NodeId& DirResolve(void* ctx, uint32_t index);
+  static bool DirAlive(void* ctx, uint32_t index);
+  static double DirDistance(void* ctx, const NodeId& a, const NodeId& b);
 
   PastryConfig config_;
   Rng rng_;
   Topology topology_;
   TransportStats stats_;
+  // Backing store for nodes, routing rows, and (via set_arena) FlatTables.
+  // Declared before the slot array so it outlives nothing that references
+  // it; actual node destruction happens explicitly in ~PastryNetwork.
+  Arena arena_;
   // Interned node table: id -> dense index into the parallel arrays below.
   FlatTable<NodeId, NodeIndex, NodeIdHash> index_;
-  std::vector<std::unique_ptr<PastryNode>> slots_;  // by NodeIndex
-  std::vector<uint8_t> alive_bits_;                 // by NodeIndex
+  std::vector<PastryNode*> slots_;     // by NodeIndex; arena-owned
+  std::vector<uint8_t> alive_bits_;    // by NodeIndex
+  std::vector<NodeId> ids_by_index_;   // by NodeIndex; resolve() storage
+  NodeDirectory dir_;
   // Sparse: most networks have no malicious nodes; the hot path only checks
   // per hop once any id has ever been marked (mirrors the old map's
   // emptiness hoist).
   FlatTable<NodeId, uint8_t, NodeIdHash> malicious_;
   SortedRing ring_;  // live nodes ordered by id (oracle + seeds)
   std::vector<MembershipObserver*> observers_;
+
+  // Deferred join announcements: a per-node FIFO chain threaded through one
+  // flat pool (head/tail per NodeIndex, kInvalidIndex when empty). Only
+  // populated while a join batch is active.
+  struct PendingLearn {
+    uint32_t next;
+    NodeId newcomer;
+  };
+  bool join_batch_active_ = false;
+  std::vector<PendingLearn> pending_pool_;
+  std::vector<uint32_t> pending_head_;
+  std::vector<uint32_t> pending_tail_;
 };
 
 }  // namespace past

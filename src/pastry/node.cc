@@ -4,12 +4,14 @@
 
 namespace past {
 
-PastryNode::PastryNode(const NodeId& id, const PastryConfig& config, ProximityFn proximity)
+PastryNode::PastryNode(const NodeId& id, const PastryConfig& config, const NodeDirectory* dir,
+                       Arena* arena)
     : id_(id),
+      dir_(dir),
       config_(config),
-      routing_table_(id, config.b, proximity),
-      leaf_set_(id, config.leaf_set_size / 2),
-      neighborhood_(id, config.neighborhood_size, proximity) {}
+      routing_table_(id, config.b, dir, arena),
+      leaf_set_(id, config.leaf_set_size / 2, dir),
+      neighborhood_(id, config.neighborhood_size, dir) {}
 
 void PastryNode::Learn(const NodeId& other) {
   if (other == id_) {
@@ -26,38 +28,38 @@ void PastryNode::Forget(const NodeId& other) {
   neighborhood_.Remove(other);
 }
 
-NodeId PastryNode::ClosestAliveLeaf(const NodeId& key, const AliveFn& alive,
-                                    std::vector<NodeId>* deferred_dead) {
-  // Scans the two side vectors in place instead of materializing All():
-  // this runs on every final routing hop. Overlapping sides (small networks)
-  // just scan a member twice, which cannot change the arg-min; `dead` stays
-  // unallocated unless a failed member is actually seen.
+NodeId PastryNode::ClosestAliveLeaf(const NodeId& key, std::vector<NodeId>* deferred_dead) {
+  // Scans the two sides in place instead of materializing All(): this runs
+  // on every final routing hop. Overlapping sides (small networks) just scan
+  // a member twice, which cannot change the arg-min; `dead` stays
+  // unallocated unless a failed member is actually seen. Aliveness is a
+  // dense array load through the member's interned index.
   NodeId best = id_;
   std::vector<NodeId> dead;
-  auto scan = [&](const std::vector<NodeId>& side) {
-    for (const NodeId& member : side) {
-      if (!alive(member)) {
-        (deferred_dead != nullptr ? *deferred_dead : dead).push_back(member);
+  auto scan = [&](std::span<const NodeId> ids, std::span<const uint32_t> idx) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (!AliveAt(idx[i])) {
+        (deferred_dead != nullptr ? *deferred_dead : dead).push_back(ids[i]);
         continue;
       }
-      if (member.CloserTo(key, best)) {
-        best = member;
+      if (ids[i].CloserTo(key, best)) {
+        best = ids[i];
       }
     }
   };
-  scan(leaf_set_.larger());
-  scan(leaf_set_.smaller());
+  scan(leaf_set_.larger(), leaf_set_.larger_indices());
+  scan(leaf_set_.smaller(), leaf_set_.smaller_indices());
   for (const NodeId& d : dead) {
     Forget(d);
   }
   return best;
 }
 
-std::vector<NodeId> PastryNode::ValidCandidates(const NodeId& key, const AliveFn& alive) {
+std::vector<NodeId> PastryNode::ValidCandidates(const NodeId& key) {
   int my_prefix = id_.SharedPrefixLength(key, config_.b);
   std::vector<NodeId> candidates;
-  auto consider = [&](const NodeId& c) {
-    if (c == id_ || !alive(c)) {
+  auto consider = [&](const NodeId& c, uint32_t idx) {
+    if (c == id_ || !AliveAt(idx)) {
       return;
     }
     if (c.SharedPrefixLength(key, config_.b) >= my_prefix && c.CloserTo(key, id_) &&
@@ -65,25 +67,43 @@ std::vector<NodeId> PastryNode::ValidCandidates(const NodeId& key, const AliveFn
       candidates.push_back(c);
     }
   };
-  for (const NodeId& c : leaf_set_.All()) {
-    consider(c);
+  // Leaf members in All() order (larger side first, then smaller-side
+  // members not already seen — the duplicate filter above preserves the
+  // historical first-appearance order).
+  {
+    std::span<const NodeId> ids = leaf_set_.larger();
+    std::span<const uint32_t> idx = leaf_set_.larger_indices();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      consider(ids[i], idx[i]);
+    }
+    ids = leaf_set_.smaller();
+    idx = leaf_set_.smaller_indices();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      consider(ids[i], idx[i]);
+    }
   }
-  for (const NodeId& c : routing_table_.Entries()) {
-    consider(c);
+  for (int r = 0; r < routing_table_.rows(); ++r) {
+    for (int c = 0; c < routing_table_.columns(); ++c) {
+      uint32_t idx = routing_table_.GetIndex(r, c);
+      if (idx != kInvalidNodeIndex) {
+        consider(dir_->resolve(dir_->ctx, idx), idx);
+      }
+    }
   }
-  for (const NodeId& c : neighborhood_.members()) {
-    consider(c);
+  for (size_t i = 0; i < neighborhood_.size(); ++i) {
+    uint32_t idx = neighborhood_.member_index(i);
+    consider(dir_->resolve(dir_->ctx, idx), idx);
   }
   return candidates;
 }
 
-std::optional<NodeId> PastryNode::NextHop(const NodeId& key, const AliveFn& alive, Rng* rng,
+std::optional<NodeId> PastryNode::NextHop(const NodeId& key, Rng* rng,
                                           std::vector<NodeId>* deferred_dead) {
   // Randomized routing (paper section 2.3): occasionally pick any valid
   // choice to route around malicious or silently failed nodes on the path.
   if (rng != nullptr && config_.route_randomization > 0.0 &&
       rng->NextBool(config_.route_randomization)) {
-    std::vector<NodeId> candidates = ValidCandidates(key, alive);
+    std::vector<NodeId> candidates = ValidCandidates(key);
     if (!candidates.empty()) {
       return candidates[rng->NextBelow(candidates.size())];
     }
@@ -93,7 +113,7 @@ std::optional<NodeId> PastryNode::NextHop(const NodeId& key, const AliveFn& aliv
   // Case 1: key is within the leaf set's range; deliver to the numerically
   // closest member (possibly ourselves).
   if (leaf_set_.Covers(key)) {
-    NodeId best = ClosestAliveLeaf(key, alive, deferred_dead);
+    NodeId best = ClosestAliveLeaf(key, deferred_dead);
     if (best == id_) {
       return std::nullopt;
     }
@@ -103,20 +123,22 @@ std::optional<NodeId> PastryNode::NextHop(const NodeId& key, const AliveFn& aliv
   // Case 2: forward to a routing table entry with a longer shared prefix.
   int my_prefix = id_.SharedPrefixLength(key, config_.b);
   int next_digit = key.Digit(my_prefix, config_.b);
-  if (auto entry = routing_table_.Get(my_prefix, next_digit)) {
-    if (alive(*entry)) {
-      return *entry;
+  uint32_t entry_idx = routing_table_.GetIndex(my_prefix, next_digit);
+  if (entry_idx != kInvalidNodeIndex) {
+    const NodeId& entry = dir_->resolve(dir_->ctx, entry_idx);
+    if (AliveAt(entry_idx)) {
+      return entry;
     }
     if (deferred_dead != nullptr) {
-      deferred_dead->push_back(*entry);
+      deferred_dead->push_back(entry);
     } else {
-      Forget(*entry);
+      Forget(entry);
     }
   }
 
   // Case 3 (rare): no such entry; forward to any known node sharing at least
   // as long a prefix that is numerically closer to the key than we are.
-  std::vector<NodeId> candidates = ValidCandidates(key, alive);
+  std::vector<NodeId> candidates = ValidCandidates(key);
   if (candidates.empty()) {
     return std::nullopt;  // we are (as far as we know) the closest node
   }

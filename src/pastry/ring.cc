@@ -4,7 +4,21 @@
 
 namespace past {
 
+void SortedRing::FlushBulk() const {
+  if (pending_.empty()) {
+    return;
+  }
+  std::sort(pending_.begin(), pending_.end(),
+            [](const NodeId& a, const NodeId& b) { return a.value() < b.value(); });
+  const size_t mid = ids_.size();
+  ids_.insert(ids_.end(), pending_.begin(), pending_.end());
+  std::inplace_merge(ids_.begin(), ids_.begin() + static_cast<ptrdiff_t>(mid), ids_.end(),
+                     [](const NodeId& a, const NodeId& b) { return a.value() < b.value(); });
+  pending_.clear();
+}
+
 size_t SortedRing::LowerBound(uint128 v) const {
+  FlushBulk();
   // Branchless: each iteration halves the window with a conditional base
   // advance the compiler lowers to cmov, so the search never mispredicts on
   // the (random) key distribution of routing traffic.
@@ -20,6 +34,10 @@ size_t SortedRing::LowerBound(uint128 v) const {
 }
 
 bool SortedRing::Insert(const NodeId& id) {
+  if (bulk_) {
+    pending_.push_back(id);
+    return true;
+  }
   size_t pos = LowerBound(id.value());
   if (pos < ids_.size() && ids_[pos] == id) {
     return false;
@@ -45,6 +63,7 @@ size_t SortedRing::IndexOf(const NodeId& id) const {
 }
 
 std::vector<NodeId> SortedRing::KClosest(const NodeId& key, size_t k) const {
+  FlushBulk();
   std::vector<NodeId> out;
   if (ids_.empty()) {
     return out;

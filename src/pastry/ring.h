@@ -24,10 +24,32 @@ class SortedRing {
  public:
   static constexpr size_t kNotFound = static_cast<size_t>(-1);
 
-  size_t size() const { return ids_.size(); }
-  bool empty() const { return ids_.empty(); }
-  const std::vector<NodeId>& ids() const { return ids_; }
-  const NodeId& at(size_t index) const { return ids_[index]; }
+  size_t size() const { return ids_.size() + pending_.size(); }
+  bool empty() const { return ids_.empty() && pending_.empty(); }
+  const std::vector<NodeId>& ids() const {
+    FlushBulk();
+    return ids_;
+  }
+  const NodeId& at(size_t index) const {
+    FlushBulk();
+    return ids_[index];
+  }
+
+  // --- bulk load ---
+  //
+  // A sorted-vector insert is an O(n) memmove; building a million-node ring
+  // one insert at a time moves terabytes. Between BeginBulkLoad() and
+  // EndBulkLoad(), Insert() appends to a side buffer instead, and any
+  // ordered read (ids/at/Contains/KClosest/...) first folds the buffer in
+  // with one sort + inplace_merge — so observable state is always identical
+  // to the eager schedule, and a query-free build costs O(n log n) total.
+  // Contract: callers must not bulk-Insert an id already present (the
+  // membership check is the caller's, e.g. PastryNetwork::Join's IsAlive).
+  void BeginBulkLoad() { bulk_ = true; }
+  void EndBulkLoad() {
+    FlushBulk();
+    bulk_ = false;
+  }
 
   // Inserts `id` keeping the array sorted. Returns false if already present.
   bool Insert(const NodeId& id);
@@ -50,11 +72,23 @@ class SortedRing {
   std::vector<NodeId> KClosest(const NodeId& key, size_t k) const;
 
   // Iteration over NodeIds in ring order.
-  std::vector<NodeId>::const_iterator begin() const { return ids_.begin(); }
-  std::vector<NodeId>::const_iterator end() const { return ids_.end(); }
+  std::vector<NodeId>::const_iterator begin() const {
+    FlushBulk();
+    return ids_.begin();
+  }
+  std::vector<NodeId>::const_iterator end() const {
+    FlushBulk();
+    return ids_.end();
+  }
 
  private:
-  std::vector<NodeId> ids_;  // sorted ascending by value()
+  // Folds pending bulk inserts into the sorted array. Logically const: the
+  // observable sequence is exactly what eager inserts would have produced.
+  void FlushBulk() const;
+
+  mutable std::vector<NodeId> ids_;      // sorted ascending by value()
+  mutable std::vector<NodeId> pending_;  // bulk-mode inserts, unordered
+  bool bulk_ = false;
 };
 
 }  // namespace past

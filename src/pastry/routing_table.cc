@@ -1,32 +1,63 @@
 #include "src/pastry/routing_table.h"
 
+#include <new>
+
 namespace past {
 
-RoutingTable::RoutingTable(const NodeId& owner, int b, ProximityFn proximity)
+RoutingTable::RoutingTable(const NodeId& owner, int b, const NodeDirectory* dir, Arena* arena)
     : owner_(owner),
+      dir_(dir),
+      arena_(arena),
       b_(b),
       rows_(NodeId::NumDigits(b)),
-      columns_(1 << b),
-      proximity_(std::move(proximity)),
-      row_slots_(static_cast<size_t>(rows_)) {}
+      columns_(1 << b) {
+  row_slots_ = static_cast<uint32_t**>(AllocBytes(sizeof(uint32_t*) * static_cast<size_t>(rows_)));
+  for (int r = 0; r < rows_; ++r) {
+    row_slots_[r] = nullptr;
+  }
+}
 
-std::vector<std::optional<NodeId>>& RoutingTable::EnsureRow(int row) {
-  auto& slots = row_slots_[static_cast<size_t>(row)];
-  if (slots.empty()) {
-    slots.resize(static_cast<size_t>(columns_));
+RoutingTable::~RoutingTable() {
+  for (int r = 0; r < rows_; ++r) {
+    if (row_slots_[r] != nullptr) {
+      FreeBytes(row_slots_[r], sizeof(uint32_t) * static_cast<size_t>(columns_));
+    }
+  }
+  FreeBytes(row_slots_, sizeof(uint32_t*) * static_cast<size_t>(rows_));
+}
+
+void* RoutingTable::AllocBytes(size_t bytes) {
+  if (arena_ != nullptr) {
+    return arena_->Allocate(bytes);
+  }
+  return ::operator new(bytes, std::align_val_t{Arena::kAlignment});
+}
+
+void RoutingTable::FreeBytes(void* p, size_t bytes) {
+  if (arena_ != nullptr) {
+    arena_->Deallocate(p, bytes);
+  } else {
+    ::operator delete(p, std::align_val_t{Arena::kAlignment});
+  }
+}
+
+uint32_t* RoutingTable::EnsureRow(int row) {
+  uint32_t*& slots = row_slots_[row];
+  if (slots == nullptr) {
+    slots = static_cast<uint32_t*>(AllocBytes(sizeof(uint32_t) * static_cast<size_t>(columns_)));
+    for (int c = 0; c < columns_; ++c) {
+      slots[c] = kInvalidNodeIndex;
+    }
   }
   return slots;
 }
 
 std::optional<NodeId> RoutingTable::Get(int row, int column) const {
-  if (row < 0 || row >= rows_ || column < 0 || column >= columns_) {
+  uint32_t idx = GetIndex(row, column);
+  if (idx == kInvalidNodeIndex) {
     return std::nullopt;
   }
-  const auto& slots = row_slots_[static_cast<size_t>(row)];
-  if (slots.empty()) {
-    return std::nullopt;
-  }
-  return slots[static_cast<size_t>(column)];
+  return dir_->resolve(dir_->ctx, idx);
 }
 
 std::optional<std::pair<int, int>> RoutingTable::SlotFor(const NodeId& id) const {
@@ -42,17 +73,20 @@ bool RoutingTable::Consider(const NodeId& id) {
   if (!slot) {
     return false;
   }
-  auto& entry = EnsureRow(slot->first)[static_cast<size_t>(slot->second)];
-  if (!entry) {
-    entry = id;
+  uint32_t* slots = EnsureRow(slot->first);
+  uint32_t& entry = slots[slot->second];
+  if (entry == kInvalidNodeIndex) {
+    entry = dir_->intern(dir_->ctx, id);
     ++populated_;
     return true;
   }
-  if (*entry == id) {
+  const NodeId& incumbent = dir_->resolve(dir_->ctx, entry);
+  if (incumbent == id) {
     return false;
   }
-  if (proximity_ && proximity_(id) < proximity_(*entry)) {
-    entry = id;
+  if (dir_->distance != nullptr && dir_->distance(dir_->ctx, owner_, id) <
+                                       dir_->distance(dir_->ctx, owner_, incumbent)) {
+    entry = dir_->intern(dir_->ctx, id);
     return true;
   }
   return false;
@@ -63,13 +97,13 @@ bool RoutingTable::Remove(const NodeId& id) {
   if (!slot) {
     return false;
   }
-  auto& slots = row_slots_[static_cast<size_t>(slot->first)];
-  if (slots.empty()) {
+  uint32_t* slots = row_slots_[slot->first];
+  if (slots == nullptr) {
     return false;
   }
-  auto& entry = slots[static_cast<size_t>(slot->second)];
-  if (entry && *entry == id) {
-    entry.reset();
+  uint32_t& entry = slots[slot->second];
+  if (entry != kInvalidNodeIndex && dir_->resolve(dir_->ctx, entry) == id) {
+    entry = kInvalidNodeIndex;
     --populated_;
     return true;
   }
@@ -79,10 +113,14 @@ bool RoutingTable::Remove(const NodeId& id) {
 std::vector<NodeId> RoutingTable::Entries() const {
   std::vector<NodeId> out;
   out.reserve(populated_);
-  for (const auto& slots : row_slots_) {
-    for (const auto& slot : slots) {
-      if (slot) {
-        out.push_back(*slot);
+  for (int r = 0; r < rows_; ++r) {
+    const uint32_t* slots = row_slots_[r];
+    if (slots == nullptr) {
+      continue;
+    }
+    for (int c = 0; c < columns_; ++c) {
+      if (slots[c] != kInvalidNodeIndex) {
+        out.push_back(dir_->resolve(dir_->ctx, slots[c]));
       }
     }
   }
@@ -94,9 +132,13 @@ std::vector<NodeId> RoutingTable::Row(int row) const {
   if (row < 0 || row >= rows_) {
     return out;
   }
-  for (const auto& slot : row_slots_[static_cast<size_t>(row)]) {
-    if (slot) {
-      out.push_back(*slot);
+  const uint32_t* slots = row_slots_[row];
+  if (slots == nullptr) {
+    return out;
+  }
+  for (int c = 0; c < columns_; ++c) {
+    if (slots[c] != kInvalidNodeIndex) {
+      out.push_back(dir_->resolve(dir_->ctx, slots[c]));
     }
   }
   return out;

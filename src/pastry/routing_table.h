@@ -5,24 +5,35 @@
 // whose (n+1)-th digit is d (the owner's own digit column is unused). Among
 // the many qualifying nodes, the table prefers one close to the owner in the
 // proximity metric — this is the source of Pastry's route locality.
+//
+// Entries are interned u32 directory indices, and rows are raw 2^b-entry
+// index arrays carved from an optional Arena: a populated b=4 row costs 64
+// bytes instead of the 384+ of a std::vector<std::optional<NodeId>>, and the
+// proximity metric lives in the shared NodeDirectory instead of a per-node
+// std::function closure.
 #ifndef SRC_PASTRY_ROUTING_TABLE_H_
 #define SRC_PASTRY_ROUTING_TABLE_H_
 
-#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/node_id.h"
+#include "src/pastry/directory.h"
 
 namespace past {
 
 class RoutingTable {
  public:
-  // `proximity` returns the distance from the owner to the given node; used
-  // to prefer nearby nodes when multiple candidates fit a slot.
-  using ProximityFn = std::function<double(const NodeId&)>;
+  // `dir` owns interning and the proximity metric (dir->distance null means
+  // no proximity preference — an incumbent entry is never displaced).
+  // `arena`, when given, backs the row storage and must outlive the table.
+  RoutingTable(const NodeId& owner, int b, const NodeDirectory* dir, Arena* arena = nullptr);
+  ~RoutingTable();
 
-  RoutingTable(const NodeId& owner, int b, ProximityFn proximity);
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
 
   const NodeId& owner() const { return owner_; }
   int rows() const { return rows_; }
@@ -30,6 +41,16 @@ class RoutingTable {
 
   // Entry lookup; nullopt when the slot is empty.
   std::optional<NodeId> Get(int row, int column) const;
+
+  // Index-level lookup for hot paths; kInvalidNodeIndex when empty (or out
+  // of range).
+  uint32_t GetIndex(int row, int column) const {
+    if (row < 0 || row >= rows_ || column < 0 || column >= columns_) {
+      return kInvalidNodeIndex;
+    }
+    const uint32_t* slots = row_slots_[row];
+    return slots == nullptr ? kInvalidNodeIndex : slots[column];
+  }
 
   // Offers `id` as a candidate. It is placed in its unique (row, column) slot
   // if the slot is empty or `id` is closer (by proximity) than the incumbent.
@@ -55,16 +76,19 @@ class RoutingTable {
 
   // Rows are allocated on first use: with random nodeIds only the first
   // ~log_16(N) rows ever populate (about 5 at 100k nodes), so eagerly
-  // allocating all 32 rows wastes ~10x the memory the table actually needs —
-  // which at 100k nodes is the difference between fitting in RAM or not.
-  std::vector<std::optional<NodeId>>& EnsureRow(int row);
+  // allocating all 32 rows wastes ~10x the memory the table actually needs.
+  uint32_t* EnsureRow(int row);
+
+  void* AllocBytes(size_t bytes);
+  void FreeBytes(void* p, size_t bytes);
 
   NodeId owner_;
+  const NodeDirectory* dir_;
+  Arena* arena_;
   int b_;
   int rows_;
   int columns_;
-  ProximityFn proximity_;
-  std::vector<std::vector<std::optional<NodeId>>> row_slots_;  // [rows_], each empty or columns_
+  uint32_t** row_slots_;  // [rows_], each null or a columns_-entry index array
   size_t populated_ = 0;
 };
 

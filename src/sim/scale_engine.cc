@@ -48,17 +48,32 @@ ScaleEngine::ScaleEngine(const ScaleConfig& config) : config_(config) {
   // Phase A purity requirements (see header).
   config_.past.cache_mode = CacheMode::kNone;
   config_.past.enable_maintenance = false;
+  // Safe here (and only here): nothing in the engine observes store-table
+  // iteration order — snapshots sort, eligibility counts are commutative.
+  config_.past.compact_store_tables = true;
   net_ = std::make_unique<PastNetwork>(config_.past, config_.pastry, config_.seed);
   pool_ = std::make_unique<ThreadPool>(config_.jobs);
   shard_forgets_.resize(config_.jobs);
+  shard_ops_.resize(config_.jobs);
   shard_stats_.resize(config_.jobs);
 }
 
 ScaleEngine::~ScaleEngine() = default;
 
 void ScaleEngine::BuildNetwork() {
+  const size_t cohort = config_.join_cohort == 0 ? 1 : config_.join_cohort;
+  PastryNetwork& overlay = net_->overlay();
+  if (cohort > 1) {
+    overlay.BeginJoinBatch();
+  }
   for (size_t i = 0; i < config_.nodes; ++i) {
     net_->AddStorageNode(config_.node_capacity);
+    if (cohort > 1 && (i + 1) % cohort == 0) {
+      overlay.FlushJoinBatch();
+    }
+  }
+  if (cohort > 1) {
+    overlay.EndJoinBatch();
   }
 }
 
@@ -94,6 +109,7 @@ void ScaleEngine::GenerateOps(Rng& epoch_rng, std::vector<Op>& ops) {
     op.size = 1 + static_cast<uint64_t>(std::min(mean * 16.0, draw));
     op.origin = ring.at(epoch_rng.NextBelow(ring.size()));
     op.shard = ShardOf(op.key);
+    shard_ops_[op.shard].push_back(static_cast<uint32_t>(ops.size()));
     ops.push_back(std::move(op));
   }
   for (size_t i = 0; i < lookups; ++i) {
@@ -103,20 +119,18 @@ void ScaleEngine::GenerateOps(Rng& epoch_rng, std::vector<Op>& ops) {
     op.key = op.file.ToRoutingKey();
     op.origin = ring.at(epoch_rng.NextBelow(ring.size()));
     op.shard = ShardOf(op.key);
+    shard_ops_[op.shard].push_back(static_cast<uint32_t>(ops.size()));
     ops.push_back(std::move(op));
   }
 }
 
 void ScaleEngine::PlanShard(std::vector<Op>& ops, uint32_t shard) {
   uint64_t epoch_mix = Mix64(config_.seed) ^ Mix64(epoch_ + 1);
-  for (size_t i = 0; i < ops.size(); ++i) {
+  for (uint32_t i : shard_ops_[shard]) {
     Op& op = ops[i];
-    if (op.shard != shard) {
-      continue;
-    }
-    // Per-op derived rng: identical route randomization draws regardless of
-    // shard count or execution order.
-    Rng op_rng(epoch_mix ^ Mix64(i + 1));
+    // Per-op derived rng, keyed by the op's global index: identical route
+    // randomization draws regardless of shard count or execution order.
+    Rng op_rng(epoch_mix ^ Mix64(static_cast<uint64_t>(i) + 1));
     RouteOptions options;
     options.stats = &shard_stats_[shard];
     options.rng = &op_rng;
@@ -132,13 +146,13 @@ void ScaleEngine::PlanShard(std::vector<Op>& ops, uint32_t shard) {
 void ScaleEngine::PlanInsert(Op& op, const RouteOptions& options) {
   const size_t k = net_->config_.k;
   const NodeId key = op.key;
-  op.route = net_->pastry_.Route(
+  op.route = RouteSummary::Of(net_->pastry_.Route(
       op.origin, key, [&](const NodeId& n) { return net_->IsAmongKClosest(n, key, k); },
-      options);
-  if (!op.route.delivered || op.route.path.empty()) {
+      options));
+  if (!op.route.delivered || !op.route.reached) {
     return;
   }
-  NodeId root = op.route.destination();
+  NodeId root = op.route.destination;
   op.targets = net_->KClosestFromLeafSet(root, key, k);
   std::vector<NodeId> k_plus_one = net_->KClosestFromLeafSet(root, key, k + 1);
   if (k_plus_one.size() == k + 1) {
@@ -153,22 +167,22 @@ void ScaleEngine::PlanLookup(Op& op, const RouteOptions& options) {
     const PastNode* pn = cnet.storage_node(n);
     return pn != nullptr && pn->store().HasReplica(file);
   };
-  op.route = net_->pastry_.Route(op.origin, op.key, stop, options);
+  op.route = RouteSummary::Of(net_->pastry_.Route(op.origin, op.key, stop, options));
   if (!op.route.delivered) {
     return;
   }
   op.found = op.route.stopped_early;
   if (op.found) {
-    op.served = op.route.destination();
+    op.served = op.route.destination;
     return;
   }
-  if (op.route.path.empty()) {
+  if (!op.route.reached) {
     return;
   }
   // Mirror LookupOp: the route ended at the numerically closest node without
   // finding a replica — follow a diversion pointer (one extra hop), else
   // probe the k closest (stale leaf sets right after churn).
-  NodeId dest = op.route.destination();
+  NodeId dest = op.route.destination;
   const PastNode* pn = cnet.storage_node(dest);
   const DiversionPointer* ptr = pn == nullptr ? nullptr : pn->store().GetPointer(file);
   if (ptr != nullptr && cnet.pastry_.IsAlive(ptr->holder)) {
@@ -203,7 +217,7 @@ void ScaleEngine::CommitInsert(Op& op, ScaleEpochStats& stats) {
 
   bool stored = false;
   do {
-    if (!op.route.delivered || op.route.path.empty() || op.targets.empty()) {
+    if (!op.route.delivered || !op.route.reached || op.targets.empty()) {
       break;
     }
     // fileId collision check at commit time (root semantics: the check runs
@@ -283,7 +297,7 @@ void ScaleEngine::CommitInsert(Op& op, ScaleEpochStats& stats) {
   } else {
     net_->ins_.insert_failures->Inc();
   }
-  net_->ins_.insert_hops->Observe(static_cast<double>(op.route.hops()));
+  net_->ins_.insert_hops->Observe(static_cast<double>(op.route.hops));
 }
 
 void ScaleEngine::CommitLookup(const Op& op, ScaleEpochStats& stats) {
@@ -297,7 +311,7 @@ void ScaleEngine::CommitLookup(const Op& op, ScaleEpochStats& stats) {
     }
   }
   net_->ins_.lookup_hops->Observe(
-      static_cast<double>(op.route.hops()) + static_cast<double>(op.extra_hops));
+      static_cast<double>(op.route.hops) + static_cast<double>(op.extra_hops));
   net_->ins_.lookup_distance->Observe(op.route.distance + op.extra_distance);
 }
 
@@ -332,6 +346,9 @@ ScaleEpochStats ScaleEngine::RunEpoch() {
 
   Rng epoch_rng(Mix64(config_.seed) ^ Mix64(epoch_ + 0x5ca1e));
   std::vector<Op> ops;
+  for (auto& indices : shard_ops_) {
+    indices.clear();
+  }
   GenerateOps(epoch_rng, ops);
 
   // --- Phase A: parallel read-only route + plan, one task per shard ---
@@ -352,7 +369,7 @@ ScaleEpochStats ScaleEngine::RunEpoch() {
   // --- Barrier: canonical-order route accounting, then deferred forgets ---
   TransportStats& ledger = net_->overlay().stats();
   for (const Op& op : ops) {
-    uint64_t hops = static_cast<uint64_t>(op.route.hops());
+    uint64_t hops = static_cast<uint64_t>(op.route.hops);
     ledger.RecordRoute(hops, op.route.distance);
     op_route_totals_.RecordRoute(hops, op.route.distance);
     for (uint32_t e = 0; e < op.extra_hops; ++e) {
@@ -463,7 +480,7 @@ void ScaleEngine::FingerprintOp(const Op& op) {
   schedule_hash_.Update(op.file.bytes().data(), op.file.bytes().size());
   uint64_t packed = (op.kind == Op::kInsert ? 1ULL : 2ULL) |
                     (op.found ? 4ULL : 0) | (op.via_pointer ? 8ULL : 0) |
-                    (static_cast<uint64_t>(op.route.hops()) << 8) |
+                    (static_cast<uint64_t>(op.route.hops) << 8) |
                     (static_cast<uint64_t>(op.extra_hops) << 24);
   HashU64(schedule_hash_, packed);
   HashDouble(schedule_hash_, op.route.distance);

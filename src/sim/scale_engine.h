@@ -64,6 +64,17 @@ struct ScaleConfig {
   size_t jobs = 1;
   uint64_t seed = 1;
 
+  // Joins per announcement cohort during BuildNetwork: within a cohort the
+  // "newcomer tells everyone it knows" Learn storm is queued per target and
+  // applied on that target's next read (see PastryNetwork join batching).
+  // Observationally identical for every value — the 20-seed fingerprint
+  // bank pins {1, 16, 1024} to the same goldens — but larger cohorts turn
+  // the dominant build cost from random-access Learns into batched passes
+  // (at 100k nodes, 1024 builds ~19% faster than 256; returns diminish
+  // past that). 1 bypasses the machinery entirely (the historical eager
+  // path).
+  size_t join_cohort = 1024;
+
   size_t epochs = 6;
   size_t inserts_per_epoch = 2'000;
   size_t lookups_per_epoch = 2'000;
@@ -157,6 +168,30 @@ class ScaleEngine {
   const TransportStats& op_route_totals() const { return op_route_totals_; }
 
  private:
+  // What an op keeps of its RouteResult. The full result carries the hop
+  // path in a heap vector; an epoch holds hundreds of thousands of planned
+  // ops concurrently, and nothing downstream of planning reads the interior
+  // hops — only the endpoint and the totals survive the call.
+  struct RouteSummary {
+    NodeId destination;         // path.back(); meaningless when !reached
+    double distance = 0.0;      // sum of proximity distances over all hops
+    uint32_t hops = 0;          // path length minus one; 0 when unreached
+    bool reached = false;       // origin was known and alive
+    bool delivered = true;      // no malicious drop en route
+    bool stopped_early = false; // stop predicate fired before the root
+
+    static RouteSummary Of(const RouteResult& r) {
+      RouteSummary s;
+      s.destination = r.destination();
+      s.distance = r.distance;
+      s.hops = static_cast<uint32_t>(r.hops());
+      s.reached = !r.path.empty();
+      s.delivered = r.delivered;
+      s.stopped_early = r.stopped_early;
+      return s;
+    }
+  };
+
   struct Op {
     enum Kind : uint8_t { kInsert, kLookup };
     Kind kind = kInsert;
@@ -167,7 +202,7 @@ class ScaleEngine {
     uint64_t size = 0;  // insert only
 
     // Phase A plan.
-    RouteResult route;
+    RouteSummary route;
     std::vector<NodeId> targets;      // insert: k closest from the root
     std::optional<NodeId> witness;    // insert: the (k+1)-th closest
     bool found = false;               // lookup
@@ -204,6 +239,9 @@ class ScaleEngine {
 
   // Per-shard deferred forgets / stats, reused across epochs.
   std::vector<std::vector<DeferredForget>> shard_forgets_;
+  // Per-shard op indices, filled during generation so each Phase A task
+  // walks only its own ops instead of scanning the whole epoch's list.
+  std::vector<std::vector<uint32_t>> shard_ops_;
   std::vector<TransportStats> shard_stats_;
   TransportStats op_route_totals_;
 

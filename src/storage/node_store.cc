@@ -13,17 +13,21 @@ bool NodeStore::StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
   if (size > free_bytes()) {
     return false;
   }
-  auto [entry, inserted] = replicas_.TryEmplace(
-      id, ReplicaEntry{kind, size, std::move(certificate), std::move(content)});
+  auto [entry, inserted] = replicas_.TryEmplace(id, ReplicaEntry{size, kind});
   if (!inserted) {
     return false;  // fileId collision: later insert is rejected (section 2)
+  }
+  const ReplicaPayload* payload = nullptr;
+  if (certificate != nullptr || content != nullptr) {
+    payload =
+        payloads_.TryEmplace(id, ReplicaPayload{std::move(certificate), std::move(content)}).first;
   }
   used_ += size;
   if (kind == ReplicaKind::kPrimary) {
     ++primary_count_;
   }
   if (journal_ != nullptr) {
-    journal_->AppendInsert(id, *entry);
+    journal_->AppendInsert(id, *entry, payload);
     MaybeCompact();
   }
   return true;
@@ -32,6 +36,16 @@ bool NodeStore::StoreReplica(const FileId& id, ReplicaKind kind, uint64_t size,
 bool NodeStore::HasReplica(const FileId& id) const { return replicas_.Contains(id); }
 
 const ReplicaEntry* NodeStore::GetReplica(const FileId& id) const { return replicas_.Find(id); }
+
+FileCertificateRef NodeStore::GetCertificate(const FileId& id) const {
+  const ReplicaPayload* payload = payloads_.Find(id);
+  return payload == nullptr ? nullptr : payload->certificate;
+}
+
+FileContentRef NodeStore::GetContent(const FileId& id) const {
+  const ReplicaPayload* payload = payloads_.Find(id);
+  return payload == nullptr ? nullptr : payload->content;
+}
 
 std::optional<uint64_t> NodeStore::RemoveReplica(const FileId& id) {
   const ReplicaEntry* entry = replicas_.Find(id);
@@ -44,6 +58,7 @@ std::optional<uint64_t> NodeStore::RemoveReplica(const FileId& id) {
     --primary_count_;
   }
   replicas_.Erase(id);
+  payloads_.Erase(id);
   if (journal_ != nullptr) {
     journal_->AppendRemove(id);
     MaybeCompact();
@@ -81,6 +96,7 @@ bool NodeStore::TestOnlyCorruptDropReplica(const FileId& id) {
     --primary_count_;
   }
   replicas_.Erase(id);
+  payloads_.Erase(id);
   return true;
 }
 
@@ -124,6 +140,7 @@ bool NodeStore::Commit() { return journal_ == nullptr || journal_->Commit(); }
 
 void NodeStore::ResetForRecovery() {
   replicas_.Clear();
+  payloads_.Clear();
   pointers_.Clear();
   used_ = 0;
   primary_count_ = 0;

@@ -38,9 +38,18 @@ using FileCertificateRef = std::shared_ptr<const FileCertificate>;
 // Null for trace-driven experiments, which track sizes only.
 using FileContentRef = std::shared_ptr<const std::string>;
 
+// The per-replica record every store operation touches: 16 bytes, so a
+// node's replica table stays dense at simulation scale. Certificate and
+// content references — carried only by durability- and content-bearing
+// workloads, never by size-only simulations — live in a side table
+// (payloads()) keyed by the same FileId.
 struct ReplicaEntry {
-  ReplicaKind kind;
   uint64_t size = 0;
+  ReplicaKind kind = ReplicaKind::kPrimary;
+};
+
+// Optional heavyweight attachments of a replica.
+struct ReplicaPayload {
   FileCertificateRef certificate;
   FileContentRef content;
 };
@@ -80,6 +89,10 @@ class NodeStore {
   bool HasReplica(const FileId& id) const;
   const ReplicaEntry* GetReplica(const FileId& id) const;
 
+  // Payload accessors: null when the replica is absent or carries none.
+  FileCertificateRef GetCertificate(const FileId& id) const;
+  FileContentRef GetContent(const FileId& id) const;
+
   // Drops a replica, freeing its space. Returns its size, or nullopt.
   std::optional<uint64_t> RemoveReplica(const FileId& id);
 
@@ -91,6 +104,8 @@ class NodeStore {
   // as with the former unordered_map, in deterministic slot order.
   using ReplicaTable = FlatTable<FileId, ReplicaEntry, FileIdHash>;
   const ReplicaTable& replicas() const { return replicas_; }
+  using PayloadTable = FlatTable<FileId, ReplicaPayload, FileIdHash>;
+  const PayloadTable& payloads() const { return payloads_; }
 
   // --- diversion pointers ---
 
@@ -133,6 +148,21 @@ class NodeStore {
   bool has_journal() const { return journal_ != nullptr; }
   const NodeStoreJournal* journal() const { return journal_.get(); }
 
+  // Shrinks the tables' first allocation from 16 slots to 4 (they still
+  // grow normally). A 16-slot replica table costs ~600 bytes; at million-
+  // node scale, where the average node holds ~3 replicas, that default is
+  // the single largest per-node heap block. Early slot order differs from
+  // the default, so this is only for deployments whose consumers never
+  // observe table iteration order (the scale engine qualifies: snapshots
+  // sort, counts are commutative); the message-level simulator's committed
+  // golden fingerprints depend on the default and must not opt in. Must be
+  // called before the first insert.
+  void SetCompactTables() {
+    replicas_.set_initial_capacity(4);
+    payloads_.set_initial_capacity(4);
+    pointers_.set_initial_capacity(4);
+  }
+
   // --- stats ---
 
   size_t replica_count() const { return replicas_.size(); }
@@ -152,6 +182,7 @@ class NodeStore {
   uint64_t used_ = 0;
   size_t primary_count_ = 0;
   ReplicaTable replicas_;
+  PayloadTable payloads_;  // only files whose replica carries cert/content
   PointerTable pointers_;
   std::unique_ptr<NodeStoreJournal> journal_;
 };

@@ -109,14 +109,17 @@ class Reader {
   size_t pos_ = 0;
 };
 
-std::string EncodeInsert(const FileId& id, const ReplicaEntry& entry) {
+std::string EncodeInsert(const FileId& id, const ReplicaEntry& entry,
+                         const ReplicaPayload* payload) {
   std::string p;
   PutFileId(&p, id);
   p.push_back(static_cast<char>(entry.kind == ReplicaKind::kPrimary ? 0 : 1));
   PutU64(&p, entry.size);
-  p.push_back(entry.certificate != nullptr ? 1 : 0);
-  if (entry.certificate != nullptr) {
-    const FileCertificate& c = *entry.certificate;
+  const FileCertificateRef cert = payload != nullptr ? payload->certificate : nullptr;
+  const FileContentRef content = payload != nullptr ? payload->content : nullptr;
+  p.push_back(cert != nullptr ? 1 : 0);
+  if (cert != nullptr) {
+    const FileCertificate& c = *cert;
     PutFileId(&p, c.file_id);
     PutDigest(&p, c.content_hash);
     PutU32(&p, c.replication_factor);
@@ -126,15 +129,16 @@ std::string EncodeInsert(const FileId& id, const ReplicaEntry& entry) {
     PutU64(&p, c.owner.exponent);
     PutU64(&p, c.signature.value);
   }
-  p.push_back(entry.content != nullptr ? 1 : 0);
-  if (entry.content != nullptr) {
-    PutU64(&p, entry.content->size());
-    p.append(*entry.content);
+  p.push_back(content != nullptr ? 1 : 0);
+  if (content != nullptr) {
+    PutU64(&p, content->size());
+    p.append(*content);
   }
   return p;
 }
 
-bool DecodeInsert(std::string_view payload, FileId* id, ReplicaEntry* entry) {
+bool DecodeInsert(std::string_view payload, FileId* id, ReplicaEntry* entry,
+                  ReplicaPayload* attachments) {
   Reader r(payload);
   uint8_t kind = 0;
   uint8_t has_cert = 0;
@@ -150,7 +154,7 @@ bool DecodeInsert(std::string_view payload, FileId* id, ReplicaEntry* entry) {
         !r.U64(&c.owner.exponent) || !r.U64(&c.signature.value)) {
       return false;
     }
-    entry->certificate = std::make_shared<const FileCertificate>(c);
+    attachments->certificate = std::make_shared<const FileCertificate>(c);
   }
   if (!r.U8(&has_content)) {
     return false;
@@ -161,7 +165,7 @@ bool DecodeInsert(std::string_view payload, FileId* id, ReplicaEntry* entry) {
     if (!r.U64(&len) || !r.Bytes(static_cast<size_t>(len), &bytes)) {
       return false;
     }
-    entry->content = std::make_shared<const std::string>(std::move(bytes));
+    attachments->content = std::make_shared<const std::string>(std::move(bytes));
   }
   return r.AtEnd();
 }
@@ -211,11 +215,12 @@ bool ApplyRecord(NodeStore& store, uint8_t type, std::string_view payload) {
     case RT::kInsert: {
       FileId id;
       ReplicaEntry entry;
-      if (!DecodeInsert(payload, &id, &entry)) {
+      ReplicaPayload attachments;
+      if (!DecodeInsert(payload, &id, &entry, &attachments)) {
         return false;
       }
-      store.StoreReplica(id, entry.kind, entry.size, std::move(entry.certificate),
-                         std::move(entry.content));
+      store.StoreReplica(id, entry.kind, entry.size, std::move(attachments.certificate),
+                         std::move(attachments.content));
       return true;
     }
     case RT::kRemove: {
@@ -463,8 +468,9 @@ void NodeStoreJournal::AppendRecord(RecordType type, const std::string& payload,
   NoteRecord(type, subject, frame.size());
 }
 
-void NodeStoreJournal::AppendInsert(const FileId& id, const ReplicaEntry& entry) {
-  AppendRecord(RecordType::kInsert, EncodeInsert(id, entry), id);
+void NodeStoreJournal::AppendInsert(const FileId& id, const ReplicaEntry& entry,
+                                    const ReplicaPayload* payload) {
+  AppendRecord(RecordType::kInsert, EncodeInsert(id, entry, payload), id);
 }
 
 void NodeStoreJournal::AppendRemove(const FileId& id) {
@@ -523,7 +529,7 @@ void NodeStoreJournal::Compact(const NodeStore& store) {
 
   std::string blob = Frame(RecordType::kSnapshotBegin, "");
   for (const auto& [id, entry] : store.replicas()) {
-    std::string frame = Frame(RecordType::kInsert, EncodeInsert(id, entry));
+    std::string frame = Frame(RecordType::kInsert, EncodeInsert(id, entry, store.payloads().Find(id)));
     live_replica_rec_.TryEmplace(id, frame.size());
     blob.append(frame);
   }

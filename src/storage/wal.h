@@ -91,7 +91,8 @@ class NodeStoreJournal {
 
   // --- appends (called by the NodeStore mutators) ---
 
-  void AppendInsert(const FileId& id, const ReplicaEntry& entry);
+  // `payload` may be null (size-only replica).
+  void AppendInsert(const FileId& id, const ReplicaEntry& entry, const ReplicaPayload* payload);
   void AppendRemove(const FileId& id);
   void AppendSetKind(const FileId& id, ReplicaKind kind);
   void AppendInstallPointer(const FileId& id, const DiversionPointer& ptr);

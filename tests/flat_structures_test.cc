@@ -125,6 +125,166 @@ TEST(FlatTableTest, ReserveAvoidsGrowthRehash) {
   }
 }
 
+TEST(FlatTableTest, GrowthAtExactCapacityBoundary) {
+  // The table rehashes when (size + tombstones + 1) * 3 >= capacity * 2.
+  // Walk insertion counts across every boundary up to a few doublings and
+  // check the contents survive each growth intact, including an insert that
+  // lands exactly on the trigger.
+  for (size_t target : {9u, 10u, 11u, 20u, 21u, 22u, 41u, 42u, 43u, 84u, 86u, 170u, 171u}) {
+    FlatTable<uint64_t, uint64_t, U64Hash> table;
+    for (uint64_t i = 0; i < target; ++i) {
+      auto [slot, inserted] = table.TryEmplace(i * 0x9e3779b97f4a7c15ULL, i);
+      ASSERT_TRUE(inserted);
+      ASSERT_EQ(*slot, i);
+    }
+    ASSERT_EQ(table.size(), target);
+    for (uint64_t i = 0; i < target; ++i) {
+      const uint64_t* v = table.Find(i * 0x9e3779b97f4a7c15ULL);
+      ASSERT_NE(v, nullptr) << "target " << target << " key " << i;
+      EXPECT_EQ(*v, i);
+    }
+  }
+}
+
+TEST(FlatTableTest, TombstoneReuseUnderChurn) {
+  // Heavy erase/insert cycles over a fixed key universe: the table must
+  // recycle tombstoned slots (via rehash) instead of growing without bound,
+  // and every intermediate state must stay consistent.
+  FlatTable<uint64_t, int, U64Hash> table;
+  std::unordered_map<uint64_t, int> reference;
+  Rng rng(77);
+  const uint64_t universe = 48;
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t k = 0; k < universe; ++k) {
+      uint64_t key = k * 0x9e3779b97f4a7c15ULL;
+      if (rng.NextBool(0.5)) {
+        int value = round * 1000 + static_cast<int>(k);
+        table.InsertOrAssign(key, value);
+        reference[key] = value;
+      } else {
+        ASSERT_EQ(table.Erase(key), reference.erase(key) > 0);
+      }
+    }
+    ASSERT_EQ(table.size(), reference.size());
+  }
+  size_t live_seen = 0;
+  for (const auto& [key, value] : table) {
+    auto it = reference.find(key);
+    ASSERT_NE(it, reference.end());
+    ASSERT_EQ(value, it->second);
+    ++live_seen;
+  }
+  EXPECT_EQ(live_seen, reference.size());
+}
+
+TEST(FlatTableTest, IterationOrderStableUnderInterning) {
+  // The interning pattern (TryEmplace of id -> dense index, never erase)
+  // must yield the same iteration order on two tables fed the same key
+  // sequence — the determinism contract the scale engine's fingerprints
+  // rest on — and the order must be reproduced after an explicit Reserve
+  // to the same final capacity.
+  Rng rng(91);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(rng.NextU64());
+  }
+  FlatTable<uint64_t, uint32_t, U64Hash> a;
+  FlatTable<uint64_t, uint32_t, U64Hash> b;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    a.TryEmplace(keys[i], static_cast<uint32_t>(i));
+    b.TryEmplace(keys[i], static_cast<uint32_t>(i));
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> order_a;
+  std::vector<std::pair<uint64_t, uint32_t>> order_b;
+  for (const auto& [k, v] : a) {
+    order_a.emplace_back(k, v);
+  }
+  for (const auto& [k, v] : b) {
+    order_b.emplace_back(k, v);
+  }
+  EXPECT_EQ(order_a, order_b);
+  // Same keys through a pre-sized table: final capacity matches (both end at
+  // NormalizeCapacity), so slot order must match too.
+  FlatTable<uint64_t, uint32_t, U64Hash> c;
+  c.Reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    c.TryEmplace(keys[i], static_cast<uint32_t>(i));
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> order_c;
+  for (const auto& [k, v] : c) {
+    order_c.emplace_back(k, v);
+  }
+  EXPECT_EQ(order_a, order_c);
+}
+
+TEST(FlatTableTest, ArenaBackedMatchesHeapBacked) {
+  // A table carved from an Arena must behave identically to the heap-backed
+  // default: same contents, same iteration order, through growth, churn,
+  // Clear, and re-fill (which exercises the arena free lists).
+  Arena arena(1 << 16);
+  FlatTable<uint64_t, int, U64Hash> pooled(&arena);
+  FlatTable<uint64_t, int, U64Hash> heap;
+  Rng rng(123);
+  for (int step = 0; step < 6000; ++step) {
+    uint64_t key = rng.NextBelow(256) * 0x9e3779b97f4a7c15ULL;
+    switch (rng.NextBelow(4)) {
+      case 0:
+      case 1: {
+        int value = static_cast<int>(rng.NextBelow(100000));
+        pooled.InsertOrAssign(key, value);
+        heap.InsertOrAssign(key, value);
+        break;
+      }
+      case 2:
+        ASSERT_EQ(pooled.Erase(key), heap.Erase(key));
+        break;
+      default:
+        if (step == 3000) {
+          pooled.Clear();
+          heap.Clear();
+        }
+        break;
+    }
+  }
+  ASSERT_EQ(pooled.size(), heap.size());
+  std::vector<std::pair<uint64_t, int>> got_pooled;
+  std::vector<std::pair<uint64_t, int>> got_heap;
+  for (const auto& [k, v] : pooled) {
+    got_pooled.emplace_back(k, v);
+  }
+  for (const auto& [k, v] : heap) {
+    got_heap.emplace_back(k, v);
+  }
+  EXPECT_EQ(got_pooled, got_heap);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+}
+
+TEST(ArenaTest, RecyclesFreedBlocksBySizeClass) {
+  Arena arena(1 << 14);
+  void* a = arena.Allocate(100);  // 112-byte class
+  void* b = arena.Allocate(100);
+  EXPECT_NE(a, b);
+  arena.Deallocate(a, 100);
+  void* c = arena.Allocate(97);  // same 112-byte class -> reuses a
+  EXPECT_EQ(c, a);
+  void* d = arena.Allocate(3000);  // pow2 class
+  arena.Deallocate(d, 3000);
+  EXPECT_EQ(arena.Allocate(2500), d);  // 4096-byte class shared
+  // Larger than half a slab: direct allocation, still usable and freed.
+  void* big = arena.Allocate(1 << 15);
+  EXPECT_NE(big, nullptr);
+  arena.Deallocate(big, 1 << 15);
+  (void)b;
+}
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena;
+  for (size_t bytes : {1u, 7u, 16u, 24u, 100u, 1000u, 5000u}) {
+    void* p = arena.Allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kAlignment, 0u) << bytes;
+  }
+}
+
 // --- SortedRing vs a std::map-based reference ---
 
 // The pre-flattening oracle: a std::map keyed by id value, k-closest via a

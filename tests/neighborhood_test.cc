@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/pastry/directory.h"
 #include "src/pastry/neighborhood_set.h"
 
 namespace past {
@@ -11,9 +12,12 @@ NodeId Id(uint64_t v) { return NodeId(0, v); }
 
 class NeighborhoodTest : public ::testing::Test {
  protected:
-  NeighborhoodTest() : set_(Id(0), 3, [this](const NodeId& id) { return distance_[id]; }) {}
+  NeighborhoodTest()
+      : dir_([this](const NodeId&, const NodeId& id) { return distance_[id]; }),
+        set_(Id(0), 3, dir_.view()) {}
 
   std::map<NodeId, double> distance_;
+  SimpleNodeDirectory dir_;
   NeighborhoodSet set_;
 };
 

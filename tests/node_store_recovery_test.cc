@@ -52,13 +52,12 @@ std::string Signature(const NodeStore& store) {
     std::string l = "R " + id.ToHex();
     l += e.kind == ReplicaKind::kPrimary ? " p" : " d";
     l += " s=" + std::to_string(e.size);
-    if (e.certificate != nullptr) {
-      l += " c=" + e.certificate->file_id.ToHex() + "/" +
-           std::to_string(e.certificate->replication_factor) + "/" +
-           std::to_string(e.certificate->salt);
+    if (const FileCertificateRef cert = store.GetCertificate(id); cert != nullptr) {
+      l += " c=" + cert->file_id.ToHex() + "/" + std::to_string(cert->replication_factor) + "/" +
+           std::to_string(cert->salt);
     }
-    if (e.content != nullptr) {
-      l += " b=" + *e.content;
+    if (const FileContentRef content = store.GetContent(id); content != nullptr) {
+      l += " b=" + *content;
     }
     lines.push_back(std::move(l));
   }
@@ -275,11 +274,13 @@ TEST(NodeStoreRecovery, CleanRecoveryIsExactAndRoundTripsPayloads) {
 
   const ReplicaEntry* entry = recovered.GetReplica(MakeFileId(1));
   ASSERT_NE(entry, nullptr);
-  ASSERT_NE(entry->certificate, nullptr);
-  EXPECT_EQ(entry->certificate->file_id, MakeFileId(1));
-  EXPECT_EQ(entry->certificate->replication_factor, 5u);
-  ASSERT_NE(entry->content, nullptr);
-  EXPECT_EQ(*entry->content, "payload");
+  const FileCertificateRef cert = recovered.GetCertificate(MakeFileId(1));
+  ASSERT_NE(cert, nullptr);
+  EXPECT_EQ(cert->file_id, MakeFileId(1));
+  EXPECT_EQ(cert->replication_factor, 5u);
+  const FileContentRef body = recovered.GetContent(MakeFileId(1));
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(*body, "payload");
   const DiversionPointer* ptr = recovered.GetPointer(MakeFileId(3));
   ASSERT_NE(ptr, nullptr);
   EXPECT_EQ(ptr->holder, NodeId(7, 9));

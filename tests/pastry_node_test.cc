@@ -3,12 +3,11 @@
 // rather than a live overlay.
 #include <gtest/gtest.h>
 
+#include "src/pastry/directory.h"
 #include "src/pastry/node.h"
 
 namespace past {
 namespace {
-
-constexpr auto kAllAlive = [](const NodeId&) { return true; };
 
 PastryConfig SmallConfig() {
   PastryConfig config;
@@ -19,31 +18,34 @@ PastryConfig SmallConfig() {
 }
 
 TEST(PastryNodeTest, SelfIsDestinationWhenAlone) {
-  PastryNode node(NodeId(1, 0), SmallConfig(), nullptr);
-  EXPECT_FALSE(node.NextHop(NodeId(2, 0), kAllAlive).has_value());
+  SimpleNodeDirectory dir;
+  PastryNode node(NodeId(1, 0), SmallConfig(), dir.view());
+  EXPECT_FALSE(node.NextHop(NodeId(2, 0)).has_value());
 }
 
 TEST(PastryNodeTest, LeafSetCaseDeliversToClosestMember) {
   // Key inside the leaf set range: forward to the numerically closest
   // member, or stop if we are it.
   NodeId self(0, 1000);
-  PastryNode node(self, SmallConfig(), nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(self, SmallConfig(), dir.view());
   node.Learn(NodeId(0, 900));
   node.Learn(NodeId(0, 1100));
 
-  auto hop = node.NextHop(NodeId(0, 1090), kAllAlive);
+  auto hop = node.NextHop(NodeId(0, 1090));
   ASSERT_TRUE(hop.has_value());
   EXPECT_EQ(*hop, NodeId(0, 1100));
 
   // Key closest to ourselves: we are the destination.
-  EXPECT_FALSE(node.NextHop(NodeId(0, 1010), kAllAlive).has_value());
+  EXPECT_FALSE(node.NextHop(NodeId(0, 1010)).has_value());
 }
 
 TEST(PastryNodeTest, RoutingTableCaseExtendsPrefix) {
   // Key far outside the leaf set: use the routing-table entry whose prefix
   // is one digit longer.
   NodeId self(0xAAAA000000000000ULL, 0);
-  PastryNode node(self, SmallConfig(), nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(self, SmallConfig(), dir.view());
   NodeId leaf_a(0xAAAA000000000001ULL, 1);
   NodeId leaf_b(0xAAA9FFFFFFFFFFFFULL, 2);
   node.Learn(leaf_a);
@@ -52,7 +54,7 @@ TEST(PastryNodeTest, RoutingTableCaseExtendsPrefix) {
   node.Learn(towards_b);
 
   NodeId key(0xB123456789ABCDEFULL, 0);
-  auto hop = node.NextHop(key, kAllAlive);
+  auto hop = node.NextHop(key);
   ASSERT_TRUE(hop.has_value());
   EXPECT_EQ(*hop, towards_b);
 }
@@ -61,7 +63,8 @@ TEST(PastryNodeTest, RareCaseUsesNumericallyCloserFallback) {
   // No routing-table entry for the key's digit; the node must fall back to
   // any known node with >= shared prefix that is numerically closer.
   NodeId self(0xA000000000000000ULL, 0);
-  PastryNode node(self, SmallConfig(), nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(self, SmallConfig(), dir.view());
   // A node sharing 0 digits but numerically closer to the key than we are.
   NodeId closer(0xC000000000000000ULL, 0);
   node.routing_table().Consider(closer);
@@ -69,21 +72,22 @@ TEST(PastryNodeTest, RareCaseUsesNumericallyCloserFallback) {
   NodeId key(0xD000000000000000ULL, 0);
   // Remove the direct entry to force the fallback: slot (0,0xC) holds
   // `closer`, while slot (0,0xD) is empty. Covers(key) is false (no leaves).
-  auto hop = node.NextHop(key, kAllAlive);
+  auto hop = node.NextHop(key);
   ASSERT_TRUE(hop.has_value());
   EXPECT_EQ(*hop, closer);
 }
 
 TEST(PastryNodeTest, DeadLeafIsForgottenAndSkipped) {
   NodeId self(0, 1000);
-  PastryNode node(self, SmallConfig(), nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(self, SmallConfig(), dir.view());
   NodeId dead(0, 1100);
   NodeId live(0, 1200);
   node.Learn(dead);
   node.Learn(live);
-  auto alive = [&](const NodeId& id) { return id != dead; };
+  dir.SetAlive(dead, false);
 
-  auto hop = node.NextHop(NodeId(0, 1101), alive);
+  auto hop = node.NextHop(NodeId(0, 1101));
   ASSERT_TRUE(hop.has_value());
   EXPECT_EQ(*hop, live);
   EXPECT_FALSE(node.leaf_set().Contains(dead));
@@ -91,15 +95,16 @@ TEST(PastryNodeTest, DeadLeafIsForgottenAndSkipped) {
 
 TEST(PastryNodeTest, DeadRoutingEntryFallsThrough) {
   NodeId self(0xA000000000000000ULL, 0);
-  PastryNode node(self, SmallConfig(), nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(self, SmallConfig(), dir.view());
   NodeId dead(0xB000000000000000ULL, 0);
   NodeId alt(0xB800000000000000ULL, 0);  // also digit 0xB... same slot; keep distinct slot
   node.routing_table().Consider(dead);
   node.neighborhood().Consider(alt);
-  auto alive = [&](const NodeId& id) { return id != dead; };
+  dir.SetAlive(dead, false);
 
   NodeId key(0xB000000000000001ULL, 0);
-  auto hop = node.NextHop(key, alive);
+  auto hop = node.NextHop(key);
   // The dead entry is purged; the neighborhood's 0xB8 node shares 0 digits
   // with the key (0xB0 vs 0xB8 share one digit actually: digit0 = 0xB).
   ASSERT_TRUE(hop.has_value());
@@ -113,13 +118,14 @@ TEST(PastryNodeTest, NeverForwardsFartherFromKey) {
   // than this node (the loop-freedom invariant of section 2.3).
   Rng rng(250);
   NodeId self(rng.NextU64(), rng.NextU64());
-  PastryNode node(self, SmallConfig(), nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(self, SmallConfig(), dir.view());
   for (int i = 0; i < 200; ++i) {
     node.Learn(NodeId(rng.NextU64(), rng.NextU64()));
   }
   for (int i = 0; i < 500; ++i) {
     NodeId key(rng.NextU64(), rng.NextU64());
-    auto hop = node.NextHop(key, kAllAlive);
+    auto hop = node.NextHop(key);
     if (hop) {
       EXPECT_TRUE(hop->CloserTo(key, self))
           << "hop " << hop->ToHex() << " not closer to " << key.ToHex();
@@ -132,13 +138,14 @@ TEST(PastryNodeTest, RandomizedHopsAreStillValid) {
   PastryConfig config = SmallConfig();
   config.route_randomization = 1.0;  // always pick a random valid candidate
   NodeId self(rng.NextU64(), rng.NextU64());
-  PastryNode node(self, config, nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(self, config, dir.view());
   for (int i = 0; i < 100; ++i) {
     node.Learn(NodeId(rng.NextU64(), rng.NextU64()));
   }
   for (int i = 0; i < 300; ++i) {
     NodeId key(rng.NextU64(), rng.NextU64());
-    auto hop = node.NextHop(key, kAllAlive, &rng);
+    auto hop = node.NextHop(key, &rng);
     if (hop) {
       EXPECT_TRUE(hop->CloserTo(key, self));
       EXPECT_GE(hop->SharedPrefixLength(key, config.b), self.SharedPrefixLength(key, config.b));
@@ -147,7 +154,8 @@ TEST(PastryNodeTest, RandomizedHopsAreStillValid) {
 }
 
 TEST(PastryNodeTest, LearnAndForgetRoundTrip) {
-  PastryNode node(NodeId(1, 1), SmallConfig(), nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(NodeId(1, 1), SmallConfig(), dir.view());
   NodeId other(2, 2);
   node.Learn(other);
   EXPECT_TRUE(node.leaf_set().Contains(other));
@@ -158,7 +166,8 @@ TEST(PastryNodeTest, LearnAndForgetRoundTrip) {
 }
 
 TEST(PastryNodeTest, LearnSelfIsNoop) {
-  PastryNode node(NodeId(1, 1), SmallConfig(), nullptr);
+  SimpleNodeDirectory dir;
+  PastryNode node(NodeId(1, 1), SmallConfig(), dir.view());
   node.Learn(NodeId(1, 1));
   EXPECT_EQ(node.leaf_set().size(), 0u);
   EXPECT_EQ(node.routing_table().size(), 0u);

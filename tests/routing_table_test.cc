@@ -5,6 +5,7 @@
 #include <map>
 
 #include "src/common/rng.h"
+#include "src/pastry/directory.h"
 #include "src/pastry/routing_table.h"
 
 namespace past {
@@ -12,7 +13,8 @@ namespace {
 
 TEST(RoutingTableTest, Dimensions) {
   NodeId owner(0xAAAAAAAAAAAAAAAAULL, 0xAAAAAAAAAAAAAAAAULL);
-  RoutingTable rt(owner, 4, nullptr);
+  SimpleNodeDirectory dir;
+  RoutingTable rt(owner, 4, dir.view());
   EXPECT_EQ(rt.rows(), 32);
   EXPECT_EQ(rt.columns(), 16);
   EXPECT_EQ(rt.size(), 0u);
@@ -20,7 +22,8 @@ TEST(RoutingTableTest, Dimensions) {
 
 TEST(RoutingTableTest, ConsiderPlacesInCorrectSlot) {
   NodeId owner(0xA000000000000000ULL, 0);
-  RoutingTable rt(owner, 4, nullptr);
+  SimpleNodeDirectory dir;
+  RoutingTable rt(owner, 4, dir.view());
   // Shares no prefix digits; first digit is 0xB -> row 0, column 0xB.
   NodeId other(0xB000000000000000ULL, 0);
   EXPECT_TRUE(rt.Consider(other));
@@ -37,7 +40,8 @@ TEST(RoutingTableTest, ConsiderPlacesInCorrectSlot) {
 
 TEST(RoutingTableTest, OwnerNotInserted) {
   NodeId owner(0xA000000000000000ULL, 0);
-  RoutingTable rt(owner, 4, nullptr);
+  SimpleNodeDirectory dir;
+  RoutingTable rt(owner, 4, dir.view());
   EXPECT_FALSE(rt.Consider(owner));
   EXPECT_EQ(rt.size(), 0u);
 }
@@ -45,8 +49,9 @@ TEST(RoutingTableTest, OwnerNotInserted) {
 TEST(RoutingTableTest, ProximityPreferenceReplacesFartherEntry) {
   NodeId owner(0xA000000000000000ULL, 0);
   std::map<uint64_t, double> distance;
-  auto proximity = [&](const NodeId& id) { return distance[Uint128Low64(id.value())]; };
-  RoutingTable rt(owner, 4, proximity);
+  SimpleNodeDirectory dir(
+      [&](const NodeId&, const NodeId& id) { return distance[Uint128Low64(id.value())]; });
+  RoutingTable rt(owner, 4, dir.view());
   NodeId far(0xB000000000000000ULL, 1);
   NodeId near(0xB100000000000000ULL, 2);  // same slot (row 0, col 0xB)
   distance[1] = 0.9;
@@ -63,7 +68,8 @@ TEST(RoutingTableTest, ProximityPreferenceReplacesFartherEntry) {
 
 TEST(RoutingTableTest, RemoveClearsSlot) {
   NodeId owner(0xA000000000000000ULL, 0);
-  RoutingTable rt(owner, 4, nullptr);
+  SimpleNodeDirectory dir;
+  RoutingTable rt(owner, 4, dir.view());
   NodeId other(0xB000000000000000ULL, 0);
   rt.Consider(other);
   EXPECT_TRUE(rt.Remove(other));
@@ -74,7 +80,8 @@ TEST(RoutingTableTest, RemoveClearsSlot) {
 
 TEST(RoutingTableTest, RowListsPopulatedEntries) {
   NodeId owner(0xA000000000000000ULL, 0);
-  RoutingTable rt(owner, 4, nullptr);
+  SimpleNodeDirectory dir;
+  RoutingTable rt(owner, 4, dir.view());
   rt.Consider(NodeId(0xB000000000000000ULL, 0));
   rt.Consider(NodeId(0xC000000000000000ULL, 0));
   rt.Consider(NodeId(0xA100000000000000ULL, 0));  // row 1
@@ -87,7 +94,8 @@ TEST(RoutingTableTest, RowListsPopulatedEntries) {
 TEST(RoutingTableTest, EntriesSharePrefixWithOwnerInvariant) {
   Rng rng(21);
   NodeId owner(rng.NextU64(), rng.NextU64());
-  RoutingTable rt(owner, 4, nullptr);
+  SimpleNodeDirectory dir;
+  RoutingTable rt(owner, 4, dir.view());
   for (int i = 0; i < 500; ++i) {
     rt.Consider(NodeId(rng.NextU64(), rng.NextU64()));
   }
